@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks for the hot engine paths: SPF encode/decode,
+//! expression evaluation, operators, and an end-to-end simulated query.
+//!
+//! These complement the paper-reproduction binaries: they track the *real*
+//! (wall-clock) performance of the library itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use skyrise::data::{spf, tpch};
+use skyrise::engine::{load_dataset, queries, reference, QueryConfig};
+use skyrise::prelude::*;
+use std::hint::black_box;
+
+fn bench_spf(c: &mut Criterion) {
+    let tables = tpch::generate(0.01, 7);
+    let batch = tables.lineitem;
+    let bytes = batch.approx_bytes() as u64;
+    let encoded = spf::write(std::slice::from_ref(&batch), 8192);
+
+    let mut g = c.benchmark_group("spf");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("encode_lineitem", |b| {
+        b.iter(|| spf::write(std::slice::from_ref(black_box(&batch)), 8192))
+    });
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("decode_lineitem", |b| {
+        b.iter(|| spf::read_all(black_box(&encoded), None).unwrap())
+    });
+    g.bench_function("decode_projected_two_columns", |b| {
+        let proj = ["l_shipdate".to_string(), "l_extendedprice".to_string()];
+        b.iter(|| spf::read_all(black_box(&encoded), Some(&proj)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let tables = tpch::generate(0.01, 7);
+    let lineitem = tables.lineitem;
+    let rows = lineitem.num_rows() as u64;
+
+    let mut g = c.benchmark_group("operators");
+    g.throughput(Throughput::Elements(rows));
+    g.bench_function("reference_q1", |b| {
+        b.iter(|| reference::q1(black_box(&lineitem)))
+    });
+    g.bench_function("reference_q6", |b| {
+        b.iter(|| reference::q6(black_box(&lineitem)))
+    });
+    g.bench_function("filter_mask", |b| {
+        use skyrise::engine::{CmpOp, Expr, UdfRegistry};
+        let udfs = UdfRegistry::with_builtins();
+        let pred = Expr::col("l_quantity").cmp(CmpOp::Lt, Expr::lit_f64(24.0));
+        b.iter(|| {
+            skyrise::engine::expr::evaluate_mask(black_box(&pred), &lineitem, &udfs).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    g.bench_function("q6_end_to_end_faas", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let mut sim = Sim::new(99);
+                let ctx = sim.ctx();
+                let h = sim.spawn(async move {
+                    let meter = shared_meter();
+                    let storage = Storage::S3(S3Bucket::standard(&ctx, &meter));
+                    let t = tpch::generate(0.005, 3);
+                    load_dataset(
+                        &storage,
+                        &DatasetLayout {
+                            name: "h_lineitem".into(),
+                            partitions: 8,
+                            target_partition_logical_bytes: None,
+                            rows_per_group: 4096,
+                        },
+                        &t.lineitem,
+                    )
+                    .unwrap();
+                    let lambda = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
+                    let engine =
+                        Skyrise::deploy_simple(&ctx, ComputePlatform::Faas(lambda), storage);
+                    engine
+                        .run(
+                            &queries::q6(),
+                            QueryConfig {
+                                target_bytes_per_worker: 64 << 10,
+                                ..QueryConfig::default()
+                            },
+                        )
+                        .await
+                        .unwrap()
+                        .runtime_secs
+                });
+                sim.run();
+                black_box(h.try_take().unwrap())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("token_bucket_grant_loop", |b| {
+        use skyrise::net::RateLimiter;
+        b.iter(|| {
+            let mut bucket = RateLimiter::continuous(1e9, 1e8, 5e8);
+            let mut total = 0.0;
+            for i in 0..10_000u64 {
+                total += bucket.grant(
+                    skyrise::sim::SimTime::from_nanos(i * 10_000_000),
+                    skyrise::sim::SimDuration::from_millis(10),
+                    f64::MAX,
+                );
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_spf, bench_operators, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Extension experiment: ablation_binary_size. Run with `--release`.
+
+fn main() {
+    skyrise_bench::finish(&skyrise_bench::experiments::ablation_binary_size());
+}

@@ -1,0 +1,5 @@
+//! Extension experiment: ablation_combining. Run with `--release`.
+
+fn main() {
+    skyrise_bench::finish(&skyrise_bench::experiments::ablation_combining());
+}

@@ -1,0 +1,40 @@
+//! Run the complete experiment suite: every table and figure of the
+//! paper, in order. Results land under `results/`.
+
+use skyrise_bench::{experiments as e, finish};
+
+type Experiment = (&'static str, fn() -> skyrise::micro::ExperimentResult);
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let all: Vec<Experiment> = vec![
+        ("table01", e::table01),
+        ("table02", e::table02),
+        ("table03", e::table03),
+        ("table04", e::table04),
+        ("fig05", e::fig05),
+        ("fig06", e::fig06),
+        ("fig07", e::fig07),
+        ("fig08", e::fig08),
+        ("fig09", e::fig09),
+        ("fig10", e::fig10),
+        ("fig11", e::fig11),
+        ("fig12", e::fig12),
+        ("fig13", e::fig13),
+        ("fig14", e::fig14),
+        ("fig15", e::fig15),
+        ("table05", e::table05),
+        ("table06", e::table06),
+        ("table07", e::table07),
+        ("table08", e::table08),
+        ("ablation_combining", e::ablation_combining),
+        ("ablation_binary_size", e::ablation_binary_size),
+        ("extra_observations", e::extra_observations),
+    ];
+    for (name, run) in all {
+        let started = std::time::Instant::now();
+        finish(&run());
+        eprintln!("[{name}] wall time: {:.1}s", started.elapsed().as_secs_f64());
+    }
+    eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

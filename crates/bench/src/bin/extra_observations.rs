@@ -1,0 +1,5 @@
+//! Extension experiment: extra_observations. Run with `--release`.
+
+fn main() {
+    skyrise_bench::finish(&skyrise_bench::experiments::extra_observations());
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's fig11. Run with `--release`; set `SKYRISE_FULL=1`
+//! for paper-scale durations where applicable.
+
+fn main() {
+    skyrise_bench::finish(&skyrise_bench::experiments::fig11());
+}

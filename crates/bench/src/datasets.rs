@@ -1,0 +1,114 @@
+//! Paper-layout dataset loading (Table 4).
+//!
+//! The paper's tables at SF1000, ZSTD-compressed Parquet:
+//!
+//! | table | size | partitions | partition size |
+//! |---|---|---|---|
+//! | H-Lineitem | 177.4 GiB | 996 | 182.4 MiB |
+//! | H-Orders | 44.9 GiB | 249 | 176.1 MiB |
+//! | BB-Clickstreams | 94.9 GiB | 1,000 | 92.7 MiB |
+//! | BB-Item | 0.08 GiB | 1 | 75.8 MiB |
+//!
+//! Experiments load a configurable *fraction* of that layout: partition
+//! logical sizes stay at paper scale (what matters for burst budgets and
+//! request counts per worker), while the partition count shrinks.
+
+use skyrise::data::{tpch, tpcxbb};
+use skyrise::engine::{load_dataset, DatasetLayout, DatasetMeta, EngineError};
+use skyrise::prelude::*;
+
+/// One table's paper-scale layout.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperTable {
+    pub name: &'static str,
+    pub sf1000_partitions: u64,
+    pub partition_mib: f64,
+}
+
+/// The Table 4 inventory.
+pub const PAPER_TABLES: [PaperTable; 4] = [
+    PaperTable {
+        name: "h_lineitem",
+        sf1000_partitions: 996,
+        partition_mib: 182.4,
+    },
+    PaperTable {
+        name: "h_orders",
+        sf1000_partitions: 249,
+        partition_mib: 176.1,
+    },
+    PaperTable {
+        name: "bb_clickstreams",
+        sf1000_partitions: 1_000,
+        partition_mib: 92.7,
+    },
+    PaperTable {
+        name: "bb_item",
+        sf1000_partitions: 1,
+        partition_mib: 75.8,
+    },
+];
+
+/// Loaded dataset metadata, one entry per table.
+pub struct LoadedDatasets {
+    pub metas: Vec<DatasetMeta>,
+}
+
+/// Load all four tables into `storage` at `fraction` of the SF1000
+/// partition count, carrying payloads generated at `payload_sf`.
+pub fn load_paper_datasets(
+    storage: &Storage,
+    payload_sf: f64,
+    fraction: f64,
+) -> Result<LoadedDatasets, EngineError> {
+    let tpch_tables = tpch::generate(payload_sf, 7);
+    let bb = tpcxbb::generate(payload_sf * 10.0, 7);
+    let mut metas = Vec::new();
+    for spec in PAPER_TABLES {
+        let batch = match spec.name {
+            "h_lineitem" => &tpch_tables.lineitem,
+            "h_orders" => &tpch_tables.orders,
+            "bb_clickstreams" => &bb.clickstreams,
+            "bb_item" => &bb.item,
+            _ => unreachable!(),
+        };
+        let partitions =
+            ((spec.sf1000_partitions as f64 * fraction).round() as usize).max(1);
+        let layout = DatasetLayout {
+            name: spec.name.into(),
+            partitions,
+            target_partition_logical_bytes: Some((spec.partition_mib * MIB as f64) as u64),
+            rows_per_group: 8192,
+        };
+        metas.push(load_dataset(storage, &layout, batch)?);
+    }
+    Ok(LoadedDatasets { metas })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyrise::pricing::shared_meter;
+    use skyrise::sim::Sim;
+
+    #[test]
+    fn fractional_layout_keeps_partition_sizes() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let meter = shared_meter();
+            let storage = Storage::S3(S3Bucket::standard(&ctx, &meter));
+            let loaded = load_paper_datasets(&storage, 0.005, 0.02).unwrap();
+            loaded.metas
+        });
+        sim.run();
+        let metas = h.try_take().unwrap();
+        assert_eq!(metas.len(), 4);
+        let lineitem = &metas[0];
+        assert_eq!(lineitem.partitions.len(), 20); // 996 * 0.02
+        let mean_mib = lineitem.mean_partition_bytes() / MIB as f64;
+        assert!((mean_mib - 182.4).abs() < 2.0, "partition size {mean_mib} MiB");
+        let item = &metas[3];
+        assert_eq!(item.partitions.len(), 1, "item is always one partition");
+    }
+}

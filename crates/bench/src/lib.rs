@@ -1,0 +1,87 @@
+//! # skyrise-bench — the experiment harness
+//!
+//! One module per paper table/figure (see DESIGN.md §4). Each experiment
+//! is a function returning an [`ExperimentResult`]; the `bin/` wrappers
+//! print it and persist JSON/CSV under `results/`.
+//!
+//! Two profiles:
+//! * **fast** (default) — time-scaled variants of the long-running
+//!   experiments (S3 partition scaling runs at a compressed split
+//!   interval; results are converted back to paper scale). Minutes of
+//!   wall time for the whole suite.
+//! * **full** (`SKYRISE_FULL=1`) — paper-scale durations.
+
+pub mod datasets;
+pub mod experiments;
+
+use skyrise::micro::ExperimentResult;
+use std::path::PathBuf;
+
+/// Where results are written (`SKYRISE_RESULTS`, default `results/`).
+pub fn results_dir() -> PathBuf {
+    std::env::var("SKYRISE_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Paper-scale mode?
+pub fn full_profile() -> bool {
+    std::env::var("SKYRISE_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Print and persist an experiment result.
+pub fn finish(result: &ExperimentResult) {
+    println!("=== {}: {} ===", result.id, result.title);
+    for (k, v) in &result.params {
+        println!("  param {k} = {v}");
+    }
+    for (k, v) in &result.scalars {
+        println!("  {k} = {v:.6}");
+    }
+    if let Some(cost) = &result.cost {
+        println!("  simulated experiment cost: ${:.4}", cost.total_usd());
+    }
+    let dir = results_dir();
+    match result.save(&dir) {
+        Ok(()) => println!("  saved to {}/{}.json", dir.display(), result.id),
+        Err(e) => eprintln!("  (could not save results: {e})"),
+    }
+    println!();
+}
+
+/// Run a closure inside a fresh simulation and return its output.
+pub fn in_sim<T: 'static>(
+    seed: u64,
+    f: impl FnOnce(skyrise::sim::SimCtx) -> std::pin::Pin<Box<dyn std::future::Future<Output = T>>>
+        + 'static,
+) -> T {
+    let mut sim = skyrise::sim::Sim::new(seed);
+    let ctx = sim.ctx();
+    let h = sim.spawn(f(ctx));
+    sim.run();
+    h.try_take().expect("experiment completed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_sim_runs_to_completion() {
+        let out = in_sim(1, |ctx| {
+            Box::pin(async move {
+                ctx.sleep(skyrise::sim::SimDuration::from_secs(10)).await;
+                ctx.now().as_secs_f64()
+            })
+        });
+        assert_eq!(out, 10.0);
+    }
+
+    #[test]
+    fn profile_defaults_to_fast() {
+        // Unless the caller exported SKYRISE_FULL=1.
+        if std::env::var("SKYRISE_FULL").is_err() {
+            assert!(!full_profile());
+        }
+    }
+}

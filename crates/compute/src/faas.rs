@@ -1,0 +1,643 @@
+//! The Lambda FaaS platform model (paper Sec. 2.1, Fig. 1).
+//!
+//! Modelled control-plane behaviour:
+//!
+//! * **Admission**: an account-level quota on concurrent executions
+//!   (the paper's raised quota: 10,000).
+//! * **Burst scaling**: new sandboxes draw from a token bucket with a
+//!   3,000-instance initial burst refilled at 500/minute (region-scaled).
+//!   Invocations needing a sandbox wait for a token — this is what makes
+//!   large cluster startup slow in contended regions.
+//! * **Coldstarts**: placement + binary download + runtime init, sampled
+//!   from the region profile; "keeping binary sizes small" shortens them.
+//! * **Warm pool**: finished sandboxes return to a per-function pool and
+//!   expire after a sampled idle lifetime (5–15 minutes).
+//! * **Sandbox NICs**: every sandbox gets Lambda's dual token-bucket NIC
+//!   with a small per-sandbox burst-rate perturbation ("high variation for
+//!   burst throughputs, yet very stable burst capacities").
+//! * **Billing**: GB-seconds at millisecond granularity plus a per-request
+//!   fee, metered through `skyrise-pricing`.
+
+use crate::region::Region;
+use skyrise_net::{presets, SharedNic};
+use skyrise_pricing::{SharedMeter, LAMBDA_MIB_PER_VCPU};
+use skyrise_sim::{SimCtx, SimDuration, SimTime};
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+/// Boxed local future returned by handlers.
+pub type LocalBoxFuture<T> = Pin<Box<dyn Future<Output = T>>>;
+
+/// A registered function body. Receives its execution environment and the
+/// request payload; returns a response payload or an error message.
+pub type Handler = Rc<dyn Fn(ExecEnv, String) -> LocalBoxFuture<Result<String, String>>>;
+
+/// What the function body sees of its sandbox.
+#[derive(Clone)]
+pub struct ExecEnv {
+    /// Simulation context.
+    pub ctx: SimCtx,
+    /// The sandbox (or host VM) NIC — storage requests should pass it.
+    pub nic: SharedNic,
+    /// True when this invocation cold-started its sandbox.
+    pub cold_start: bool,
+    /// vCPU share of the sandbox.
+    pub vcpus: f64,
+    /// Configured memory (MiB).
+    pub memory_mib: u64,
+    /// Sandbox or VM identifier (for tracing).
+    pub instance_id: u64,
+}
+
+/// Static configuration of a deployed function.
+#[derive(Debug, Clone)]
+pub struct FunctionConfig {
+    /// Deployed function name.
+    pub name: String,
+    /// Memory size (MiB), 128–10,240. Determines the vCPU share.
+    pub memory_mib: u64,
+    /// Deployment artifact size — drives coldstart download time. The
+    /// engine keeps this under 10 MiB (paper Sec. 3.2).
+    pub binary_size: u64,
+}
+
+impl FunctionConfig {
+    /// A worker-sized function: the paper's 7,076 MiB (4 vCPUs).
+    pub fn worker(name: &str) -> Self {
+        FunctionConfig {
+            name: name.to_string(),
+            memory_mib: 7_076,
+            binary_size: 8 << 20,
+        }
+    }
+
+    /// vCPU share: 1 vCPU per 1,769 MiB.
+    pub fn vcpus(&self) -> f64 {
+        self.memory_mib as f64 / LAMBDA_MIB_PER_VCPU
+    }
+
+    /// Memory in decimal gigabytes (the billing unit).
+    pub fn memory_gb(&self) -> f64 {
+        self.memory_mib as f64 * 1024.0 * 1024.0 / 1e9
+    }
+}
+
+/// Invocation failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaasError {
+    /// No function registered under this name.
+    UnknownFunction(String),
+    /// Concurrent-executions quota exceeded (HTTP 429).
+    TooManyRequests,
+    /// Request or response payload above the 6 MB limit.
+    PayloadTooLarge(usize),
+    /// The handler returned an error.
+    HandlerFailed(String),
+}
+
+impl fmt::Display for FaasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaasError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+            FaasError::TooManyRequests => write!(f, "concurrency quota exceeded"),
+            FaasError::PayloadTooLarge(n) => write!(f, "payload of {n} B over the 6 MB limit"),
+            FaasError::HandlerFailed(e) => write!(f, "handler failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaasError {}
+
+/// Result of a successful invocation.
+#[derive(Debug, Clone)]
+pub struct InvokeResult {
+    /// The handler's response payload.
+    pub output: String,
+    /// Billed duration (includes coldstart initialisation).
+    pub duration: SimDuration,
+    /// Whether a new sandbox had to be created.
+    pub cold_start: bool,
+    /// Sandbox/VM that served the invocation.
+    pub sandbox_id: u64,
+}
+
+/// Lambda payload ceiling (synchronous invocations): 6 MB.
+pub const MAX_PAYLOAD: usize = 6 * 1024 * 1024;
+/// Binary download bandwidth during coldstarts.
+const ARTIFACT_BW: f64 = 50e6;
+/// Sandbox idle lifetime range (paper: minutes-scale, measured by the
+/// platform microbenchmark).
+const IDLE_LIFETIME_MIN: f64 = 300.0;
+const IDLE_LIFETIME_MAX: f64 = 900.0;
+
+struct Sandbox {
+    id: u64,
+    nic: SharedNic,
+    last_used: SimTime,
+    idle_lifetime: SimDuration,
+}
+
+struct Registered {
+    config: FunctionConfig,
+    handler: Handler,
+    warm: VecDeque<Sandbox>,
+}
+
+/// The FaaS platform. Cheap to clone via `Rc`.
+pub struct LambdaPlatform {
+    ctx: SimCtx,
+    meter: SharedMeter,
+    region: Region,
+    functions: RefCell<HashMap<String, Registered>>,
+    /// Sandbox-scaling token bucket (3,000 burst + 500/min).
+    scaling: RefCell<skyrise_net::RateLimiter>,
+    concurrency_quota: u32,
+    concurrent: Cell<u32>,
+    next_sandbox: Cell<u64>,
+    /// Statistics: coldstarts and warmstarts served.
+    cold_starts: Cell<u64>,
+    warm_starts: Cell<u64>,
+}
+
+impl LambdaPlatform {
+    /// Platform in a region with the paper's raised 10K concurrency quota.
+    pub fn new(ctx: &SimCtx, meter: &SharedMeter, region: Region) -> Rc<Self> {
+        let rate = 500.0 / 60.0 * region.scaling_rate_factor;
+        Rc::new(LambdaPlatform {
+            ctx: ctx.clone(),
+            meter: Rc::clone(meter),
+            region,
+            functions: RefCell::new(HashMap::new()),
+            scaling: RefCell::new(skyrise_net::RateLimiter::continuous(
+                1e9, // tokens are the constraint, not the instantaneous rate
+                rate,
+                3_000.0,
+            )),
+            concurrency_quota: 10_000,
+            concurrent: Cell::new(0),
+            next_sandbox: Cell::new(0),
+            cold_starts: Cell::new(0),
+            warm_starts: Cell::new(0),
+        })
+    }
+
+    /// Deploy (or replace) a function.
+    pub fn register(&self, config: FunctionConfig, handler: Handler) {
+        self.functions.borrow_mut().insert(
+            config.name.clone(),
+            Registered {
+                config,
+                handler,
+                warm: VecDeque::new(),
+            },
+        );
+    }
+
+    /// The region this platform runs in.
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// The simulation context this platform runs in.
+    pub fn ctx(&self) -> SimCtx {
+        self.ctx.clone()
+    }
+
+    /// Consume `n` sandbox-scaling tokens up front — models an account
+    /// whose burst pool is largely spent by co-located workloads, so
+    /// cluster startup depends on the region's refill rate (used by the
+    /// Table 5 variability experiment).
+    pub fn consume_scaling_burst(&self, n: f64) {
+        let mut s = self.scaling.borrow_mut();
+        s.advance(self.ctx.now());
+        let take = n.min(s.available());
+        s.consume(self.ctx.now(), take);
+    }
+
+    /// Coldstarts served so far.
+    pub fn cold_start_count(&self) -> u64 {
+        self.cold_starts.get()
+    }
+
+    /// Warmstarts served so far.
+    pub fn warm_start_count(&self) -> u64 {
+        self.warm_starts.get()
+    }
+
+    /// Currently executing invocations.
+    pub fn concurrent_executions(&self) -> u32 {
+        self.concurrent.get()
+    }
+
+    /// Invoke a function synchronously.
+    pub async fn invoke(self: &Rc<Self>, name: &str, payload: String) -> Result<InvokeResult, FaasError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(FaasError::PayloadTooLarge(payload.len()));
+        }
+        let (config, handler) = {
+            let fns = self.functions.borrow();
+            let reg = fns
+                .get(name)
+                .ok_or_else(|| FaasError::UnknownFunction(name.to_string()))?;
+            (reg.config.clone(), Rc::clone(&reg.handler))
+        };
+        if self.concurrent.get() >= self.concurrency_quota {
+            return Err(FaasError::TooManyRequests);
+        }
+        self.concurrent.set(self.concurrent.get() + 1);
+        let started = self.ctx.now();
+
+        let (sandbox, cold) = self.acquire_sandbox(name, &config).await;
+        let env = ExecEnv {
+            ctx: self.ctx.clone(),
+            nic: Rc::clone(&sandbox.nic),
+            cold_start: cold,
+            vcpus: config.vcpus(),
+            memory_mib: config.memory_mib,
+            instance_id: sandbox.id,
+        };
+        let result = handler(env, payload).await;
+        let now = self.ctx.now();
+        let duration = now.duration_since(started);
+
+        // Bill, return the sandbox, release concurrency — also on failure.
+        self.meter
+            .borrow_mut()
+            .record_lambda(config.memory_gb(), duration.as_secs_f64());
+        self.release_sandbox(name, sandbox);
+        self.concurrent.set(self.concurrent.get() - 1);
+
+        match result {
+            Ok(output) => {
+                if output.len() > MAX_PAYLOAD {
+                    return Err(FaasError::PayloadTooLarge(output.len()));
+                }
+                Ok(InvokeResult {
+                    output,
+                    duration,
+                    cold_start: cold,
+                    sandbox_id: 0,
+                })
+            }
+            Err(e) => Err(FaasError::HandlerFailed(e)),
+        }
+    }
+
+    /// Pre-provision `n` warm sandboxes for a function ("the functions are
+    /// warmed up ... before the experiment begins", Sec. 5.2).
+    pub async fn warm(self: &Rc<Self>, name: &str, n: usize) {
+        let config = {
+            let fns = self.functions.borrow();
+            fns.get(name)
+                .unwrap_or_else(|| panic!("unknown function {name}"))
+                .config
+                .clone()
+        };
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let this = Rc::clone(self);
+                let name = name.to_string();
+                let config = config.clone();
+                self.ctx.spawn(async move {
+                    let (sandbox, _) = this.acquire_sandbox(&name, &config).await;
+                    this.release_sandbox(&name, sandbox);
+                })
+            })
+            .collect();
+        skyrise_sim::join_all(handles).await;
+    }
+
+    async fn acquire_sandbox(&self, name: &str, config: &FunctionConfig) -> (Sandbox, bool) {
+        // Warm path: pop a live sandbox, lazily expiring dead ones.
+        let now = self.ctx.now();
+        let popped = {
+            let mut fns = self.functions.borrow_mut();
+            let reg = fns.get_mut(name).expect("registered");
+            loop {
+                match reg.warm.pop_front() {
+                    Some(sb) => {
+                        if now.duration_since(sb.last_used) <= sb.idle_lifetime {
+                            break Some(sb);
+                        }
+                        // expired: drop and keep looking
+                    }
+                    None => break None,
+                }
+            }
+        };
+        if let Some(sb) = popped {
+            let lat = self.ctx.with_rng(|r| self.region.sample_warmstart(r));
+            self.ctx.sleep(lat).await;
+            self.warm_starts.set(self.warm_starts.get() + 1);
+            return (sb, false);
+        }
+
+        // Cold path: wait for a scaling token, then create the sandbox.
+        loop {
+            let granted = {
+                let mut s = self.scaling.borrow_mut();
+                s.advance(self.ctx.now());
+                if s.available() >= 1.0 {
+                    s.consume(self.ctx.now(), 1.0);
+                    true
+                } else {
+                    false
+                }
+            };
+            if granted {
+                break;
+            }
+            self.ctx.sleep(SimDuration::from_millis(200)).await;
+        }
+        let init = self
+            .ctx
+            .with_rng(|r| self.region.sample_coldstart(r, self.ctx.now()));
+        let download = SimDuration::from_secs_f64(config.binary_size as f64 / ARTIFACT_BW);
+        self.ctx.sleep(init + download).await;
+        self.cold_starts.set(self.cold_starts.get() + 1);
+
+        let id = self.next_sandbox.get();
+        self.next_sandbox.set(id + 1);
+        let (in_scale, out_scale, lifetime) = self.ctx.with_rng(|r| {
+            (
+                r.gen_normal(1.0, 0.06).clamp(0.7, 1.3),
+                r.gen_normal(1.0, 0.10).clamp(0.6, 1.3),
+                r.gen_range_f64(IDLE_LIFETIME_MIN, IDLE_LIFETIME_MAX),
+            )
+        });
+        (
+            Sandbox {
+                id,
+                nic: presets::lambda_nic_scaled(in_scale, out_scale),
+                last_used: self.ctx.now(),
+                idle_lifetime: SimDuration::from_secs_f64(lifetime),
+            },
+            true,
+        )
+    }
+
+    fn release_sandbox(&self, name: &str, mut sandbox: Sandbox) {
+        sandbox.last_used = self.ctx.now();
+        if let Some(reg) = self.functions.borrow_mut().get_mut(name) {
+            reg.warm.push_back(sandbox);
+        }
+    }
+
+    /// Number of live warm sandboxes for a function (expired ones are only
+    /// reaped on acquisition, so this is an upper bound).
+    pub fn warm_pool_size(&self, name: &str) -> usize {
+        self.functions
+            .borrow()
+            .get(name)
+            .map_or(0, |r| r.warm.len())
+    }
+}
+
+/// Convenience: box a handler closure.
+pub fn handler<F, Fut>(f: F) -> Handler
+where
+    F: Fn(ExecEnv, String) -> Fut + 'static,
+    Fut: Future<Output = Result<String, String>> + 'static,
+{
+    Rc::new(move |env, payload| Box::pin(f(env, payload)) as LocalBoxFuture<_>)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyrise_pricing::shared_meter;
+    use skyrise_sim::{join_all, Sim};
+
+    fn echo_handler() -> Handler {
+        handler(|env: ExecEnv, payload: String| async move {
+            env.ctx.sleep(SimDuration::from_millis(50)).await;
+            Ok(format!("echo:{payload}"))
+        })
+    }
+
+    #[test]
+    fn cold_then_warm_invocations() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let platform = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
+            platform.register(FunctionConfig::worker("echo"), echo_handler());
+            let first = platform.invoke("echo", "a".into()).await.unwrap();
+            let second = platform.invoke("echo", "b".into()).await.unwrap();
+            (first, second)
+        });
+        sim.run();
+        let (first, second) = h.try_take().unwrap();
+        assert!(first.cold_start);
+        assert!(!second.cold_start);
+        assert_eq!(first.output, "echo:a");
+        // Coldstart includes init + binary download; warm is just ~ms.
+        assert!(first.duration.as_secs_f64() > second.duration.as_secs_f64() + 0.05);
+    }
+
+    #[test]
+    fn billing_accumulates_gb_seconds() {
+        let mut sim = Sim::new(2);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let meter2 = meter.clone();
+        sim.spawn(async move {
+            let platform = LambdaPlatform::new(&ctx, &meter2, Region::us_east_1());
+            platform.register(FunctionConfig::worker("echo"), echo_handler());
+            for _ in 0..5 {
+                platform.invoke("echo", String::new()).await.unwrap();
+            }
+        });
+        sim.run();
+        let m = meter.borrow();
+        assert_eq!(m.lambda.invocations, 5);
+        // 7,076 MiB = 7.42 GB for >= 50ms each.
+        assert!(m.lambda.gb_seconds > 5.0 * 7.4 * 0.05);
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let mut sim = Sim::new(3);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let platform = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
+            platform.invoke("nope", String::new()).await.err()
+        });
+        sim.run();
+        assert!(matches!(
+            h.try_take().unwrap(),
+            Some(FaasError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn initial_burst_allows_3000_then_scaling_slows() {
+        let mut sim = Sim::new(4);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let platform = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
+            platform.register(
+                FunctionConfig {
+                    name: "f".into(),
+                    memory_mib: 1769,
+                    binary_size: 1 << 20,
+                },
+                echo_handler(),
+            );
+            // 3,200 concurrent first invocations: 3,000 ride the burst,
+            // 200 wait for the 500/min refill.
+            let handles: Vec<_> = (0..3200)
+                .map(|_| {
+                    let p = Rc::clone(&platform);
+                    ctx.spawn(async move { p.invoke("f", String::new()).await.unwrap().duration })
+                })
+                .collect();
+            let durations = join_all(handles).await;
+            let slow = durations
+                .iter()
+                .filter(|d| d.as_secs_f64() > 5.0)
+                .count();
+            (slow, platform.cold_start_count())
+        });
+        sim.run();
+        let (slow, colds) = h.try_take().unwrap();
+        assert_eq!(colds, 3200);
+        // ~200 invocations had to wait for refill (500/min -> up to ~24s).
+        assert!((150..=320).contains(&slow), "slow {slow}");
+    }
+
+    #[test]
+    fn warm_pool_expires_after_idle_lifetime() {
+        let mut sim = Sim::new(5);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let platform = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
+            platform.register(FunctionConfig::worker("f"), echo_handler());
+            platform.invoke("f", String::new()).await.unwrap();
+            // Within the minimum lifetime: warm.
+            ctx.sleep(SimDuration::from_secs(120)).await;
+            let warm = platform.invoke("f", String::new()).await.unwrap();
+            // Far beyond the maximum lifetime: cold again.
+            ctx.sleep(SimDuration::from_secs(3600)).await;
+            let cold = platform.invoke("f", String::new()).await.unwrap();
+            (warm.cold_start, cold.cold_start)
+        });
+        sim.run();
+        let (warm_was_cold, cold_was_cold) = h.try_take().unwrap();
+        assert!(!warm_was_cold);
+        assert!(cold_was_cold);
+    }
+
+    #[test]
+    fn prewarming_eliminates_coldstarts() {
+        let mut sim = Sim::new(6);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let platform = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
+            platform.register(FunctionConfig::worker("f"), echo_handler());
+            platform.warm("f", 32).await;
+            assert_eq!(platform.warm_pool_size("f"), 32);
+            let handles: Vec<_> = (0..32)
+                .map(|_| {
+                    let p = Rc::clone(&platform);
+                    ctx.spawn(async move { p.invoke("f", String::new()).await.unwrap().cold_start })
+                })
+                .collect();
+            join_all(handles).await.iter().filter(|&&c| c).count()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), 0);
+    }
+
+    #[test]
+    fn handler_failure_is_billed_and_reported() {
+        let mut sim = Sim::new(7);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let meter2 = meter.clone();
+        let h = sim.spawn(async move {
+            let platform = LambdaPlatform::new(&ctx, &meter2, Region::us_east_1());
+            platform.register(
+                FunctionConfig::worker("fail"),
+                handler(|_env, _p| async move { Err("boom".to_string()) }),
+            );
+            platform.invoke("fail", String::new()).await.err()
+        });
+        sim.run();
+        assert!(matches!(
+            h.try_take().unwrap(),
+            Some(FaasError::HandlerFailed(e)) if e == "boom"
+        ));
+        assert_eq!(meter.borrow().lambda.invocations, 1);
+    }
+
+    #[test]
+    fn payload_limit_enforced() {
+        let mut sim = Sim::new(8);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let platform = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
+            platform.register(FunctionConfig::worker("f"), echo_handler());
+            let big = "x".repeat(MAX_PAYLOAD + 1);
+            platform.invoke("f", big).await.err()
+        });
+        sim.run();
+        assert!(matches!(
+            h.try_take().unwrap(),
+            Some(FaasError::PayloadTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn eu_cluster_startup_is_slower() {
+        // 500 cold invocations beyond the (shrunken) burst: the EU's lower
+        // scaling rate must make the fleet take noticeably longer.
+        fn cluster_time(region: Region, seed: u64) -> f64 {
+            let mut sim = Sim::new(seed);
+            let ctx = sim.ctx();
+            let meter = shared_meter();
+            let h = sim.spawn(async move {
+                let platform = LambdaPlatform::new(&ctx, &meter, region);
+                // Shrink the burst so the test is fast: consume most of it.
+                platform.register(
+                    FunctionConfig {
+                        name: "f".into(),
+                        memory_mib: 1769,
+                        binary_size: 1 << 20,
+                    },
+                    echo_handler(),
+                );
+                {
+                    let mut s = platform.scaling.borrow_mut();
+                    s.advance(ctx.now());
+                    s.consume(ctx.now(), 2_950.0);
+                }
+                let handles: Vec<_> = (0..200)
+                    .map(|_| {
+                        let p = Rc::clone(&platform);
+                        ctx.spawn(async move {
+                            p.invoke("f", String::new()).await.unwrap();
+                        })
+                    })
+                    .collect();
+                join_all(handles).await;
+                ctx.now().as_secs_f64()
+            });
+            sim.run();
+            h.try_take().unwrap()
+        }
+        let us = cluster_time(Region::us_east_1(), 9);
+        let eu = cluster_time(Region::eu_west_1(), 9);
+        assert!(eu > 1.3 * us, "us {us}s vs eu {eu}s");
+    }
+}

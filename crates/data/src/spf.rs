@@ -1,0 +1,826 @@
+//! SPF — the Skyrise Portable Format: a columnar file format in the
+//! spirit of Parquet/ORC (paper Sec. 3.2).
+//!
+//! Layout:
+//!
+//! ```text
+//! +--------+----------------------+--------+-----------+--------+
+//! | "SPF1" | column chunks ...    | footer | footerlen | "SPF1" |
+//! +--------+----------------------+--------+-----------+--------+
+//! ```
+//!
+//! * Data is split into **row groups**; each stores one encoded **chunk**
+//!   per column, with min/max **zone maps** in the footer so scans can
+//!   "read file metadata to identify relevant data and push down
+//!   projections and selections".
+//! * Encodings: zigzag-varint **delta** for integers/dates, raw
+//!   little-endian for floats, **dictionary** or raw for strings, bitmaps
+//!   for booleans.
+//! * The footer sits at the tail, so a remote reader needs exactly three
+//!   ranged requests: tail trailer → footer → relevant column chunks.
+
+use crate::columnar::{Batch, Column, DataType, Field, Schema, Value};
+use bytes::Bytes;
+use std::rc::Rc;
+
+/// File magic, present at both ends.
+pub const MAGIC: &[u8; 4] = b"SPF1";
+/// Size of the tail trailer: u32 footer length + magic.
+pub const TRAILER_LEN: u64 = 8;
+
+/// Errors raised while decoding an SPF file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpfError {
+    /// Missing or corrupt magic/trailer.
+    NotAnSpfFile,
+    /// Truncated or internally inconsistent data.
+    Corrupt(&'static str),
+    /// Projection references a field the schema lacks.
+    UnknownColumn(String),
+}
+
+impl std::fmt::Display for SpfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpfError::NotAnSpfFile => write!(f, "not an SPF file"),
+            SpfError::Corrupt(what) => write!(f, "corrupt SPF file: {what}"),
+            SpfError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+        }
+    }
+}
+
+impl std::error::Error for SpfError {}
+
+/// Chunk encoding identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Zigzag-varint delta coding for integers/dates.
+    DeltaVarint = 0,
+    /// Raw little-endian 8-byte floats.
+    FloatPlain = 1,
+    /// Length-prefixed raw strings.
+    Utf8Plain = 2,
+    /// Dictionary + varint indices for low-cardinality strings.
+    Utf8Dict = 3,
+    /// One bit per value.
+    BoolBitmap = 4,
+}
+
+impl Encoding {
+    fn from_u8(v: u8) -> Result<Self, SpfError> {
+        Ok(match v {
+            0 => Encoding::DeltaVarint,
+            1 => Encoding::FloatPlain,
+            2 => Encoding::Utf8Plain,
+            3 => Encoding::Utf8Dict,
+            4 => Encoding::BoolBitmap,
+            _ => return Err(SpfError::Corrupt("unknown encoding")),
+        })
+    }
+}
+
+/// Zone-map statistics of one column chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkStats {
+    /// Smallest value in the chunk.
+    pub min: Value,
+    /// Largest value in the chunk.
+    pub max: Value,
+}
+
+/// Location and metadata of one encoded column chunk.
+#[derive(Debug, Clone)]
+pub struct ChunkMeta {
+    /// Byte offset of the chunk within the file.
+    pub offset: u64,
+    /// Encoded length in bytes.
+    pub len: u64,
+    /// How the chunk is encoded.
+    pub encoding: Encoding,
+    /// Rows in the chunk.
+    pub rows: u32,
+    /// Zone-map statistics, when available.
+    pub stats: Option<ChunkStats>,
+}
+
+/// Metadata of one row group.
+#[derive(Debug, Clone)]
+pub struct RowGroupMeta {
+    /// Rows in this group.
+    pub rows: u32,
+    /// One chunk per schema field, in order.
+    pub chunks: Vec<ChunkMeta>,
+}
+
+/// The file footer: schema plus row-group directory.
+#[derive(Debug, Clone)]
+pub struct Footer {
+    /// File schema.
+    pub schema: Rc<Schema>,
+    /// Row-group directory.
+    pub row_groups: Vec<RowGroupMeta>,
+}
+
+impl Footer {
+    /// Total row count.
+    pub fn total_rows(&self) -> u64 {
+        self.row_groups.iter().map(|rg| rg.rows as u64).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// primitive encoding helpers
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A bounds-checked little-endian reader.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], SpfError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(SpfError::Corrupt("unexpected end of buffer"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SpfError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SpfError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, SpfError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, SpfError> {
+        Ok(f64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+    }
+
+    fn i64(&mut self) -> Result<i64, SpfError> {
+        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+    }
+
+    fn varint(&mut self) -> Result<u64, SpfError> {
+        let mut v = 0u64;
+        let mut shift = 0;
+        loop {
+            let b = self.u8()?;
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(SpfError::Corrupt("varint overflow"));
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SpfError> {
+        let len = self.u32()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| SpfError::Corrupt("invalid utf8"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// column chunk encode/decode
+// ---------------------------------------------------------------------------
+
+fn encode_column(col: &Column) -> (Vec<u8>, Encoding, Option<ChunkStats>) {
+    match col {
+        Column::Int64(v) => {
+            let mut out = Vec::with_capacity(v.len() * 2);
+            let mut prev = 0i64;
+            for &x in v {
+                put_varint(&mut out, zigzag(x.wrapping_sub(prev)));
+                prev = x;
+            }
+            let stats = v.iter().copied().fold(None::<(i64, i64)>, |acc, x| {
+                Some(acc.map_or((x, x), |(lo, hi)| (lo.min(x), hi.max(x))))
+            });
+            (
+                out,
+                Encoding::DeltaVarint,
+                stats.map(|(lo, hi)| ChunkStats {
+                    min: Value::Int64(lo),
+                    max: Value::Int64(hi),
+                }),
+            )
+        }
+        Column::Float64(v) => {
+            let mut out = Vec::with_capacity(v.len() * 8);
+            for &x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            let stats = v
+                .iter()
+                .copied()
+                .filter(|x| !x.is_nan())
+                .fold(None::<(f64, f64)>, |acc, x| {
+                    Some(acc.map_or((x, x), |(lo, hi)| (lo.min(x), hi.max(x))))
+                });
+            (
+                out,
+                Encoding::FloatPlain,
+                stats.map(|(lo, hi)| ChunkStats {
+                    min: Value::Float64(lo),
+                    max: Value::Float64(hi),
+                }),
+            )
+        }
+        Column::Utf8(v) => {
+            // Dictionary-encode when it pays off.
+            let mut dict: Vec<&str> = Vec::new();
+            let mut distinct_small = true;
+            for s in v {
+                if !dict.contains(&s.as_str()) {
+                    dict.push(s);
+                    if dict.len() > 256 || dict.len() * 2 > v.len().max(8) {
+                        distinct_small = false;
+                        break;
+                    }
+                }
+            }
+            let stats = {
+                let mut it = v.iter();
+                it.next().map(|first| {
+                    let (mut lo, mut hi) = (first, first);
+                    for s in v {
+                        if s < lo {
+                            lo = s;
+                        }
+                        if s > hi {
+                            hi = s;
+                        }
+                    }
+                    ChunkStats {
+                        min: Value::Utf8(lo.clone()),
+                        max: Value::Utf8(hi.clone()),
+                    }
+                })
+            };
+            if distinct_small && !v.is_empty() {
+                let mut out = Vec::new();
+                put_u32(&mut out, dict.len() as u32);
+                for s in &dict {
+                    put_u32(&mut out, s.len() as u32);
+                    out.extend_from_slice(s.as_bytes());
+                }
+                for s in v {
+                    let idx = dict.iter().position(|d| d == s).expect("in dict") as u64;
+                    put_varint(&mut out, idx);
+                }
+                (out, Encoding::Utf8Dict, stats)
+            } else {
+                let mut out = Vec::new();
+                for s in v {
+                    put_u32(&mut out, s.len() as u32);
+                    out.extend_from_slice(s.as_bytes());
+                }
+                (out, Encoding::Utf8Plain, stats)
+            }
+        }
+        Column::Bool(v) => {
+            let mut out = vec![0u8; v.len().div_ceil(8)];
+            for (i, &b) in v.iter().enumerate() {
+                if b {
+                    out[i / 8] |= 1 << (i % 8);
+                }
+            }
+            (out, Encoding::BoolBitmap, None)
+        }
+    }
+}
+
+fn decode_column(buf: &[u8], encoding: Encoding, rows: usize) -> Result<Column, SpfError> {
+    let mut cur = Cursor::new(buf);
+    Ok(match encoding {
+        Encoding::DeltaVarint => {
+            let mut out = Vec::with_capacity(rows);
+            let mut prev = 0i64;
+            for _ in 0..rows {
+                prev = prev.wrapping_add(unzigzag(cur.varint()?));
+                out.push(prev);
+            }
+            Column::Int64(out)
+        }
+        Encoding::FloatPlain => {
+            let mut out = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                out.push(cur.f64()?);
+            }
+            Column::Float64(out)
+        }
+        Encoding::Utf8Plain => {
+            let mut out = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                out.push(cur.string()?);
+            }
+            Column::Utf8(out)
+        }
+        Encoding::Utf8Dict => {
+            let n = cur.u32()? as usize;
+            let mut dict = Vec::with_capacity(n);
+            for _ in 0..n {
+                dict.push(cur.string()?);
+            }
+            let mut out = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let idx = cur.varint()? as usize;
+                let s = dict
+                    .get(idx)
+                    .ok_or(SpfError::Corrupt("dict index out of range"))?;
+                out.push(s.clone());
+            }
+            Column::Utf8(out)
+        }
+        Encoding::BoolBitmap => {
+            let bytes = cur.bytes(rows.div_ceil(8))?;
+            let mut out = Vec::with_capacity(rows);
+            for i in 0..rows {
+                out.push(bytes[i / 8] & (1 << (i % 8)) != 0);
+            }
+            Column::Bool(out)
+        }
+    })
+}
+
+fn put_stats(out: &mut Vec<u8>, stats: &Option<ChunkStats>) {
+    match stats {
+        None => out.push(0),
+        Some(s) => {
+            match (&s.min, &s.max) {
+                (Value::Int64(lo), Value::Int64(hi)) => {
+                    out.push(1);
+                    out.extend_from_slice(&lo.to_le_bytes());
+                    out.extend_from_slice(&hi.to_le_bytes());
+                }
+                (Value::Float64(lo), Value::Float64(hi)) => {
+                    out.push(2);
+                    out.extend_from_slice(&lo.to_le_bytes());
+                    out.extend_from_slice(&hi.to_le_bytes());
+                }
+                (Value::Utf8(lo), Value::Utf8(hi)) => {
+                    out.push(3);
+                    put_u32(out, lo.len() as u32);
+                    out.extend_from_slice(lo.as_bytes());
+                    put_u32(out, hi.len() as u32);
+                    out.extend_from_slice(hi.as_bytes());
+                }
+                _ => out.push(0),
+            };
+        }
+    }
+}
+
+fn read_stats(cur: &mut Cursor<'_>) -> Result<Option<ChunkStats>, SpfError> {
+    Ok(match cur.u8()? {
+        0 => None,
+        1 => Some(ChunkStats {
+            min: Value::Int64(cur.i64()?),
+            max: Value::Int64(cur.i64()?),
+        }),
+        2 => Some(ChunkStats {
+            min: Value::Float64(cur.f64()?),
+            max: Value::Float64(cur.f64()?),
+        }),
+        3 => Some(ChunkStats {
+            min: Value::Utf8(cur.string()?),
+            max: Value::Utf8(cur.string()?),
+        }),
+        _ => return Err(SpfError::Corrupt("bad stats tag")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// writer / reader
+// ---------------------------------------------------------------------------
+
+/// Encode batches into an SPF file, re-chunking to `rows_per_group`.
+pub fn write(batches: &[Batch], rows_per_group: usize) -> Bytes {
+    assert!(rows_per_group > 0, "rows_per_group must be positive");
+    let schema = batches
+        .first()
+        .map(|b| Rc::clone(&b.schema))
+        .expect("write needs at least one batch");
+    let all = Batch::concat(batches);
+    let mut file = Vec::new();
+    file.extend_from_slice(MAGIC);
+
+    let mut row_groups = Vec::new();
+    let total = all.num_rows();
+    let mut start = 0usize;
+    while start < total || (total == 0 && row_groups.is_empty()) {
+        let end = (start + rows_per_group).min(total);
+        let rg = all.slice(start, end);
+        let mut chunks = Vec::with_capacity(rg.columns.len());
+        for col in &rg.columns {
+            let (data, encoding, stats) = encode_column(col);
+            chunks.push(ChunkMeta {
+                offset: file.len() as u64,
+                len: data.len() as u64,
+                encoding,
+                rows: rg.num_rows() as u32,
+                stats,
+            });
+            file.extend_from_slice(&data);
+        }
+        row_groups.push(RowGroupMeta {
+            rows: rg.num_rows() as u32,
+            chunks,
+        });
+        if total == 0 {
+            break;
+        }
+        start = end;
+    }
+
+    // Footer.
+    let mut footer = Vec::new();
+    put_u32(&mut footer, schema.len() as u32);
+    for f in &schema.fields {
+        put_u32(&mut footer, f.name.len() as u32);
+        footer.extend_from_slice(f.name.as_bytes());
+        footer.push(match f.data_type {
+            DataType::Int64 => 0,
+            DataType::Float64 => 1,
+            DataType::Utf8 => 2,
+            DataType::Bool => 3,
+            DataType::Date => 4,
+        });
+    }
+    put_u32(&mut footer, row_groups.len() as u32);
+    for rg in &row_groups {
+        put_u32(&mut footer, rg.rows);
+        put_u32(&mut footer, rg.chunks.len() as u32);
+        for c in &rg.chunks {
+            put_u64(&mut footer, c.offset);
+            put_u64(&mut footer, c.len);
+            footer.push(c.encoding as u8);
+            put_u32(&mut footer, c.rows);
+            put_stats(&mut footer, &c.stats);
+        }
+    }
+
+    let footer_len = footer.len() as u32;
+    file.extend_from_slice(&footer);
+    file.extend_from_slice(&footer_len.to_le_bytes());
+    file.extend_from_slice(MAGIC);
+    Bytes::from(file)
+}
+
+/// Parse the footer given the full file (local path).
+pub fn read_footer(file: &[u8]) -> Result<Footer, SpfError> {
+    if file.len() < 16 || &file[..4] != MAGIC || &file[file.len() - 4..] != MAGIC {
+        return Err(SpfError::NotAnSpfFile);
+    }
+    let footer_len = u32::from_le_bytes(
+        file[file.len() - 8..file.len() - 4]
+            .try_into()
+            .expect("4 bytes"),
+    ) as usize;
+    let footer_end = file.len() - 8;
+    let footer_start = footer_end
+        .checked_sub(footer_len)
+        .ok_or(SpfError::Corrupt("footer length exceeds file"))?;
+    parse_footer(&file[footer_start..footer_end])
+}
+
+/// The byte range `[start, len)` of the footer, derived from the 8-byte
+/// trailer — what a remote reader fetches second.
+pub fn footer_range(trailer: &[u8], file_len: u64) -> Result<(u64, u64), SpfError> {
+    if trailer.len() != TRAILER_LEN as usize || &trailer[4..] != MAGIC {
+        return Err(SpfError::NotAnSpfFile);
+    }
+    let footer_len = u32::from_le_bytes(trailer[..4].try_into().expect("4 bytes")) as u64;
+    let start = file_len
+        .checked_sub(TRAILER_LEN + footer_len)
+        .ok_or(SpfError::Corrupt("footer length exceeds file"))?;
+    Ok((start, footer_len))
+}
+
+/// Parse footer bytes (as fetched via [`footer_range`]).
+pub fn parse_footer(buf: &[u8]) -> Result<Footer, SpfError> {
+    let mut cur = Cursor::new(buf);
+    let n_fields = cur.u32()? as usize;
+    let mut fields = Vec::with_capacity(n_fields);
+    for _ in 0..n_fields {
+        let name = cur.string()?;
+        let dtype = match cur.u8()? {
+            0 => DataType::Int64,
+            1 => DataType::Float64,
+            2 => DataType::Utf8,
+            3 => DataType::Bool,
+            4 => DataType::Date,
+            _ => return Err(SpfError::Corrupt("bad data type")),
+        };
+        fields.push(Field { name, data_type: dtype });
+    }
+    let n_groups = cur.u32()? as usize;
+    let mut row_groups = Vec::with_capacity(n_groups);
+    for _ in 0..n_groups {
+        let rows = cur.u32()?;
+        let n_chunks = cur.u32()? as usize;
+        if n_chunks != n_fields {
+            return Err(SpfError::Corrupt("chunk count != field count"));
+        }
+        let mut chunks = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            chunks.push(ChunkMeta {
+                offset: cur.u64()?,
+                len: cur.u64()?,
+                encoding: Encoding::from_u8(cur.u8()?)?,
+                rows: cur.u32()?,
+                stats: read_stats(&mut cur)?,
+            });
+        }
+        row_groups.push(RowGroupMeta { rows, chunks });
+    }
+    Ok(Footer {
+        schema: Schema::new(fields),
+        row_groups,
+    })
+}
+
+/// Decode one column chunk fetched from `[meta.offset, meta.len)`.
+pub fn decode_chunk(meta: &ChunkMeta, data: &[u8]) -> Result<Column, SpfError> {
+    if data.len() as u64 != meta.len {
+        return Err(SpfError::Corrupt("chunk length mismatch"));
+    }
+    decode_column(data, meta.encoding, meta.rows as usize)
+}
+
+/// Read one row group from a local file, restricted to `projection`
+/// (field names). `None` means all columns.
+pub fn read_row_group(
+    file: &[u8],
+    footer: &Footer,
+    rg_idx: usize,
+    projection: Option<&[String]>,
+) -> Result<Batch, SpfError> {
+    let rg = footer
+        .row_groups
+        .get(rg_idx)
+        .ok_or(SpfError::Corrupt("row group index out of range"))?;
+    let indices: Vec<usize> = match projection {
+        None => (0..footer.schema.len()).collect(),
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                footer
+                    .schema
+                    .index_of(n)
+                    .ok_or_else(|| SpfError::UnknownColumn(n.clone()))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let mut columns = Vec::with_capacity(indices.len());
+    for &i in &indices {
+        let c = &rg.chunks[i];
+        let start = c.offset as usize;
+        let end = start + c.len as usize;
+        if end > file.len() {
+            return Err(SpfError::Corrupt("chunk out of file bounds"));
+        }
+        columns.push(decode_chunk(c, &file[start..end])?);
+    }
+    Ok(Batch::new(footer.schema.project(&indices), columns))
+}
+
+/// Read the whole file into batches (one per row group).
+pub fn read_all(file: &[u8], projection: Option<&[String]>) -> Result<Vec<Batch>, SpfError> {
+    let footer = read_footer(file)?;
+    (0..footer.row_groups.len())
+        .map(|i| read_row_group(file, &footer, i, projection))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnar::{date, Field};
+    use proptest::prelude::*;
+
+    fn sample_batch(n: usize) -> Batch {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Float64),
+            Field::new("tag", DataType::Utf8),
+            Field::new("ok", DataType::Bool),
+            Field::new("d", DataType::Date),
+        ]);
+        Batch::new(
+            schema,
+            vec![
+                Column::Int64((0..n as i64).map(|i| i * 37 - 11).collect()),
+                Column::Float64((0..n).map(|i| i as f64 * 0.5 - 3.0).collect()),
+                Column::Utf8((0..n).map(|i| format!("tag{}", i % 5)).collect()),
+                Column::Bool((0..n).map(|i| i % 3 == 0).collect()),
+                Column::Int64((0..n as i64).map(|i| date::from_ymd(1995, 1, 1) + i).collect()),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        let batch = sample_batch(1000);
+        let file = write(std::slice::from_ref(&batch), 256);
+        let out = read_all(&file, None).unwrap();
+        let merged = Batch::concat(&out);
+        assert_eq!(merged.columns, batch.columns);
+        assert_eq!(out.len(), 4, "1000 rows / 256 per group");
+    }
+
+    #[test]
+    fn projection_reads_only_requested_columns() {
+        let batch = sample_batch(100);
+        let file = write(std::slice::from_ref(&batch), 64);
+        let out = read_all(&file, Some(&["tag".to_string(), "k".to_string()])).unwrap();
+        assert_eq!(out[0].schema.fields.len(), 2);
+        assert_eq!(out[0].schema.fields[0].name, "tag");
+        assert_eq!(
+            Batch::concat(&out).column("k").as_i64(),
+            batch.column("k").as_i64()
+        );
+    }
+
+    #[test]
+    fn unknown_projection_column_errors() {
+        let file = write(&[sample_batch(10)], 10);
+        assert!(matches!(
+            read_all(&file, Some(&["zzz".to_string()])),
+            Err(SpfError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn zone_maps_present_and_correct() {
+        let file = write(&[sample_batch(100)], 50);
+        let footer = read_footer(&file).unwrap();
+        assert_eq!(footer.row_groups.len(), 2);
+        let c0 = &footer.row_groups[0].chunks[0];
+        let stats = c0.stats.as_ref().unwrap();
+        assert_eq!(stats.min, Value::Int64(-11));
+        assert_eq!(stats.max, Value::Int64(49 * 37 - 11));
+        // Second group starts where the first ended.
+        let c1 = &footer.row_groups[1].chunks[0];
+        assert_eq!(c1.stats.as_ref().unwrap().min, Value::Int64(50 * 37 - 11));
+    }
+
+    #[test]
+    fn remote_read_protocol_with_ranges() {
+        // Simulate the three-request remote pattern.
+        let batch = sample_batch(300);
+        let file = write(std::slice::from_ref(&batch), 100);
+        let file_len = file.len() as u64;
+        let trailer = &file[file.len() - 8..];
+        let (fstart, flen) = footer_range(trailer, file_len).unwrap();
+        let footer = parse_footer(&file[fstart as usize..(fstart + flen) as usize]).unwrap();
+        assert_eq!(footer.total_rows(), 300);
+        // Fetch one chunk by range and decode it.
+        let c = &footer.row_groups[1].chunks[1];
+        let chunk = &file[c.offset as usize..(c.offset + c.len) as usize];
+        let col = decode_chunk(c, chunk).unwrap();
+        assert_eq!(col.as_f64(), batch.column("v").slice(100, 200).as_f64());
+    }
+
+    #[test]
+    fn dictionary_encoding_kicks_in_for_low_cardinality() {
+        let n = 1000;
+        let schema = Schema::new(vec![Field::new("mode", DataType::Utf8)]);
+        let low = Batch::new(
+            Rc::clone(&schema),
+            vec![Column::Utf8((0..n).map(|i| format!("M{}", i % 4)).collect())],
+        );
+        let high = Batch::new(
+            schema,
+            vec![Column::Utf8((0..n).map(|i| format!("unique-{i}")).collect())],
+        );
+        let f_low = write(&[low], n);
+        let f_high = write(&[high], n);
+        let foot_low = read_footer(&f_low).unwrap();
+        let foot_high = read_footer(&f_high).unwrap();
+        assert_eq!(foot_low.row_groups[0].chunks[0].encoding, Encoding::Utf8Dict);
+        assert_eq!(
+            foot_high.row_groups[0].chunks[0].encoding,
+            Encoding::Utf8Plain
+        );
+        assert!(f_low.len() * 4 < f_high.len(), "dict compresses");
+    }
+
+    #[test]
+    fn corrupt_files_rejected() {
+        assert_eq!(read_footer(b"hello").unwrap_err(), SpfError::NotAnSpfFile);
+        let file = write(&[sample_batch(10)], 10);
+        let mut broken = file.to_vec();
+        let len = broken.len();
+        broken[len - 6] = 0xff; // mangle footer length
+        assert!(read_footer(&broken).is_err());
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]);
+        let file = write(&[Batch::empty(schema)], 10);
+        let out = read_all(&file, None).unwrap();
+        assert_eq!(out.iter().map(Batch::num_rows).sum::<usize>(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_int_roundtrip(values in prop::collection::vec(any::<i64>(), 0..300), group in 1usize..100) {
+            let schema = Schema::new(vec![Field::new("x", DataType::Int64)]);
+            let batch = Batch::new(schema, vec![Column::Int64(values.clone())]);
+            let file = write(&[batch], group);
+            let out = Batch::concat(&read_all(&file, None).unwrap());
+            prop_assert_eq!(out.column("x").as_i64(), &values[..]);
+        }
+
+        #[test]
+        fn prop_string_roundtrip(values in prop::collection::vec("[a-z]{0,12}", 0..200)) {
+            let schema = Schema::new(vec![Field::new("s", DataType::Utf8)]);
+            let batch = Batch::new(schema, vec![Column::Utf8(values.clone())]);
+            let file = write(&[batch], 64);
+            let out = Batch::concat(&read_all(&file, None).unwrap());
+            prop_assert_eq!(out.column("s").as_str(), &values[..]);
+        }
+
+        #[test]
+        fn prop_float_roundtrip_bits(values in prop::collection::vec(any::<f64>(), 0..200)) {
+            let schema = Schema::new(vec![Field::new("f", DataType::Float64)]);
+            let batch = Batch::new(schema, vec![Column::Float64(values.clone())]);
+            let file = write(&[batch], 50);
+            let out = Batch::concat(&read_all(&file, None).unwrap());
+            let got = out.column("f").as_f64();
+            prop_assert_eq!(got.len(), values.len());
+            for (a, b) in got.iter().zip(&values) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_zone_maps_bound_all_values(values in prop::collection::vec(-1000i64..1000, 1..200)) {
+            let schema = Schema::new(vec![Field::new("x", DataType::Int64)]);
+            let batch = Batch::new(schema, vec![Column::Int64(values.clone())]);
+            let file = write(&[batch], 32);
+            let footer = read_footer(&file).unwrap();
+            let mut offset = 0usize;
+            for rg in &footer.row_groups {
+                let stats = rg.chunks[0].stats.as_ref().unwrap();
+                let Value::Int64(lo) = &stats.min else {
+                    panic!("int stats expected");
+                };
+                let Value::Int64(hi) = &stats.max else {
+                    panic!("int stats expected");
+                };
+                for &v in &values[offset..offset + rg.rows as usize] {
+                    prop_assert!(*lo <= v && v <= *hi);
+                }
+                offset += rg.rows as usize;
+            }
+        }
+    }
+}

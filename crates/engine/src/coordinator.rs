@@ -1,0 +1,455 @@
+//! The query coordinator function.
+//!
+//! "The coordinator fetches the metadata on the referenced pipeline input
+//! datasets ... compiles a distributed query plan, deciding on the number
+//! of fragments per pipeline for data-parallel execution ... then
+//! schedules the pipelines stage-wise based on their dependencies."
+//! (paper Sec. 3.2)
+//!
+//! Scheduling 256 or more workers, the coordinator switches to the
+//! two-level invocation procedure: it invokes fan-out helper functions
+//! that in turn invoke the workers.
+
+use crate::catalog::{fetch_dataset, DatasetMeta};
+use crate::error::EngineError;
+use crate::plan::{InputSpec, PhysicalPlan};
+use crate::worker::{result_key, InputAssignment, WorkerReport, WorkerTask};
+use serde::{Deserialize, Serialize};
+use skyrise_compute::{ComputePlatform, ExecEnv};
+use skyrise_sim::SimDuration;
+use skyrise_storage::{RequestOpts, RetryPolicy, RetryingClient, Storage};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Fragment threshold beyond which the two-level invocation kicks in.
+pub const TWO_LEVEL_THRESHOLD: usize = 256;
+/// Workers per fan-out helper.
+pub const FANOUT_GROUP: usize = 64;
+/// Coordinator-side cost of issuing one invocation request.
+pub const DISPATCH_LATENCY: SimDuration = SimDuration::from_micros(1_500);
+
+/// Per-query tunables carried in the request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryConfig {
+    /// Target logical input bytes per worker when sizing fragments.
+    pub target_bytes_per_worker: u64,
+    /// Hard ceiling on fragments per pipeline.
+    pub max_parallelism: u32,
+    /// Inline the result rows in the response when small.
+    pub include_rows: bool,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            target_bytes_per_worker: 900 << 20,
+            max_parallelism: 1_000,
+            include_rows: true,
+        }
+    }
+}
+
+/// The request the driver sends to the coordinator function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Unique id of this execution (also keys shuffle/result objects).
+    pub query_id: String,
+    /// The physical plan to execute.
+    pub plan: PhysicalPlan,
+    /// Per-query tunables.
+    pub config: QueryConfig,
+}
+
+/// Per-stage execution statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Pipeline id this stage executed.
+    pub pipeline: u32,
+    /// Worker fragments scheduled.
+    pub fragments: u32,
+    /// Fragment count of the consuming pipeline (shuffle object fan-out).
+    pub downstream_fragments: u32,
+    /// Stage wall time (coordinator-observed).
+    pub duration_secs: f64,
+    /// Sum of worker wall times (the "cumulated time" of Table 6).
+    pub cumulative_worker_secs: f64,
+    /// Sum of worker I/O phases (fetch + I/O stack + decode).
+    pub io_secs_total: f64,
+    /// Sum of worker operator-execution phases.
+    pub cpu_secs_total: f64,
+    /// Logical bytes all workers read.
+    pub logical_bytes_read: u64,
+    /// Logical bytes all workers wrote.
+    pub logical_bytes_written: u64,
+    /// Storage requests issued (including retries).
+    pub storage_requests: u64,
+    /// Logical rows the stage emitted.
+    pub rows_out: u64,
+    /// Workers that cold-started.
+    pub cold_starts: u32,
+}
+
+impl StageStats {
+    /// Mean shuffle object size written by this stage (bytes), if it
+    /// shuffled.
+    pub fn mean_shuffle_object_bytes(&self) -> Option<f64> {
+        let objects = self.fragments as u64 * self.downstream_fragments as u64;
+        (self.logical_bytes_written > 0 && objects > 0)
+            .then(|| self.logical_bytes_written as f64 / objects as f64)
+    }
+}
+
+/// The coordinator's JSON response ("the location of the query result in
+/// serverless storage, the query runtime and cost").
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QueryResponse {
+    /// Echoed query id.
+    pub query_id: String,
+    /// Storage key of the result object.
+    pub result_key: String,
+    /// End-to-end query latency (coordinator wall time).
+    pub runtime_secs: f64,
+    /// Sum of all worker wall times across stages.
+    pub cumulative_worker_secs: f64,
+    /// Per-stage execution statistics.
+    pub stages: Vec<StageStats>,
+    /// Inlined result rows (when small and requested).
+    pub rows: Option<Vec<Vec<skyrise_data::Value>>>,
+}
+
+impl QueryResponse {
+    /// Total storage requests across stages.
+    pub fn total_requests(&self) -> u64 {
+        self.stages.iter().map(|s| s.storage_requests).sum()
+    }
+
+    /// Peak fragment count across stages.
+    pub fn peak_workers(&self) -> u32 {
+        self.stages.iter().map(|s| s.fragments).max().unwrap_or(0)
+    }
+
+    /// Mean fragment count across stages — with [`QueryResponse::peak_workers`]
+    /// this yields Table 6's peak-to-average-node ratio.
+    pub fn average_workers(&self) -> f64 {
+        if self.stages.is_empty() {
+            0.0
+        } else {
+            self.stages.iter().map(|s| s.fragments as f64).sum::<f64>() / self.stages.len() as f64
+        }
+    }
+}
+
+/// Payload of the fan-out helper: worker tasks serialised individually.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FanoutRequest {
+    /// Worker tasks this helper dispatches.
+    pub tasks: Vec<WorkerTask>,
+}
+
+/// Run the coordinator logic inside its function environment.
+pub async fn run_coordinator(
+    env: &ExecEnv,
+    scan_storage: &Storage,
+    platform: &ComputePlatform,
+    worker_fn: &str,
+    fanout_fn: &str,
+    request: &QueryRequest,
+) -> Result<QueryResponse, EngineError> {
+    let started = env.ctx.now();
+    let opts = RequestOpts::from_nic(&env.nic);
+    let plan = &request.plan;
+    let client = RetryingClient::new(scan_storage.clone(), env.ctx.clone(), RetryPolicy::eager());
+
+    // 1. Fetch metadata for every scanned dataset.
+    let mut datasets: HashMap<String, DatasetMeta> = HashMap::new();
+    for pipeline in &plan.pipelines {
+        for input in &pipeline.inputs {
+            if let InputSpec::Scan { dataset, .. } = input {
+                if !datasets.contains_key(dataset) {
+                    let meta = fetch_dataset(&client, dataset, &opts).await?;
+                    datasets.insert(dataset.clone(), meta);
+                }
+            }
+        }
+    }
+
+    // 2. Decide fragment counts.
+    let mut fragments: HashMap<u32, u32> = HashMap::new();
+    for &id in &plan.stages() {
+        let pipeline = plan.pipeline(id);
+        let mut n = if let Some(hint) = pipeline.fragments {
+            hint
+        } else {
+            match pipeline.inputs.first() {
+                Some(InputSpec::Scan { dataset, .. }) => {
+                    let bytes = datasets[dataset].total_logical_bytes();
+                    (bytes.div_ceil(request.config.target_bytes_per_worker.max(1)))
+                        .clamp(1, request.config.max_parallelism as u64) as u32
+                }
+                Some(InputSpec::Shuffle { from_pipeline }) => fragments[from_pipeline],
+                None => 1,
+            }
+        };
+        // Never schedule more scan fragments than partitions: a worker
+        // with an empty share would produce nothing to shuffle.
+        if let Some(InputSpec::Scan { dataset, .. }) = pipeline.inputs.first() {
+            n = n.min(datasets[dataset].partitions.len() as u32);
+        }
+        fragments.insert(id, n.clamp(1, request.config.max_parallelism));
+    }
+
+    // 3. Execute stages in dependency order.
+    let mut stages = Vec::new();
+    let mut cumulative = 0.0f64;
+    for id in plan.stages() {
+        let pipeline = plan.pipeline(id);
+        let n = fragments[&id];
+        // The consuming pipeline's fragment count sizes shuffle buckets.
+        let downstream = plan
+            .pipelines
+            .iter()
+            .find(|p| {
+                p.inputs
+                    .iter()
+                    .any(|i| matches!(i, InputSpec::Shuffle { from_pipeline } if *from_pipeline == id))
+            })
+            .map(|p| fragments[&p.id])
+            .unwrap_or(1);
+
+        // Build per-fragment tasks.
+        let mut tasks = Vec::with_capacity(n as usize);
+        for frag in 0..n {
+            let mut assignments = Vec::with_capacity(pipeline.inputs.len());
+            for (idx, input) in pipeline.inputs.iter().enumerate() {
+                assignments.push(match input {
+                    InputSpec::Scan { dataset, .. } => {
+                        let meta = &datasets[dataset];
+                        let partitions = if idx == 0 {
+                            // Stream input: round-robin partitions.
+                            meta.partitions
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, _)| (*i as u32) % n == frag)
+                                .map(|(_, p)| p.clone())
+                                .collect()
+                        } else {
+                            // Build inputs are broadcast.
+                            meta.partitions.clone()
+                        };
+                        InputAssignment::Scan { partitions }
+                    }
+                    InputSpec::Shuffle { from_pipeline } => {
+                        let upstream = plan.pipeline(*from_pipeline);
+                        let (partition_by, combine) = match &upstream.sink {
+                            crate::plan::Sink::ShuffleWrite {
+                                partition_by,
+                                combine,
+                            } => (partition_by.clone(), (*combine).max(1)),
+                            crate::plan::Sink::Result => {
+                                return Err(EngineError::Plan(format!(
+                                    "pipeline {} reads from a result sink",
+                                    pipeline.id
+                                )))
+                            }
+                        };
+                        InputAssignment::Shuffle {
+                            from_pipeline: *from_pipeline,
+                            upstream_fragments: fragments[from_pipeline],
+                            partition_by,
+                            combine,
+                        }
+                    }
+                });
+            }
+            tasks.push(WorkerTask {
+                query_id: request.query_id.clone(),
+                pipeline: pipeline.clone(),
+                fragment: frag,
+                n_fragments: n,
+                downstream_fragments: downstream,
+                inputs: assignments,
+            });
+        }
+
+        let stage_started = env.ctx.now();
+        let reports = invoke_fleet(env, platform, worker_fn, fanout_fn, tasks).await?;
+        let duration = (env.ctx.now() - stage_started).as_secs_f64();
+
+        let mut stat = StageStats {
+            pipeline: id,
+            fragments: n,
+            downstream_fragments: downstream,
+            duration_secs: duration,
+            ..StageStats::default()
+        };
+        for r in &reports {
+            stat.cumulative_worker_secs += r.io_secs + r.cpu_secs;
+            stat.io_secs_total += r.io_secs;
+            stat.cpu_secs_total += r.cpu_secs;
+            stat.logical_bytes_read += r.logical_bytes_read;
+            stat.logical_bytes_written += r.logical_bytes_written;
+            stat.storage_requests += r.storage_requests;
+            stat.rows_out += r.rows_out;
+            stat.cold_starts += r.cold_start as u32;
+        }
+        cumulative += stat.cumulative_worker_secs;
+        stages.push(stat);
+    }
+
+    // 4. Assemble the response, optionally inlining small results.
+    let result_pipeline = plan.result_pipeline();
+    let key = result_key(&request.query_id, 0);
+    let rows = if request.config.include_rows && fragments[&result_pipeline.id] == 1 {
+        let (blob, _) = client
+            .get(&key, 64 * 1024, &opts)
+            .await?;
+        let batches = skyrise_data::spf::read_all(&blob.bytes, None)?;
+        let all = skyrise_data::Batch::concat(&batches);
+        if all.num_rows() <= 10_000 {
+            Some(crate::worker::batch_to_rows(&all))
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    Ok(QueryResponse {
+        query_id: request.query_id.clone(),
+        result_key: key,
+        runtime_secs: (env.ctx.now() - started).as_secs_f64(),
+        cumulative_worker_secs: cumulative,
+        stages,
+        rows,
+    })
+}
+
+/// Invoke a fleet of worker tasks, two-level beyond the threshold.
+async fn invoke_fleet(
+    env: &ExecEnv,
+    platform: &ComputePlatform,
+    worker_fn: &str,
+    fanout_fn: &str,
+    tasks: Vec<WorkerTask>,
+) -> Result<Vec<WorkerReport>, EngineError> {
+    if tasks.len() >= TWO_LEVEL_THRESHOLD {
+        // Two-level: dispatch fan-out helpers, each invoking a group.
+        let mut handles = Vec::new();
+        for group in tasks.chunks(FANOUT_GROUP) {
+            env.ctx.sleep(DISPATCH_LATENCY).await;
+            let payload = serde_json::to_string(&FanoutRequest {
+                tasks: group.to_vec(),
+            })?;
+            let platform = platform.clone();
+            let name = fanout_fn.to_string();
+            handles.push(env.ctx.spawn(async move {
+                platform.invoke(&name, payload).await
+            }));
+        }
+        let mut reports = Vec::with_capacity(tasks.len());
+        for h in skyrise_sim::join_all(handles).await {
+            let result = h.map_err(|e| EngineError::Worker(e.to_string()))?;
+            let group: Vec<WorkerReport> = serde_json::from_str(&result.output)?;
+            reports.extend(group);
+        }
+        Ok(reports)
+    } else {
+        let mut handles = Vec::with_capacity(tasks.len());
+        for task in &tasks {
+            env.ctx.sleep(DISPATCH_LATENCY).await;
+            let payload = serde_json::to_string(task)?;
+            let platform = platform.clone();
+            let name = worker_fn.to_string();
+            handles.push(env.ctx.spawn(async move {
+                platform.invoke(&name, payload).await
+            }));
+        }
+        let mut reports = Vec::with_capacity(tasks.len());
+        for h in skyrise_sim::join_all(handles).await {
+            let result = h.map_err(|e| EngineError::Worker(e.to_string()))?;
+            let report: WorkerReport = serde_json::from_str(&result.output)?;
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+}
+
+/// Run a fan-out helper: invoke each task in the group and gather reports.
+pub async fn run_fanout(
+    env: &ExecEnv,
+    platform: &ComputePlatform,
+    worker_fn: &str,
+    request: &FanoutRequest,
+) -> Result<Vec<WorkerReport>, EngineError> {
+    let mut handles = Vec::with_capacity(request.tasks.len());
+    for task in &request.tasks {
+        env.ctx.sleep(DISPATCH_LATENCY).await;
+        let payload = serde_json::to_string(task)?;
+        let platform = platform.clone();
+        let name = worker_fn.to_string();
+        handles.push(env.ctx.spawn(async move {
+            platform.invoke(&name, payload).await
+        }));
+    }
+    let mut reports = Vec::with_capacity(request.tasks.len());
+    for h in skyrise_sim::join_all(handles).await {
+        let result = h.map_err(|e| EngineError::Worker(e.to_string()))?;
+        reports.push(serde_json::from_str(&result.output)?);
+    }
+    Ok(reports)
+}
+
+/// `Rc` alias used by the driver to share platform handles into handlers.
+pub type SharedPlatform = Rc<ComputePlatform>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = QueryConfig::default();
+        assert_eq!(c.target_bytes_per_worker, 900 << 20);
+        assert!(c.include_rows);
+    }
+
+    #[test]
+    fn response_aggregates() {
+        let r = QueryResponse {
+            stages: vec![
+                StageStats {
+                    fragments: 284,
+                    storage_requests: 100,
+                    ..StageStats::default()
+                },
+                StageStats {
+                    fragments: 1,
+                    storage_requests: 5,
+                    ..StageStats::default()
+                },
+            ],
+            ..QueryResponse::default()
+        };
+        assert_eq!(r.total_requests(), 105);
+        assert_eq!(r.peak_workers(), 284);
+        assert!((r.average_workers() - 142.5).abs() < 1e-9);
+        // Peak-to-average ratio, as in Table 6.
+        let ratio = r.peak_workers() as f64 / r.average_workers();
+        assert!((ratio - 1.993).abs() < 0.01);
+    }
+
+    #[test]
+    fn request_json_round_trip() {
+        let req = QueryRequest {
+            query_id: "q6-run-1".into(),
+            plan: PhysicalPlan {
+                name: "q6".into(),
+                pipelines: vec![],
+            },
+            config: QueryConfig::default(),
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: QueryRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.query_id, "q6-run-1");
+    }
+}

@@ -1,0 +1,275 @@
+//! The Skyrise engine deployment: wires coordinator, fan-out, and worker
+//! handlers onto a compute platform (FaaS or IaaS) over a pair of storage
+//! services, and exposes the driver-facing `run` entry point.
+//!
+//! Matches Fig. 4: "the framework's driver sends a physical query plan in
+//! JSON format to an HTTP endpoint. On an FaaS platform, this triggers a
+//! serverless function running the coordinator. In an IaaS deployment, the
+//! request is routed to the same coordinator binary yet running on a
+//! provisioned VM with our shim layer."
+
+use crate::coordinator::{run_coordinator, run_fanout, FanoutRequest, QueryConfig, QueryRequest, QueryResponse};
+use crate::error::EngineError;
+use crate::expr::UdfRegistry;
+use crate::plan::PhysicalPlan;
+use crate::worker::{barrier_key, run_worker, WorkerTask};
+use skyrise_compute::{
+    handler, ComputePlatform, ExecEnv, FunctionConfig, LambdaPlatform, ShimCluster,
+};
+use skyrise_data::Batch;
+use skyrise_sim::SimCtx;
+use skyrise_storage::{Blob, RequestOpts, Storage};
+use std::cell::Cell;
+use std::rc::{Rc, Weak};
+
+/// Function names of the three deployed binaries.
+pub const COORDINATOR_FN: &str = "skyrise-coordinator";
+/// Name of the deployed worker function.
+pub const WORKER_FN: &str = "skyrise-worker";
+/// Name of the deployed fan-out helper function.
+pub const FANOUT_FN: &str = "skyrise-fanout";
+
+/// A weak platform reference, breaking the handler -> platform `Rc` cycle.
+#[derive(Clone)]
+enum WeakPlatform {
+    Faas(Weak<LambdaPlatform>),
+    Shim(Weak<ShimCluster>),
+}
+
+impl WeakPlatform {
+    fn of(platform: &ComputePlatform) -> Self {
+        match platform {
+            ComputePlatform::Faas(p) => WeakPlatform::Faas(Rc::downgrade(p)),
+            ComputePlatform::Shim(c) => WeakPlatform::Shim(Rc::downgrade(c)),
+        }
+    }
+
+    fn upgrade(&self) -> ComputePlatform {
+        match self {
+            WeakPlatform::Faas(w) => {
+                ComputePlatform::Faas(w.upgrade().expect("platform outlives handlers"))
+            }
+            WeakPlatform::Shim(w) => {
+                ComputePlatform::Shim(w.upgrade().expect("platform outlives handlers"))
+            }
+        }
+    }
+}
+
+/// Sizing of the deployed functions.
+#[derive(Debug, Clone)]
+pub struct SkyriseConfig {
+    /// Worker memory — the paper's 7,076 MiB (4 vCPUs).
+    pub worker_memory_mib: u64,
+    /// Coordinator memory.
+    pub coordinator_memory_mib: u64,
+    /// Deployment artifact size (kept < 10 MiB; paper Sec. 3.2).
+    pub binary_size: u64,
+}
+
+impl Default for SkyriseConfig {
+    fn default() -> Self {
+        SkyriseConfig {
+            worker_memory_mib: 7_076,
+            coordinator_memory_mib: 3_538,
+            binary_size: 8 << 20,
+        }
+    }
+}
+
+/// A deployed Skyrise engine.
+pub struct Skyrise {
+    ctx: SimCtx,
+    platform: ComputePlatform,
+    scan_storage: Storage,
+    shuffle_storage: Storage,
+    next_query: Cell<u64>,
+}
+
+impl Skyrise {
+    /// Deploy the engine: registers the coordinator, fan-out, and worker
+    /// functions on `platform`.
+    pub fn deploy(
+        ctx: &SimCtx,
+        platform: ComputePlatform,
+        scan_storage: Storage,
+        shuffle_storage: Storage,
+        config: SkyriseConfig,
+    ) -> Rc<Self> {
+        let udfs = UdfRegistry::with_builtins();
+        let weak = WeakPlatform::of(&platform);
+
+        // Worker.
+        {
+            let scan = scan_storage.clone();
+            let shuffle = shuffle_storage.clone();
+            let udfs = udfs.clone();
+            platform.register(
+                FunctionConfig {
+                    name: WORKER_FN.into(),
+                    memory_mib: config.worker_memory_mib,
+                    binary_size: config.binary_size,
+                },
+                handler(move |env: ExecEnv, payload: String| {
+                    let scan = scan.clone();
+                    let shuffle = shuffle.clone();
+                    let udfs = udfs.clone();
+                    async move {
+                        let task: WorkerTask =
+                            serde_json::from_str(&payload).map_err(|e| e.to_string())?;
+                        let report = run_worker(&env, &scan, &shuffle, &udfs, &task)
+                            .await
+                            .map_err(|e| e.to_string())?;
+                        serde_json::to_string(&report).map_err(|e| e.to_string())
+                    }
+                }),
+            );
+        }
+
+        // Fan-out helper (two-level invocation).
+        {
+            let weak = weak.clone();
+            platform.register(
+                FunctionConfig {
+                    name: FANOUT_FN.into(),
+                    memory_mib: 1_769,
+                    binary_size: config.binary_size,
+                },
+                handler(move |env: ExecEnv, payload: String| {
+                    let weak = weak.clone();
+                    async move {
+                        let request: FanoutRequest =
+                            serde_json::from_str(&payload).map_err(|e| e.to_string())?;
+                        let platform = weak.upgrade();
+                        let reports = run_fanout(&env, &platform, WORKER_FN, &request)
+                            .await
+                            .map_err(|e| e.to_string())?;
+                        serde_json::to_string(&reports).map_err(|e| e.to_string())
+                    }
+                }),
+            );
+        }
+
+        // Coordinator.
+        {
+            let scan = scan_storage.clone();
+            let weak = weak.clone();
+            platform.register(
+                FunctionConfig {
+                    name: COORDINATOR_FN.into(),
+                    memory_mib: config.coordinator_memory_mib,
+                    binary_size: config.binary_size,
+                },
+                handler(move |env: ExecEnv, payload: String| {
+                    let scan = scan.clone();
+                    let weak = weak.clone();
+                    async move {
+                        let request: QueryRequest =
+                            serde_json::from_str(&payload).map_err(|e| e.to_string())?;
+                        let platform = weak.upgrade();
+                        let response = run_coordinator(
+                            &env, &scan, &platform, WORKER_FN, FANOUT_FN, &request,
+                        )
+                        .await
+                        .map_err(|e| e.to_string())?;
+                        serde_json::to_string(&response).map_err(|e| e.to_string())
+                    }
+                }),
+            );
+        }
+
+        Rc::new(Skyrise {
+            ctx: ctx.clone(),
+            platform,
+            scan_storage,
+            shuffle_storage,
+            next_query: Cell::new(0),
+        })
+    }
+
+    /// Deploy with one storage service for both base tables and shuffles.
+    pub fn deploy_simple(
+        ctx: &SimCtx,
+        platform: ComputePlatform,
+        storage: Storage,
+    ) -> Rc<Self> {
+        Skyrise::deploy(
+            ctx,
+            platform,
+            storage.clone(),
+            storage,
+            SkyriseConfig::default(),
+        )
+    }
+
+    /// The base-table storage handle.
+    pub fn scan_storage(&self) -> &Storage {
+        &self.scan_storage
+    }
+
+    /// The intermediate-shuffle storage handle.
+    pub fn shuffle_storage(&self) -> &Storage {
+        &self.shuffle_storage
+    }
+
+    /// The compute platform.
+    pub fn platform(&self) -> &ComputePlatform {
+        &self.platform
+    }
+
+    /// Submit a plan for execution; resolves to the coordinator response.
+    pub async fn run(&self, plan: &PhysicalPlan, config: QueryConfig) -> Result<QueryResponse, EngineError> {
+        let id = self.next_query.get();
+        self.next_query.set(id + 1);
+        let request = QueryRequest {
+            query_id: format!("{}-{id}", plan.name),
+            plan: plan.clone(),
+            config,
+        };
+        let payload = serde_json::to_string(&request)?;
+        let result = match &self.platform {
+            ComputePlatform::Faas(p) => p.invoke(COORDINATOR_FN, payload).await,
+            // The IaaS coordinator runs on the head node, outside the
+            // worker slot pool.
+            ComputePlatform::Shim(c) => c.invoke_unqueued(COORDINATOR_FN, payload).await,
+        }
+        .map_err(|e| EngineError::Worker(e.to_string()))?;
+        Ok(serde_json::from_str(&result.output)?)
+    }
+
+    /// Run with default per-query configuration.
+    pub async fn run_default(&self, plan: &PhysicalPlan) -> Result<QueryResponse, EngineError> {
+        self.run(plan, QueryConfig::default()).await
+    }
+
+    /// Pre-warm `n` worker sandboxes (and one coordinator) on FaaS.
+    /// No-op on IaaS, whose VMs are provisioned up front.
+    pub async fn warm(&self, n_workers: usize) {
+        if let ComputePlatform::Faas(p) = &self.platform {
+            p.warm(WORKER_FN, n_workers).await;
+            p.warm(COORDINATOR_FN, 1).await;
+        }
+    }
+
+    /// Open a named barrier (paper Sec. 3.2's subflow synchronisation):
+    /// workers polling it resume on their next probe.
+    pub fn open_barrier(&self, name: &str) {
+        self.scan_storage
+            .backdoor_put(&barrier_key(name), Blob::new(vec![1u8]));
+    }
+
+    /// Fetch and decode a query's result object.
+    pub async fn fetch_result(&self, response: &QueryResponse) -> Result<Batch, EngineError> {
+        let blob = self
+            .scan_storage
+            .get(&response.result_key, &RequestOpts::default())
+            .await?;
+        let batches = skyrise_data::spf::read_all(&blob.bytes, None)?;
+        Ok(Batch::concat(&batches))
+    }
+
+    /// Simulation context (for experiment harnesses).
+    pub fn ctx(&self) -> &SimCtx {
+        &self.ctx
+    }
+}

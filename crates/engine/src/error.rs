@@ -1,0 +1,77 @@
+//! Engine error type.
+
+use crate::expr::ExprError;
+use skyrise_data::spf::SpfError;
+use skyrise_storage::StorageError;
+use std::fmt;
+
+/// Anything that can go wrong while planning or executing a query.
+#[derive(Debug, Clone)]
+pub enum EngineError {
+    /// Malformed or inconsistent plan.
+    Plan(String),
+    /// Expression evaluation failed.
+    Expr(ExprError),
+    /// Storage service error (post retries).
+    Storage(StorageError),
+    /// SPF decoding failed.
+    Format(SpfError),
+    /// JSON (de)serialisation failed.
+    Json(String),
+    /// A worker invocation failed.
+    Worker(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Plan(m) => write!(f, "plan error: {m}"),
+            EngineError::Expr(e) => write!(f, "expression error: {e}"),
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Format(e) => write!(f, "format error: {e}"),
+            EngineError::Json(m) => write!(f, "json error: {m}"),
+            EngineError::Worker(m) => write!(f, "worker error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ExprError> for EngineError {
+    fn from(e: ExprError) -> Self {
+        EngineError::Expr(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<SpfError> for EngineError {
+    fn from(e: SpfError) -> Self {
+        EngineError::Format(e)
+    }
+}
+
+impl From<serde_json::Error> for EngineError {
+    fn from(e: serde_json::Error) -> Self {
+        EngineError::Json(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = StorageError::Throttled.into();
+        assert!(e.to_string().contains("SlowDown"));
+        let e: EngineError = SpfError::NotAnSpfFile.into();
+        assert!(e.to_string().contains("SPF"));
+        let e = EngineError::Plan("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Zone-map predicate pushdown.
+//!
+//! Scans skip SPF row groups whose min/max statistics prove the pushed
+//! predicate can never match ("file metadata is read to identify relevant
+//! data and push down projections and selections", paper Sec. 3.2). The
+//! analysis is conservative: only provably-disjoint groups are skipped.
+
+use crate::expr::{CmpOp, Expr};
+use skyrise_data::spf::{ChunkStats, RowGroupMeta};
+use skyrise_data::{Schema, Value};
+
+/// True when the row group provably contains no matching row.
+pub fn prune_row_group(predicate: &Expr, schema: &Schema, rg: &RowGroupMeta) -> bool {
+    never_matches(predicate, schema, rg)
+}
+
+/// Conservative three-valued analysis: returns true only when no row in
+/// the group can satisfy `expr`.
+fn never_matches(expr: &Expr, schema: &Schema, rg: &RowGroupMeta) -> bool {
+    match expr {
+        // AND never matches if any conjunct never matches.
+        Expr::And(parts) => parts.iter().any(|p| never_matches(p, schema, rg)),
+        // OR never matches only if every disjunct never matches.
+        Expr::Or(parts) => !parts.is_empty() && parts.iter().all(|p| never_matches(p, schema, rg)),
+        Expr::Cmp { op, left, right } => {
+            // Only `col <op> literal` / `literal <op> col` shapes prune.
+            match (&**left, &**right) {
+                (Expr::Col(c), Expr::Lit(v)) => cmp_never(*op, stats_of(schema, rg, c), v),
+                (Expr::Lit(v), Expr::Col(c)) => {
+                    cmp_never(flip(*op), stats_of(schema, rg, c), v)
+                }
+                _ => false,
+            }
+        }
+        Expr::InList { expr, list } => {
+            if let Expr::Col(c) = &**expr {
+                if let Some(stats) = stats_of(schema, rg, c) {
+                    return list
+                        .iter()
+                        .all(|v| cmp_never(CmpOp::Eq, Some(stats), v));
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+fn stats_of<'a>(schema: &Schema, rg: &'a RowGroupMeta, col: &str) -> Option<&'a ChunkStats> {
+    let idx = schema.index_of(col)?;
+    rg.chunks.get(idx)?.stats.as_ref()
+}
+
+/// `col <op> lit` can never hold for any value in `[min, max]`?
+fn cmp_never(op: CmpOp, stats: Option<&ChunkStats>, lit: &Value) -> bool {
+    let Some(stats) = stats else { return false };
+    match (&stats.min, &stats.max, lit) {
+        (Value::Int64(lo), Value::Int64(hi), Value::Int64(v)) => int_never(op, *lo, *hi, *v),
+        (Value::Int64(lo), Value::Int64(hi), Value::Float64(v)) => {
+            float_never(op, *lo as f64, *hi as f64, *v)
+        }
+        (Value::Float64(lo), Value::Float64(hi), Value::Float64(v)) => float_never(op, *lo, *hi, *v),
+        (Value::Float64(lo), Value::Float64(hi), Value::Int64(v)) => {
+            float_never(op, *lo, *hi, *v as f64)
+        }
+        (Value::Utf8(lo), Value::Utf8(hi), Value::Utf8(v)) => str_never(op, lo, hi, v),
+        _ => false,
+    }
+}
+
+fn int_never(op: CmpOp, lo: i64, hi: i64, v: i64) -> bool {
+    match op {
+        CmpOp::Eq => v < lo || v > hi,
+        CmpOp::Ne => lo == hi && lo == v,
+        CmpOp::Lt => lo >= v,
+        CmpOp::Le => lo > v,
+        CmpOp::Gt => hi <= v,
+        CmpOp::Ge => hi < v,
+    }
+}
+
+fn float_never(op: CmpOp, lo: f64, hi: f64, v: f64) -> bool {
+    match op {
+        CmpOp::Eq => v < lo || v > hi,
+        CmpOp::Ne => lo == hi && lo == v,
+        CmpOp::Lt => lo >= v,
+        CmpOp::Le => lo > v,
+        CmpOp::Gt => hi <= v,
+        CmpOp::Ge => hi < v,
+    }
+}
+
+fn str_never(op: CmpOp, lo: &str, hi: &str, v: &str) -> bool {
+    match op {
+        CmpOp::Eq => v < lo || v > hi,
+        CmpOp::Ne => lo == hi && lo == v,
+        CmpOp::Lt => lo >= v,
+        CmpOp::Le => lo > v,
+        CmpOp::Gt => hi <= v,
+        CmpOp::Ge => hi < v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyrise_data::spf::{self};
+    use skyrise_data::{Batch, Column, DataType, Field};
+
+    fn file() -> (Vec<u8>, Schema, Vec<RowGroupMeta>) {
+        // Two row groups: k in [0,49] and [50,99].
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("m", DataType::Utf8),
+        ]);
+        let batch = Batch::new(
+            std::rc::Rc::clone(&schema),
+            vec![
+                Column::Int64((0..100).collect()),
+                Column::Utf8((0..100).map(|i| format!("{:03}", i / 50)).collect()),
+            ],
+        );
+        let bytes = spf::write(&[batch], 50);
+        let footer = spf::read_footer(&bytes).unwrap();
+        ((*bytes).to_vec(), (*footer.schema).clone(), footer.row_groups)
+    }
+
+    #[test]
+    fn equality_prunes_disjoint_groups() {
+        let (_, schema, rgs) = file();
+        let pred = Expr::col("k").cmp(CmpOp::Eq, Expr::lit_i64(75));
+        assert!(prune_row_group(&pred, &schema, &rgs[0]));
+        assert!(!prune_row_group(&pred, &schema, &rgs[1]));
+    }
+
+    #[test]
+    fn range_predicates_prune() {
+        let (_, schema, rgs) = file();
+        let lt = Expr::col("k").cmp(CmpOp::Lt, Expr::lit_i64(50));
+        assert!(!prune_row_group(&lt, &schema, &rgs[0]));
+        assert!(prune_row_group(&lt, &schema, &rgs[1]));
+        let ge = Expr::col("k").cmp(CmpOp::Ge, Expr::lit_i64(50));
+        assert!(prune_row_group(&ge, &schema, &rgs[0]));
+        // Flipped literal-first form.
+        let flipped = Expr::lit_i64(50).cmp(CmpOp::Gt, Expr::col("k"));
+        assert!(!prune_row_group(&flipped, &schema, &rgs[0]));
+        assert!(prune_row_group(&flipped, &schema, &rgs[1]));
+    }
+
+    #[test]
+    fn and_or_combine_correctly() {
+        let (_, schema, rgs) = file();
+        let p1 = Expr::col("k").cmp(CmpOp::Lt, Expr::lit_i64(10));
+        let p2 = Expr::col("k").cmp(CmpOp::Gt, Expr::lit_i64(90));
+        // AND with a never-matching conjunct prunes.
+        let and = Expr::And(vec![p1.clone(), p2.clone()]);
+        assert!(prune_row_group(&and, &schema, &rgs[0]));
+        // OR prunes only when all branches prune.
+        let or = Expr::Or(vec![p1, p2]);
+        assert!(!prune_row_group(&or, &schema, &rgs[0]));
+        let or_both_far = Expr::Or(vec![
+            Expr::col("k").cmp(CmpOp::Gt, Expr::lit_i64(500)),
+            Expr::col("k").cmp(CmpOp::Eq, Expr::lit_i64(-3)),
+        ]);
+        assert!(prune_row_group(&or_both_far, &schema, &rgs[0]));
+    }
+
+    #[test]
+    fn in_list_and_strings() {
+        let (_, schema, rgs) = file();
+        let inlist = Expr::InList {
+            expr: Box::new(Expr::col("m")),
+            list: vec![Value::Utf8("001".into())],
+        };
+        assert!(prune_row_group(&inlist, &schema, &rgs[0]), "group 0 is all 000");
+        assert!(!prune_row_group(&inlist, &schema, &rgs[1]));
+    }
+
+    #[test]
+    fn unknown_columns_and_complex_exprs_never_prune() {
+        let (_, schema, rgs) = file();
+        let unknown = Expr::col("zzz").cmp(CmpOp::Eq, Expr::lit_i64(1));
+        assert!(!prune_row_group(&unknown, &schema, &rgs[0]));
+        let complex = Expr::col("k").cmp(CmpOp::Eq, Expr::col("k"));
+        assert!(!prune_row_group(&complex, &schema, &rgs[0]));
+    }
+}

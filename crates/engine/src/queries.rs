@@ -1,0 +1,423 @@
+//! Plan builders for the paper's query suite (Sec. 3.1): TPC-H Q1, Q6,
+//! Q12 and TPCx-BB Q3. "These queries are I/O-heavy and thus lend
+//! themselves well to evaluate cloud resources. ... Q1 and Q6 select,
+//! project, and aggregate data. Q3 and Q12 are join queries with a broad
+//! set of operators, including user-defined functions."
+//!
+//! Dataset names follow the loader convention: `h_lineitem`, `h_orders`,
+//! `bb_clickstreams`, `bb_item`.
+
+use crate::expr::{ArithOp, CmpOp, Expr, NamedExpr};
+use crate::plan::{AggExpr, AggFunc, AggMode, InputSpec, Op, Pipeline, PhysicalPlan, Sink};
+use skyrise_data::date;
+use skyrise_data::Value;
+
+/// Dataset name of the TPC-H LINEITEM table.
+pub const H_LINEITEM: &str = "h_lineitem";
+/// Dataset name of the TPC-H ORDERS table.
+pub const H_ORDERS: &str = "h_orders";
+/// Dataset name of the TPCx-BB WEB_CLICKSTREAMS table.
+pub const BB_CLICKSTREAMS: &str = "bb_clickstreams";
+/// Dataset name of the TPCx-BB ITEM table.
+pub const BB_ITEM: &str = "bb_item";
+
+fn lit_date(y: i64, m: u32, d: u32) -> Expr {
+    Expr::lit_i64(date::from_ymd(y, m, d))
+}
+
+/// TPC-H Q1: scan-heavy aggregation over LINEITEM.
+pub fn q1() -> PhysicalPlan {
+    let cutoff = Expr::lit_i64(date::from_ymd(1998, 12, 1) - 90);
+    let predicate = Expr::col("l_shipdate").cmp(CmpOp::Le, cutoff);
+    let one_minus_disc = Expr::lit_f64(1.0).arith(ArithOp::Sub, Expr::col("l_discount"));
+    let disc_price = Expr::col("l_extendedprice").arith(ArithOp::Mul, one_minus_disc.clone());
+    let charge = disc_price.clone().arith(
+        ArithOp::Mul,
+        Expr::lit_f64(1.0).arith(ArithOp::Add, Expr::col("l_tax")),
+    );
+    let aggregates = vec![
+        AggExpr::new(AggFunc::Sum, Expr::col("l_quantity"), "sum_qty"),
+        AggExpr::new(AggFunc::Sum, Expr::col("l_extendedprice"), "sum_base_price"),
+        AggExpr::new(AggFunc::Sum, Expr::col("disc_price"), "sum_disc_price"),
+        AggExpr::new(AggFunc::Sum, Expr::col("charge"), "sum_charge"),
+        AggExpr::new(AggFunc::Avg, Expr::col("l_quantity"), "avg_qty"),
+        AggExpr::new(AggFunc::Avg, Expr::col("l_extendedprice"), "avg_price"),
+        AggExpr::new(AggFunc::Avg, Expr::col("l_discount"), "avg_disc"),
+        AggExpr::new(AggFunc::Count, Expr::lit_i64(1), "count_order"),
+    ];
+    PhysicalPlan {
+        name: "tpch-q1".into(),
+        pipelines: vec![
+            Pipeline {
+                id: 0,
+                inputs: vec![InputSpec::Scan {
+                    dataset: H_LINEITEM.into(),
+                    projection: vec![
+                        "l_returnflag".into(),
+                        "l_linestatus".into(),
+                        "l_quantity".into(),
+                        "l_extendedprice".into(),
+                        "l_discount".into(),
+                        "l_tax".into(),
+                        "l_shipdate".into(),
+                    ],
+                    predicate: Some(predicate),
+                }],
+                ops: vec![
+                    Op::Project {
+                        exprs: vec![
+                            NamedExpr::new("l_returnflag", Expr::col("l_returnflag")),
+                            NamedExpr::new("l_linestatus", Expr::col("l_linestatus")),
+                            NamedExpr::new("l_quantity", Expr::col("l_quantity")),
+                            NamedExpr::new("l_extendedprice", Expr::col("l_extendedprice")),
+                            NamedExpr::new("l_discount", Expr::col("l_discount")),
+                            NamedExpr::new("disc_price", disc_price),
+                            NamedExpr::new("charge", charge),
+                        ],
+                    },
+                    Op::HashAggregate {
+                        group_by: vec!["l_returnflag".into(), "l_linestatus".into()],
+                        aggregates: aggregates.clone(),
+                        mode: AggMode::Partial,
+                    },
+                ],
+                sink: Sink::ShuffleWrite {
+                    partition_by: vec!["l_returnflag".into(), "l_linestatus".into()],
+                    combine: 1,
+                },
+                fragments: None,
+            },
+            Pipeline {
+                id: 1,
+                inputs: vec![InputSpec::Shuffle { from_pipeline: 0 }],
+                ops: vec![
+                    Op::HashAggregate {
+                        group_by: vec!["l_returnflag".into(), "l_linestatus".into()],
+                        aggregates,
+                        mode: AggMode::Final,
+                    },
+                    Op::Sort {
+                        by: vec![("l_returnflag".into(), true), ("l_linestatus".into(), true)],
+                    },
+                ],
+                sink: Sink::Result,
+                fragments: Some(1),
+            },
+        ],
+    }
+}
+
+/// TPC-H Q6: the forecasting revenue change query (scan + filter + global
+/// aggregate). The paper's network-burst experiment workhorse (Fig. 14).
+pub fn q6() -> PhysicalPlan {
+    let predicate = Expr::And(vec![
+        Expr::col("l_shipdate").cmp(CmpOp::Ge, lit_date(1994, 1, 1)),
+        Expr::col("l_shipdate").cmp(CmpOp::Lt, lit_date(1995, 1, 1)),
+        Expr::col("l_discount").cmp(CmpOp::Ge, Expr::lit_f64(0.05)),
+        Expr::col("l_discount").cmp(CmpOp::Le, Expr::lit_f64(0.07)),
+        Expr::col("l_quantity").cmp(CmpOp::Lt, Expr::lit_f64(24.0)),
+    ]);
+    let revenue = Expr::col("l_extendedprice").arith(ArithOp::Mul, Expr::col("l_discount"));
+    let aggregates = vec![AggExpr::new(AggFunc::Sum, Expr::col("revenue"), "revenue")];
+    PhysicalPlan {
+        name: "tpch-q6".into(),
+        pipelines: vec![
+            Pipeline {
+                id: 0,
+                inputs: vec![InputSpec::Scan {
+                    dataset: H_LINEITEM.into(),
+                    projection: vec![
+                        "l_shipdate".into(),
+                        "l_discount".into(),
+                        "l_quantity".into(),
+                        "l_extendedprice".into(),
+                    ],
+                    predicate: Some(predicate),
+                }],
+                ops: vec![
+                    Op::Project {
+                        exprs: vec![NamedExpr::new("revenue", revenue)],
+                    },
+                    Op::HashAggregate {
+                        group_by: vec![],
+                        aggregates: aggregates.clone(),
+                        mode: AggMode::Partial,
+                    },
+                ],
+                sink: Sink::ShuffleWrite {
+                    partition_by: vec![],
+                    combine: 1,
+                },
+                fragments: None,
+            },
+            Pipeline {
+                id: 1,
+                inputs: vec![InputSpec::Shuffle { from_pipeline: 0 }],
+                ops: vec![Op::HashAggregate {
+                    group_by: vec![],
+                    aggregates,
+                    mode: AggMode::Final,
+                }],
+                sink: Sink::Result,
+                fragments: Some(1),
+            },
+        ],
+    }
+}
+
+/// TPC-H Q12: shipping-modes-and-order-priority join (the paper's shuffle
+/// workhorse, Fig. 15). Uses the `is_high_priority` UDF.
+pub fn q12() -> PhysicalPlan {
+    let lineitem_pred = Expr::And(vec![
+        Expr::InList {
+            expr: Box::new(Expr::col("l_shipmode")),
+            list: vec![Value::Utf8("MAIL".into()), Value::Utf8("SHIP".into())],
+        },
+        Expr::col("l_commitdate").cmp(CmpOp::Lt, Expr::col("l_receiptdate")),
+        Expr::col("l_shipdate").cmp(CmpOp::Lt, Expr::col("l_commitdate")),
+        Expr::col("l_receiptdate").cmp(CmpOp::Ge, lit_date(1994, 1, 1)),
+        Expr::col("l_receiptdate").cmp(CmpOp::Lt, lit_date(1995, 1, 1)),
+    ]);
+    let high = Expr::Udf {
+        name: "is_high_priority".into(),
+        args: vec![Expr::col("o_orderpriority")],
+    };
+    let low = Expr::lit_i64(1).arith(ArithOp::Sub, high.clone());
+    let aggregates = vec![
+        AggExpr::new(AggFunc::Sum, Expr::col("high"), "high_line_count"),
+        AggExpr::new(AggFunc::Sum, Expr::col("low"), "low_line_count"),
+    ];
+    PhysicalPlan {
+        name: "tpch-q12".into(),
+        pipelines: vec![
+            Pipeline {
+                id: 0,
+                inputs: vec![InputSpec::Scan {
+                    dataset: H_ORDERS.into(),
+                    projection: vec!["o_orderkey".into(), "o_orderpriority".into()],
+                    predicate: None,
+                }],
+                ops: vec![],
+                sink: Sink::ShuffleWrite {
+                    partition_by: vec!["o_orderkey".into()],
+                    combine: 1,
+                },
+                fragments: None,
+            },
+            Pipeline {
+                id: 1,
+                inputs: vec![InputSpec::Scan {
+                    dataset: H_LINEITEM.into(),
+                    projection: vec![
+                        "l_orderkey".into(),
+                        "l_shipmode".into(),
+                        "l_commitdate".into(),
+                        "l_receiptdate".into(),
+                        "l_shipdate".into(),
+                    ],
+                    predicate: Some(lineitem_pred),
+                }],
+                ops: vec![],
+                sink: Sink::ShuffleWrite {
+                    partition_by: vec!["l_orderkey".into()],
+                    combine: 1,
+                },
+                fragments: None,
+            },
+            Pipeline {
+                id: 2,
+                inputs: vec![
+                    InputSpec::Shuffle { from_pipeline: 1 },
+                    InputSpec::Shuffle { from_pipeline: 0 },
+                ],
+                ops: vec![
+                    Op::HashJoin {
+                        build_input: 1,
+                        build_key: "o_orderkey".into(),
+                        probe_key: "l_orderkey".into(),
+                        build_columns: vec!["o_orderpriority".into()],
+                    },
+                    Op::Project {
+                        exprs: vec![
+                            NamedExpr::new("l_shipmode", Expr::col("l_shipmode")),
+                            NamedExpr::new("high", high),
+                            NamedExpr::new("low", low),
+                        ],
+                    },
+                    Op::HashAggregate {
+                        group_by: vec!["l_shipmode".into()],
+                        aggregates: aggregates.clone(),
+                        mode: AggMode::Partial,
+                    },
+                ],
+                sink: Sink::ShuffleWrite {
+                    partition_by: vec!["l_shipmode".into()],
+                    combine: 1,
+                },
+                fragments: None,
+            },
+            Pipeline {
+                id: 3,
+                inputs: vec![InputSpec::Shuffle { from_pipeline: 2 }],
+                ops: vec![
+                    Op::HashAggregate {
+                        group_by: vec!["l_shipmode".into()],
+                        aggregates,
+                        mode: AggMode::Final,
+                    },
+                    Op::Sort {
+                        by: vec![("l_shipmode".into(), true)],
+                    },
+                ],
+                sink: Sink::Result,
+                fragments: Some(1),
+            },
+        ],
+    }
+}
+
+/// TPCx-BB Q3 (simplified per DESIGN.md): for purchases of items in
+/// `category`, count views of category items within the preceding
+/// `window` clicks of the same user, then report the top `top_n` items.
+/// An I/O-bound MapReduce-style job: shuffle clicks by user, sessionise,
+/// aggregate by item.
+pub fn bb_q3(category: &str, window: usize, top_n: u64) -> PhysicalPlan {
+    let aggregates = vec![AggExpr::new(AggFunc::Sum, Expr::col("views"), "views")];
+    PhysicalPlan {
+        name: "tpcxbb-q3".into(),
+        pipelines: vec![
+            Pipeline {
+                id: 0,
+                inputs: vec![InputSpec::Scan {
+                    dataset: BB_CLICKSTREAMS.into(),
+                    projection: vec![
+                        "wcs_user_sk".into(),
+                        "wcs_click_date_sk".into(),
+                        "wcs_click_time_sk".into(),
+                        "wcs_item_sk".into(),
+                        "wcs_sales_sk".into(),
+                    ],
+                    predicate: None,
+                }],
+                ops: vec![],
+                sink: Sink::ShuffleWrite {
+                    partition_by: vec!["wcs_user_sk".into()],
+                    combine: 1,
+                },
+                fragments: None,
+            },
+            Pipeline {
+                id: 1,
+                inputs: vec![
+                    InputSpec::Shuffle { from_pipeline: 0 },
+                    InputSpec::Scan {
+                        dataset: BB_ITEM.into(),
+                        projection: vec!["i_item_sk".into(), "i_category".into()],
+                        predicate: Some(
+                            Expr::col("i_category").cmp(CmpOp::Eq, Expr::lit_str(category)),
+                        ),
+                    },
+                ],
+                ops: vec![
+                    Op::SessionizeQ3 {
+                        category_input: 1,
+                        window,
+                    },
+                    Op::HashAggregate {
+                        group_by: vec!["item_sk".into()],
+                        aggregates: aggregates.clone(),
+                        mode: AggMode::Partial,
+                    },
+                ],
+                sink: Sink::ShuffleWrite {
+                    partition_by: vec!["item_sk".into()],
+                    combine: 1,
+                },
+                fragments: None,
+            },
+            Pipeline {
+                id: 2,
+                inputs: vec![InputSpec::Shuffle { from_pipeline: 1 }],
+                ops: vec![
+                    Op::HashAggregate {
+                        group_by: vec!["item_sk".into()],
+                        aggregates,
+                        mode: AggMode::Final,
+                    },
+                    Op::Sort {
+                        by: vec![("views".into(), false), ("item_sk".into(), true)],
+                    },
+                    Op::Limit { n: top_n },
+                ],
+                sink: Sink::Result,
+                fragments: Some(1),
+            },
+        ],
+    }
+}
+
+/// The full suite in the paper's order.
+pub fn suite() -> Vec<PhysicalPlan> {
+    vec![q1(), q6(), q12(), bb_q3("Electronics", 10, 30)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_plans_are_well_formed() {
+        for plan in suite() {
+            // Stage order exists and ends with the result pipeline.
+            let stages = plan.stages();
+            assert_eq!(stages.len(), plan.pipelines.len());
+            let result = plan.result_pipeline();
+            assert_eq!(stages.last(), Some(&result.id));
+            assert_eq!(result.fragments, Some(1));
+        }
+    }
+
+    #[test]
+    fn q1_touches_only_lineitem() {
+        let plan = q1();
+        for p in &plan.pipelines {
+            for i in &p.inputs {
+                if let InputSpec::Scan { dataset, .. } = i {
+                    assert_eq!(dataset, H_LINEITEM);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q12_is_a_two_table_join() {
+        let plan = q12();
+        let scans: Vec<&str> = plan
+            .pipelines
+            .iter()
+            .flat_map(|p| &p.inputs)
+            .filter_map(|i| match i {
+                InputSpec::Scan { dataset, .. } => Some(dataset.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(scans.contains(&H_ORDERS) && scans.contains(&H_LINEITEM));
+        let has_join = plan
+            .pipelines
+            .iter()
+            .flat_map(|p| &p.ops)
+            .any(|o| matches!(o, Op::HashJoin { .. }));
+        assert!(has_join);
+        let uses_udf = plan.to_json().contains("is_high_priority");
+        assert!(uses_udf, "Q12 exercises the UDF path");
+    }
+
+    #[test]
+    fn plans_serialize_roundtrip() {
+        for plan in suite() {
+            let json = plan.to_json();
+            let back = PhysicalPlan::from_json(&json).unwrap();
+            assert_eq!(plan, back);
+        }
+    }
+}

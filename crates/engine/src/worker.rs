@@ -1,0 +1,623 @@
+//! The query worker function.
+//!
+//! "A worker parses its query fragment and schedules the operators for
+//! execution. Workers use a vectorized execution model. The execution
+//! includes reading input data partitions in batches from shared storage,
+//! generating partitioned outputs, and writing them back to storage."
+//! (paper Sec. 3.2)
+//!
+//! Reads follow the paper's efficient-access techniques: the SPF footer is
+//! fetched first, zone maps prune row groups against the pushed-down
+//! predicate, column chunks are fetched as parallel ranged requests, and
+//! stragglers are retried under a size-based timeout.
+
+use crate::catalog::PartitionMeta;
+use crate::cpu;
+use crate::error::EngineError;
+use crate::expr::{evaluate_mask, UdfRegistry};
+use crate::operators::{execute_ops, partition_batch};
+use crate::plan::{InputSpec, Op, Pipeline, Sink};
+use serde::{Deserialize, Serialize};
+use skyrise_compute::ExecEnv;
+use skyrise_data::columnar::Batch;
+use skyrise_data::spf;
+use skyrise_data::Value;
+use skyrise_storage::{Blob, RequestOpts, RetryPolicy, RetryingClient, Storage};
+use std::rc::Rc;
+
+/// Input assignment for one worker fragment, parallel to the pipeline's
+/// `inputs`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum InputAssignment {
+    /// Read these partition objects (input 0: this fragment's share;
+    /// other inputs: a broadcast of the whole dataset).
+    Scan {
+        /// The partition objects to read.
+        partitions: Vec<PartitionMeta>,
+    },
+    /// Read this fragment's bucket from every upstream fragment. With
+    /// `combine > 1`, `combine` buckets share one object and the reader
+    /// demultiplexes its rows by re-partitioning on `partition_by`.
+    Shuffle {
+        /// Producing pipeline id.
+        from_pipeline: u32,
+        /// Fragment count of the producing pipeline.
+        upstream_fragments: u32,
+        /// Partitioning keys (needed to demultiplex combined objects).
+        #[serde(default)]
+        partition_by: Vec<String>,
+        /// Buckets per object written upstream.
+        #[serde(default = "default_combine")]
+        combine: u32,
+    },
+}
+
+/// The task payload a worker receives (JSON over the invocation path).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerTask {
+    /// Query this fragment belongs to.
+    pub query_id: String,
+    /// The pipeline to execute (self-contained).
+    pub pipeline: Pipeline,
+    /// This worker's fragment index.
+    pub fragment: u32,
+    /// Total fragments of this pipeline.
+    pub n_fragments: u32,
+    /// Fragment count of the consuming pipeline (shuffle bucket count).
+    pub downstream_fragments: u32,
+    /// Input assignments, parallel to `pipeline.inputs`.
+    pub inputs: Vec<InputAssignment>,
+}
+
+/// What a worker reports back to the coordinator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkerReport {
+    /// Fragment index this report covers.
+    pub fragment: u32,
+    /// Logical rows entering the operator chain.
+    pub rows_in: u64,
+    /// Logical rows leaving the operator chain.
+    pub rows_out: u64,
+    /// Logical bytes read from storage.
+    pub logical_bytes_read: u64,
+    /// Logical bytes written to storage.
+    pub logical_bytes_written: u64,
+    /// Storage requests issued (including retries).
+    pub storage_requests: u64,
+    /// Wall time spent in input I/O (seconds, simulated).
+    pub io_secs: f64,
+    /// Wall time spent in operator execution (seconds, simulated).
+    pub cpu_secs: f64,
+    /// Whether this worker's sandbox cold-started.
+    pub cold_start: bool,
+}
+
+/// Concurrent ranged chunk requests per worker.
+pub const CHUNK_CONCURRENCY: usize = 8;
+
+fn default_combine() -> u32 {
+    1
+}
+
+/// Shuffle object key: `query/pipeline/source fragment/destination bucket
+/// group` (a group holds `combine` consecutive buckets).
+pub fn shuffle_key(query_id: &str, pipeline: u32, src_fragment: u32, dst_group: u32) -> String {
+    format!("shuffle/{query_id}/p{pipeline}/f{src_fragment}/b{dst_group}")
+}
+
+/// Result object key for a query.
+pub fn result_key(query_id: &str, fragment: u32) -> String {
+    format!("results/{query_id}/part-{fragment:05}.spf")
+}
+
+/// Barrier object key.
+pub fn barrier_key(name: &str) -> String {
+    format!("barriers/{name}")
+}
+
+struct ReadOutcome {
+    batches: Vec<Batch>,
+    logical_bytes: u64,
+    requests: u64,
+    /// logical/payload ratio of what was read (1.0 for unscaled data).
+    scale: f64,
+}
+
+/// Run one worker fragment to completion. Base tables and results live on
+/// `scan_storage`; intermediates move through `shuffle_storage` (the two
+/// differ in the paper's Fig. 15 experiment arms).
+pub async fn run_worker(
+    env: &ExecEnv,
+    scan_storage: &Storage,
+    shuffle_storage: &Storage,
+    udfs: &UdfRegistry,
+    task: &WorkerTask,
+) -> Result<WorkerReport, EngineError> {
+    // Chunked scans run CHUNK_CONCURRENCY ranged requests in parallel per
+    // partition over one sandbox NIC, so a chunk's expected bandwidth is
+    // the 75 MiB/s worst-case baseline divided by the fan-in.
+    let scan_policy = RetryPolicy {
+        expected_bw: 75.0 * 1024.0 * 1024.0 / CHUNK_CONCURRENCY as f64,
+        timeout_slack: 3.0,
+        max_attempts: 40,
+        ..RetryPolicy::eager()
+    };
+    let client = RetryingClient::new(scan_storage.clone(), env.ctx.clone(), scan_policy);
+    // Shuffle objects have no advertised size, so the shuffle client uses
+    // a patient timeout and relies on throttle retries (which return fast).
+    let shuffle_policy = RetryPolicy {
+        base_timeout: skyrise_sim::SimDuration::from_secs(120),
+        // Large shuffles intentionally exceed object-storage IOPS (paper
+        // Sec. 4.5.2: Q12's shuffle is "constrained by default rate
+        // limiting"); workers keep retrying until the partition drains.
+        max_attempts: 40,
+        // Cap backoff low: exponential sleeps past a couple of seconds
+        // leave the rate-limited partition idle between attempts and
+        // stretch the shuffle far beyond its queue-drain time.
+        backoff_cap: skyrise_sim::SimDuration::from_secs(2),
+        ..RetryPolicy::eager()
+    };
+    let shuffle_client =
+        RetryingClient::new(shuffle_storage.clone(), env.ctx.clone(), shuffle_policy);
+    let opts = RequestOpts::from_nic(&env.nic);
+
+    // Barriers first (subflow isolation; see plan::Op::Barrier).
+    for op in &task.pipeline.ops {
+        if let Op::Barrier { name } = op {
+            wait_barrier(&client, &opts, name).await?;
+        }
+    }
+
+    // Materialise inputs.
+    let io_started = env.ctx.now();
+    let mut inputs: Vec<Vec<Batch>> = Vec::with_capacity(task.inputs.len());
+    let mut report = WorkerReport {
+        fragment: task.fragment,
+        cold_start: env.cold_start,
+        ..WorkerReport::default()
+    };
+    let mut stream_scale = 1.0f64;
+    for (idx, assignment) in task.inputs.iter().enumerate() {
+        let spec = task
+            .pipeline
+            .inputs
+            .get(idx)
+            .ok_or_else(|| EngineError::Plan("assignment without input spec".into()))?;
+        let outcome = match assignment {
+            InputAssignment::Scan { partitions } => {
+                let (projection, predicate) = match spec {
+                    InputSpec::Scan {
+                        projection,
+                        predicate,
+                        ..
+                    } => (projection.clone(), predicate.clone()),
+                    InputSpec::Shuffle { .. } => {
+                        return Err(EngineError::Plan("scan assignment for shuffle input".into()))
+                    }
+                };
+                read_scan(&client, &opts, env, partitions, &projection, predicate.as_ref(), udfs)
+                    .await?
+            }
+            InputAssignment::Shuffle {
+                from_pipeline,
+                upstream_fragments,
+                partition_by,
+                combine,
+            } => {
+                read_shuffle(
+                    &shuffle_client,
+                    &opts,
+                    &task.query_id,
+                    *from_pipeline,
+                    *upstream_fragments,
+                    task.fragment,
+                    task.n_fragments,
+                    partition_by,
+                    (*combine).max(1),
+                )
+                .await?
+            }
+        };
+        report.logical_bytes_read += outcome.logical_bytes;
+        report.storage_requests += outcome.requests;
+        if idx == 0 {
+            stream_scale = outcome.scale;
+        }
+        inputs.push(outcome.batches);
+    }
+    // I/O-stack CPU charge for ingesting the inputs.
+    env.ctx
+        .sleep(cpu::io_stack_cost(
+            report.logical_bytes_read as f64,
+            report.storage_requests,
+            env.vcpus,
+        ))
+        .await;
+    report.io_secs = (env.ctx.now() - io_started).as_secs_f64();
+
+    // Execute the operator chain, charging virtual CPU for logical rows.
+    let cpu_started = env.ctx.now();
+    let (output, stats) = execute_ops(&task.pipeline.ops, &inputs, udfs)?;
+    let logical_rows = stats.rows_in as f64 * stream_scale;
+    env.ctx
+        .sleep(cpu::chain_cost(&task.pipeline.ops, logical_rows, env.vcpus))
+        .await;
+    report.rows_in = (stats.rows_in as f64 * stream_scale) as u64;
+    report.rows_out = (stats.rows_out as f64 * stream_scale) as u64;
+    report.cpu_secs = (env.ctx.now() - cpu_started).as_secs_f64();
+
+    // Sink.
+    match &task.pipeline.sink {
+        Sink::ShuffleWrite {
+            partition_by,
+            combine,
+        } => {
+            let combine = (*combine).max(1) as usize;
+            let n_buckets = task.downstream_fragments.max(1) as usize;
+            // Empty output still writes (empty) markers for every bucket
+            // so downstream readers never block on missing objects.
+            let merged = match output.first() {
+                Some(b) => {
+                    let schema = Rc::clone(&b.schema);
+                    let m = Batch::concat(&output);
+                    let _ = schema;
+                    m
+                }
+                None => {
+                    return Err(EngineError::Plan(
+                        "pipeline produced no output batches (operator bug)".into(),
+                    ))
+                }
+            };
+            let buckets = partition_batch(&merged, partition_by, n_buckets)?;
+            // Logical scaling applies to shuffled *data*, not to the fixed
+            // SPF file overhead — otherwise empty buckets would masquerade
+            // as hundreds of kilobytes.
+            let overhead = spf::write(std::slice::from_ref(&merged.slice(0, 0)), 8192).len() as f64;
+            let n_groups = n_buckets.div_ceil(combine);
+            let mut puts = Vec::with_capacity(n_groups);
+            for (group, chunk) in buckets.chunks(combine).enumerate() {
+                // Write combining: `combine` consecutive buckets share one
+                // (larger) object; readers demultiplex by re-partitioning.
+                let combined = Batch::concat(chunk);
+                let encoded = spf::write(std::slice::from_ref(&combined), 8192);
+                let len = encoded.len() as f64;
+                let logical = overhead + stream_scale.max(1.0) * (len - overhead).max(0.0);
+                let blob = Blob::scaled(encoded, (logical / len).max(1e-9));
+                report.logical_bytes_written += blob.logical_len();
+                let key =
+                    shuffle_key(&task.query_id, task.pipeline.id, task.fragment, group as u32);
+                let client = shuffle_client.clone();
+                let opts = opts.clone();
+                puts.push(env.ctx.spawn(async move { client.put(&key, blob, &opts).await }));
+            }
+            for p in skyrise_sim::join_all(puts).await {
+                let stats = p?;
+                report.storage_requests += stats.attempts as u64;
+            }
+        }
+        Sink::Result => {
+            let part = if output.is_empty() {
+                Batch::empty(skyrise_data::Schema::new(vec![]))
+            } else {
+                Batch::concat(&output)
+            };
+            let encoded = spf::write(std::slice::from_ref(&part), 8192);
+            let blob = Blob::new(encoded);
+            report.logical_bytes_written += blob.logical_len();
+            let stats = client
+                .put(&result_key(&task.query_id, task.fragment), blob, &opts)
+                .await?;
+            report.storage_requests += stats.attempts as u64;
+        }
+    }
+
+    Ok(report)
+}
+
+/// Inefficient partitioning above recomputes buckets per iteration; keep
+/// the allocation-friendly path for wide fan-outs.
+async fn read_scan(
+    client: &RetryingClient,
+    opts: &RequestOpts,
+    env: &ExecEnv,
+    partitions: &[PartitionMeta],
+    projection: &[String],
+    predicate: Option<&crate::expr::Expr>,
+    udfs: &UdfRegistry,
+) -> Result<ReadOutcome, EngineError> {
+    let mut outcome = ReadOutcome {
+        batches: Vec::new(),
+        logical_bytes: 0,
+        requests: 0,
+        scale: 1.0,
+    };
+    let mut payload_bytes = 0u64;
+
+    // Partitions are fetched concurrently ("divides large storage requests
+    // into smaller chunks to process them in parallel"), but the worker
+    // bounds in-flight ranged requests so each gets a predictable share of
+    // the sandbox NIC (and its size-based timeout stays meaningful).
+    let chunk_gate = Rc::new(skyrise_sim::sync::Semaphore::new(CHUNK_CONCURRENCY));
+    let mut handles = Vec::with_capacity(partitions.len());
+    for part in partitions {
+        let client = client.clone();
+        let opts = opts.clone();
+        let part = part.clone();
+        let projection = projection.to_vec();
+        let predicate = predicate.cloned();
+        let udfs = udfs.clone();
+        let ctx = env.ctx.clone();
+        let vcpus = env.vcpus;
+        let gate = Rc::clone(&chunk_gate);
+        handles.push(env.ctx.spawn(async move {
+            read_partition(&client, &opts, &ctx, vcpus, &part, &projection, predicate.as_ref(), &udfs, &gate)
+                .await
+        }));
+    }
+    for h in skyrise_sim::join_all(handles).await {
+        let (batches, logical, requests, payload) = h?;
+        outcome.batches.extend(batches);
+        outcome.logical_bytes += logical;
+        outcome.requests += requests;
+        payload_bytes += payload;
+    }
+    if payload_bytes > 0 {
+        outcome.scale = outcome.logical_bytes as f64 / payload_bytes as f64;
+    }
+    Ok(outcome)
+}
+
+#[allow(clippy::too_many_arguments)]
+async fn read_partition(
+    client: &RetryingClient,
+    opts: &RequestOpts,
+    ctx: &skyrise_sim::SimCtx,
+    vcpus: f64,
+    part: &PartitionMeta,
+    projection: &[String],
+    predicate: Option<&crate::expr::Expr>,
+    udfs: &UdfRegistry,
+    chunk_gate: &Rc<skyrise_sim::sync::Semaphore>,
+) -> Result<(Vec<Batch>, u64, u64, u64), EngineError> {
+    let mut logical = 0u64;
+    let mut requests = 0u64;
+    let mut payload = 0u64;
+    // Ranged reads move `len x scale` logical bytes; timeouts must size
+    // against that, not the payload length.
+    let scale = (part.logical_bytes as f64 / part.payload_bytes.max(1) as f64).max(1.0);
+    let expected = |len: u64| (len as f64 * scale) as u64;
+
+    // 1. Trailer.
+    let file_len = part.payload_bytes;
+    let (trailer, s1) = client
+        .get_range(
+            &part.key,
+            file_len - spf::TRAILER_LEN,
+            spf::TRAILER_LEN,
+            expected(spf::TRAILER_LEN),
+            opts,
+        )
+        .await?;
+    requests += s1.attempts as u64;
+    logical += trailer.logical_len();
+    payload += trailer.len() as u64;
+    let (fstart, flen) = spf::footer_range(&trailer.bytes, file_len)?;
+
+    // 2. Footer.
+    let (footer_blob, s2) = client
+        .get_range(&part.key, fstart, flen, expected(flen), opts)
+        .await?;
+    requests += s2.attempts as u64;
+    logical += footer_blob.logical_len();
+    payload += footer_blob.len() as u64;
+    let footer = spf::parse_footer(&footer_blob.bytes)?;
+
+    // Column projection indices.
+    let proj: Vec<usize> = if projection.is_empty() {
+        (0..footer.schema.len()).collect()
+    } else {
+        projection
+            .iter()
+            .map(|n| {
+                footer
+                    .schema
+                    .index_of(n)
+                    .ok_or_else(|| EngineError::Plan(format!("unknown scan column {n}")))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    // 3. Column chunks, zone-map pruned, fetched in parallel per row group.
+    let mut batches = Vec::new();
+    for rg in &footer.row_groups {
+        if let Some(pred) = predicate {
+            if crate::pushdown::prune_row_group(pred, &footer.schema, rg) {
+                continue;
+            }
+        }
+        let mut chunk_handles = Vec::with_capacity(proj.len());
+        for &ci in &proj {
+            let meta = rg.chunks[ci].clone();
+            let client = client.clone();
+            let opts = opts.clone();
+            let key = part.key.clone();
+            let gate = Rc::clone(chunk_gate);
+            let exp = expected(meta.len);
+            chunk_handles.push(ctx.spawn(async move {
+                let _slot = gate.acquire().await;
+                client
+                    .get_range(&key, meta.offset, meta.len, exp, &opts)
+                    .await
+                    .map(|(blob, stats)| (meta, blob, stats))
+            }));
+        }
+        let mut columns = Vec::with_capacity(proj.len());
+        for h in skyrise_sim::join_all(chunk_handles).await {
+            let (meta, blob, stats) = h?;
+            requests += stats.attempts as u64;
+            logical += blob.logical_len();
+            payload += blob.len() as u64;
+            columns.push(spf::decode_chunk(&meta, &blob.bytes)?);
+        }
+        let batch = Batch::new(footer.schema.project(&proj), columns);
+        // Residual filter (zone maps are row-group granular).
+        let batch = match predicate {
+            Some(pred) => {
+                let mask = evaluate_mask(pred, &batch, udfs)?;
+                batch.filter(&mask)
+            }
+            None => batch,
+        };
+        batches.push(batch);
+    }
+
+    // Zone maps may prune every row group; keep the schema alive with an
+    // empty batch so downstream operators see consistent shapes.
+    if batches.is_empty() {
+        batches.push(Batch::empty(footer.schema.project(&proj)));
+    }
+
+    // Decode CPU charge for the logical bytes materialised.
+    ctx.sleep(cpu::decode_cost(logical as f64, vcpus)).await;
+    Ok((batches, logical, requests, payload))
+}
+
+#[allow(clippy::too_many_arguments)]
+async fn read_shuffle(
+    client: &RetryingClient,
+    opts: &RequestOpts,
+    query_id: &str,
+    from_pipeline: u32,
+    upstream_fragments: u32,
+    my_fragment: u32,
+    n_fragments: u32,
+    partition_by: &[String],
+    combine: u32,
+) -> Result<ReadOutcome, EngineError> {
+    let my_group = my_fragment / combine;
+    let mut outcome = ReadOutcome {
+        batches: Vec::new(),
+        logical_bytes: 0,
+        requests: 0,
+        scale: 1.0,
+    };
+    let mut payload = 0u64;
+    // Bounded fan-in: a worker pulls its buckets a few at a time rather
+    // than hammering the storage service with one request per upstream
+    // fragment simultaneously.
+    // Two in flight mirrors real workers, which interleave shuffle reads
+    // with decoding and joining rather than issuing them all up front.
+    let gate = Rc::new(skyrise_sim::sync::Semaphore::new(2));
+    let mut handles = Vec::with_capacity(upstream_fragments as usize);
+    for src in 0..upstream_fragments {
+        let key = shuffle_key(query_id, from_pipeline, src, my_group);
+        let client = client.clone();
+        let opts = opts.clone();
+        let gate = Rc::clone(&gate);
+        handles.push(client.ctx.clone().spawn(async move {
+            let _slot = gate.acquire().await;
+            client.get(&key, 0, &opts).await
+        }));
+    }
+    for h in skyrise_sim::join_all(handles).await {
+        let (blob, stats) = h?;
+        outcome.requests += stats.attempts as u64;
+        outcome.logical_bytes += blob.logical_len();
+        payload += blob.len() as u64;
+        let decoded = spf::read_all(&blob.bytes, None)?;
+        for batch in decoded {
+            if batch.num_rows() == 0 && batch.schema.is_empty() {
+                continue;
+            }
+            if combine > 1 && batch.num_rows() > 0 {
+                // Demultiplex: keep only the rows hashing to this fragment.
+                let mine = partition_batch(&batch, partition_by, n_fragments.max(1) as usize)?
+                    .into_iter()
+                    .nth(my_fragment as usize)
+                    .expect("bucket exists");
+                outcome.batches.push(mine);
+            } else {
+                outcome.batches.push(batch);
+            }
+        }
+    }
+    // Drop truly empty marker batches unless everything is empty.
+    if payload > 0 {
+        outcome.scale = outcome.logical_bytes as f64 / payload as f64;
+    }
+    Ok(outcome)
+}
+
+async fn wait_barrier(
+    client: &RetryingClient,
+    opts: &RequestOpts,
+    name: &str,
+) -> Result<(), EngineError> {
+    // "implemented as an extra operator that polls a shared queue for a
+    // barrier condition"
+    let key = barrier_key(name);
+    loop {
+        match client.storage.get(&key, opts).await {
+            Ok(_) => return Ok(()),
+            Err(skyrise_storage::StorageError::NotFound { .. }) => {
+                client
+                    .ctx
+                    .sleep(skyrise_sim::SimDuration::from_millis(100))
+                    .await;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Helper for the coordinator: extract a `Value` row representation of
+/// a result batch for JSON responses.
+pub fn batch_to_rows(batch: &Batch) -> Vec<Vec<Value>> {
+    (0..batch.num_rows()).map(|i| batch.row(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_layouts_are_stable() {
+        assert_eq!(shuffle_key("q1", 2, 3, 4), "shuffle/q1/p2/f3/b4");
+        assert_eq!(result_key("q1", 0), "results/q1/part-00000.spf");
+        assert_eq!(barrier_key("scan"), "barriers/scan");
+    }
+
+    #[test]
+    fn task_json_round_trip() {
+        let task = WorkerTask {
+            query_id: "q".into(),
+            pipeline: Pipeline {
+                id: 0,
+                inputs: vec![],
+                ops: vec![],
+                sink: Sink::Result,
+                fragments: None,
+            },
+            fragment: 1,
+            n_fragments: 8,
+            downstream_fragments: 4,
+            inputs: vec![InputAssignment::Shuffle {
+                from_pipeline: 0,
+                upstream_fragments: 2,
+                partition_by: vec![],
+                combine: 1,
+            }],
+        };
+        let json = serde_json::to_string(&task).unwrap();
+        let back: WorkerTask = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fragment, 1);
+        assert!(matches!(
+            back.inputs[0],
+            InputAssignment::Shuffle {
+                upstream_fragments: 2,
+                ..
+            }
+        ));
+    }
+}

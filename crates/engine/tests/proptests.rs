@@ -1,0 +1,282 @@
+//! Property-based tests over the engine's core invariants.
+
+use proptest::prelude::*;
+use skyrise_engine::expr::{evaluate_mask, CmpOp, Expr, UdfRegistry};
+use skyrise_engine::operators::{execute_ops, partition_batch, ScalarKey};
+use skyrise_engine::plan::{AggExpr, AggFunc, AggMode, Op};
+use skyrise_data::{Batch, Column, DataType, Field, Schema, Value};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+fn kv_batch(keys: &[i64], vals: &[f64]) -> Batch {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Float64),
+    ]);
+    Batch::new(
+        schema,
+        vec![Column::Int64(keys.to_vec()), Column::Float64(vals.to_vec())],
+    )
+}
+
+proptest! {
+    /// Hash join produces exactly the nested-loop join's multiset of pairs.
+    #[test]
+    fn hash_join_equals_nested_loop(
+        probe_keys in prop::collection::vec(0i64..20, 0..60),
+        build_keys in prop::collection::vec(0i64..20, 1..40),
+    ) {
+        let probe_vals: Vec<f64> = (0..probe_keys.len()).map(|i| i as f64).collect();
+        let build_vals: Vec<f64> = (0..build_keys.len()).map(|i| 1000.0 + i as f64).collect();
+        let probe = kv_batch(&probe_keys, &probe_vals);
+        let build_schema = Schema::new(vec![
+            Field::new("bk", DataType::Int64),
+            Field::new("bv", DataType::Float64),
+        ]);
+        let build = Batch::new(
+            build_schema,
+            vec![Column::Int64(build_keys.clone()), Column::Float64(build_vals.clone())],
+        );
+        let ops = vec![Op::HashJoin {
+            build_input: 1,
+            build_key: "bk".into(),
+            probe_key: "k".into(),
+            build_columns: vec!["bv".into()],
+        }];
+        let (out, _) = execute_ops(&ops, &[vec![probe], vec![build]], &UdfRegistry::new()).unwrap();
+        let out = Batch::concat(&out);
+
+        // Nested loop reference.
+        let mut expect: Vec<(f64, f64)> = Vec::new();
+        for (pi, pk) in probe_keys.iter().enumerate() {
+            for (bi, bk) in build_keys.iter().enumerate() {
+                if pk == bk {
+                    expect.push((probe_vals[pi], build_vals[bi]));
+                }
+            }
+        }
+        let mut got: Vec<(f64, f64)> = (0..out.num_rows())
+            .map(|i| (out.column("v").as_f64()[i], out.column("bv").as_f64()[i]))
+            .collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Distributed aggregation (partial per split, then final) equals
+    /// single-phase aggregation, however the rows are split.
+    #[test]
+    fn partial_final_agg_is_split_invariant(
+        keys in prop::collection::vec(0i64..8, 1..80),
+        split in 1usize..79,
+    ) {
+        let vals: Vec<f64> = keys.iter().map(|&k| k as f64 * 1.5 + 1.0).collect();
+        let all = kv_batch(&keys, &vals);
+        let split = split.min(keys.len());
+        let aggs = vec![
+            AggExpr::new(AggFunc::Sum, Expr::col("v"), "s"),
+            AggExpr::new(AggFunc::Avg, Expr::col("v"), "a"),
+            AggExpr::new(AggFunc::Count, Expr::lit_i64(1), "c"),
+            AggExpr::new(AggFunc::Min, Expr::col("k"), "mn"),
+            AggExpr::new(AggFunc::Max, Expr::col("k"), "mx"),
+        ];
+        let udfs = UdfRegistry::new();
+        let partial = Op::HashAggregate {
+            group_by: vec!["k".into()],
+            aggregates: aggs.clone(),
+            mode: AggMode::Partial,
+        };
+        let final_op = Op::HashAggregate {
+            group_by: vec!["k".into()],
+            aggregates: aggs.clone(),
+            mode: AggMode::Final,
+        };
+        let single = Op::HashAggregate {
+            group_by: vec!["k".into()],
+            aggregates: aggs,
+            mode: AggMode::Single,
+        };
+        let (p1, _) = execute_ops(
+            std::slice::from_ref(&partial),
+            &[vec![all.slice(0, split)]],
+            &udfs,
+        )
+        .unwrap();
+        let (p2, _) = execute_ops(
+            std::slice::from_ref(&partial),
+            &[vec![all.slice(split, all.num_rows())]],
+            &udfs,
+        )
+        .unwrap();
+        let merged: Vec<Batch> = p1.into_iter().chain(p2).collect();
+        let (fin, _) = execute_ops(std::slice::from_ref(&final_op), &[merged], &udfs).unwrap();
+        let (want, _) = execute_ops(std::slice::from_ref(&single), &[vec![all]], &udfs).unwrap();
+        prop_assert_eq!(&fin[0].columns, &want[0].columns);
+    }
+
+    /// Shuffle partitioning is complete, disjoint, and key-stable: the
+    /// same key never lands in two buckets, and bucket assignment is
+    /// independent of which rows accompany it.
+    #[test]
+    fn partitioning_is_complete_and_stable(
+        keys in prop::collection::vec(-50i64..50, 0..120),
+        n_buckets in 1usize..12,
+    ) {
+        let vals: Vec<f64> = keys.iter().map(|&k| k as f64).collect();
+        let batch = kv_batch(&keys, &vals);
+        let parts = partition_batch(&batch, &["k".to_string()], n_buckets).unwrap();
+        prop_assert_eq!(parts.len(), n_buckets);
+        let total: usize = parts.iter().map(Batch::num_rows).sum();
+        prop_assert_eq!(total, batch.num_rows());
+        // Key-to-bucket mapping is a function.
+        let mut seen: HashMap<i64, usize> = HashMap::new();
+        for (b, part) in parts.iter().enumerate() {
+            for &k in part.column("k").as_i64() {
+                if let Some(&prev) = seen.get(&k) {
+                    prop_assert_eq!(prev, b, "key {} split across buckets", k);
+                }
+                seen.insert(k, b);
+            }
+        }
+        // Stability: a singleton batch maps each key to the same bucket.
+        for (&k, &bucket) in &seen {
+            let single = kv_batch(&[k], &[0.0]);
+            let p = partition_batch(&single, &["k".to_string()], n_buckets).unwrap();
+            prop_assert_eq!(p[bucket].num_rows(), 1);
+        }
+    }
+
+    /// Boolean algebra over masks: De Morgan and double negation.
+    #[test]
+    fn expression_boolean_algebra(
+        keys in prop::collection::vec(-10i64..10, 1..50),
+        threshold in -10i64..10,
+    ) {
+        let vals: Vec<f64> = keys.iter().map(|&k| k as f64).collect();
+        let batch = kv_batch(&keys, &vals);
+        let udfs = UdfRegistry::new();
+        let a = Expr::col("k").cmp(CmpOp::Lt, Expr::lit_i64(threshold));
+        let b = Expr::col("v").cmp(CmpOp::Ge, Expr::lit_f64(0.0));
+        let not_and = Expr::Not(Box::new(Expr::And(vec![a.clone(), b.clone()])));
+        let or_nots = Expr::Or(vec![
+            Expr::Not(Box::new(a.clone())),
+            Expr::Not(Box::new(b.clone())),
+        ]);
+        prop_assert_eq!(
+            evaluate_mask(&not_and, &batch, &udfs).unwrap(),
+            evaluate_mask(&or_nots, &batch, &udfs).unwrap()
+        );
+        let double_neg = Expr::Not(Box::new(Expr::Not(Box::new(a.clone()))));
+        prop_assert_eq!(
+            evaluate_mask(&double_neg, &batch, &udfs).unwrap(),
+            evaluate_mask(&a, &batch, &udfs).unwrap()
+        );
+    }
+
+    /// Sort emits an ordered permutation of its input.
+    #[test]
+    fn sort_is_an_ordered_permutation(
+        keys in prop::collection::vec(-100i64..100, 1..80),
+        ascending in any::<bool>(),
+    ) {
+        let vals: Vec<f64> = (0..keys.len()).map(|i| i as f64).collect();
+        let batch = kv_batch(&keys, &vals);
+        let ops = vec![Op::Sort {
+            by: vec![("k".into(), ascending)],
+        }];
+        let (out, _) = execute_ops(&ops, &[vec![batch]], &UdfRegistry::new()).unwrap();
+        let out = Batch::concat(&out);
+        let sorted = out.column("k").as_i64();
+        prop_assert_eq!(sorted.len(), keys.len());
+        for w in sorted.windows(2) {
+            if ascending {
+                prop_assert!(w[0] <= w[1]);
+            } else {
+                prop_assert!(w[0] >= w[1]);
+            }
+        }
+        let mut a = keys.clone();
+        let mut b = sorted.to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// ScalarKey partition hashing is deterministic and value-faithful.
+    #[test]
+    fn scalar_keys_round_trip(x in any::<i64>(), s in "[a-z]{0,12}") {
+        let ki = ScalarKey::try_from_value(Value::Int64(x)).unwrap();
+        prop_assert_eq!(ki.partition_hash(), ScalarKey::try_from_value(Value::Int64(x)).unwrap().partition_hash());
+        prop_assert_eq!(ki.into_value(), Value::Int64(x));
+        let ks = ScalarKey::try_from_value(Value::Utf8(s.clone())).unwrap();
+        prop_assert_eq!(ks.into_value(), Value::Utf8(s));
+    }
+
+    /// Limit keeps exactly min(n, rows) leading rows.
+    #[test]
+    fn limit_takes_a_prefix(
+        keys in prop::collection::vec(any::<i64>(), 0..60),
+        n in 0u64..80,
+    ) {
+        let vals: Vec<f64> = (0..keys.len()).map(|i| i as f64).collect();
+        let batch = kv_batch(&keys, &vals);
+        let ops = vec![Op::Limit { n }];
+        let (out, _) = execute_ops(&ops, &[vec![batch]], &UdfRegistry::new()).unwrap();
+        let out = Batch::concat(&out);
+        let take = (n as usize).min(keys.len());
+        prop_assert_eq!(out.num_rows(), take);
+        prop_assert_eq!(out.column("k").as_i64(), &keys[..take]);
+    }
+}
+
+/// Deterministic (non-proptest) regression: group columns survive a full
+/// partial -> shuffle-partition -> final round trip.
+#[test]
+fn distributed_agg_through_partitioning() {
+    let keys: Vec<i64> = (0..200).map(|i| i % 7).collect();
+    let vals: Vec<f64> = (0..200).map(|i| i as f64).collect();
+    let batch = kv_batch(&keys, &vals);
+    let udfs = UdfRegistry::new();
+    let aggs = vec![AggExpr::new(AggFunc::Sum, Expr::col("v"), "s")];
+    let partial = Op::HashAggregate {
+        group_by: vec!["k".into()],
+        aggregates: aggs.clone(),
+        mode: AggMode::Partial,
+    };
+    // Two "workers" aggregate halves, partition by key into 3 buckets.
+    let (w1, _) = execute_ops(std::slice::from_ref(&partial), &[vec![batch.slice(0, 100)]], &udfs).unwrap();
+    let (w2, _) = execute_ops(std::slice::from_ref(&partial), &[vec![batch.slice(100, 200)]], &udfs).unwrap();
+    let mut buckets: Vec<Vec<Batch>> = vec![Vec::new(); 3];
+    for out in [w1, w2] {
+        for b in out {
+            for (i, p) in partition_batch(&b, &["k".to_string()], 3).unwrap().into_iter().enumerate() {
+                buckets[i].push(p);
+            }
+        }
+    }
+    // Three "reducers" finalise their buckets; union must equal single-phase.
+    let final_op = Op::HashAggregate {
+        group_by: vec!["k".into()],
+        aggregates: aggs.clone(),
+        mode: AggMode::Final,
+    };
+    let mut got: Vec<(i64, f64)> = Vec::new();
+    for bucket in buckets {
+        let (fin, _) = execute_ops(std::slice::from_ref(&final_op), &[bucket], &udfs).unwrap();
+        for i in 0..fin[0].num_rows() {
+            got.push((fin[0].column("k").as_i64()[i], fin[0].column("s").as_f64()[i]));
+        }
+    }
+    got.sort_by_key(|a| a.0);
+    let single = Op::HashAggregate {
+        group_by: vec!["k".into()],
+        aggregates: aggs,
+        mode: AggMode::Single,
+    };
+    let (want, _) = execute_ops(std::slice::from_ref(&single), &[vec![batch]], &udfs).unwrap();
+    let want_rows: Vec<(i64, f64)> = (0..want[0].num_rows())
+        .map(|i| (want[0].column("k").as_i64()[i], want[0].column("s").as_f64()[i]))
+        .collect();
+    assert_eq!(got, want_rows);
+    let _ = Rc::new(());
+}

@@ -1,0 +1,20 @@
+//! # skyrise-net — token-bucket network model
+//!
+//! Implements the network behaviour the paper derives for AWS (Sec. 4.2):
+//! per-endpoint dual token buckets with burst and baseline bandwidth,
+//! Lambda's slotted refill and refill-on-idle, EC2's size-dependent
+//! continuous buckets, the 5 Gbps single-flow limit, and the aggregate
+//! throughput ceiling observed inside customer VPCs.
+//!
+//! The central entry points are [`Nic`] (an endpoint), [`transfer`] (a
+//! timed, constraint-respecting data movement), and [`Fabric`] (a shared
+//! medium cap).
+
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod fabric;
+pub mod presets;
+
+pub use bucket::{IdleRefill, RateLimiter, RefillPolicy};
+pub use fabric::{transfer, Fabric, Nic, SharedNic, TransferOpts, TransferStats, DEFAULT_SLICE};

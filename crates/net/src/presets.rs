@@ -1,0 +1,86 @@
+//! NIC presets matching the parameters the paper derives for AWS.
+
+use crate::bucket::{IdleRefill, RateLimiter};
+use crate::fabric::{Nic, SharedNic};
+use skyrise_sim::{SimDuration, GIB, MIB};
+
+/// Lambda inbound burst bandwidth (paper Sec. 4.2.1: ~1.2 GiB/s).
+pub const LAMBDA_BURST_IN: f64 = 1.2 * GIB as f64;
+/// Lambda outbound burst bandwidth ("reduced and shows higher variation").
+pub const LAMBDA_BURST_OUT: f64 = 1.0 * GIB as f64;
+/// Rechargeable half of the Lambda token budget (~150 MiB).
+pub const LAMBDA_RECHARGEABLE: f64 = 150.0 * MIB as f64;
+/// One-off, non-rechargeable half of the Lambda token budget (~150 MiB).
+pub const LAMBDA_ONEOFF: f64 = 150.0 * MIB as f64;
+/// Lambda baseline refill: 7.5 MiB per 100 ms interval = 75 MiB/s.
+pub const LAMBDA_SLOT_BYTES: f64 = 7.5 * MIB as f64;
+/// Lambda baseline refill slot length.
+pub const LAMBDA_SLOT: SimDuration = SimDuration::from_millis(100);
+/// Idle gap after which the rechargeable pool refills.
+pub const LAMBDA_IDLE_THRESHOLD: SimDuration = SimDuration::from_millis(500);
+/// Aggregate throughput ceiling observed inside a customer VPC (~20 GiB/s).
+pub const VPC_AGGREGATE_CAP: f64 = 20.0 * GIB as f64;
+/// EC2 single-flow (single TCP connection) limit: 5 Gbps.
+pub const EC2_SINGLE_FLOW_CAP: f64 = 5.0 / 8.0 * 1e9;
+
+/// The egress/ingress limiter of a Lambda function sandbox. `scale`
+/// perturbs the burst bandwidth (sampled per sandbox by the platform to
+/// model the "high variation for burst throughputs" with "very stable
+/// burst capacities").
+pub fn lambda_limiter(burst_rate: f64) -> RateLimiter {
+    RateLimiter::lambda_style(
+        burst_rate,
+        LAMBDA_RECHARGEABLE,
+        LAMBDA_ONEOFF,
+        LAMBDA_SLOT,
+        LAMBDA_SLOT_BYTES,
+        IdleRefill {
+            threshold: LAMBDA_IDLE_THRESHOLD,
+            fraction: 1.0,
+        },
+    )
+}
+
+/// A Lambda sandbox NIC with nominal (unperturbed) parameters.
+pub fn lambda_nic() -> SharedNic {
+    lambda_nic_scaled(1.0, 1.0)
+}
+
+/// A Lambda sandbox NIC with per-direction burst-rate scaling factors.
+pub fn lambda_nic_scaled(in_scale: f64, out_scale: f64) -> SharedNic {
+    Nic::new(
+        lambda_limiter(LAMBDA_BURST_IN * in_scale),
+        lambda_limiter(LAMBDA_BURST_OUT * out_scale),
+    )
+}
+
+/// An EC2-style NIC from burst bandwidth, baseline bandwidth, and bucket
+/// capacity (each direction identical; EC2 buckets are symmetric).
+pub fn ec2_nic(burst: f64, baseline: f64, bucket: f64) -> SharedNic {
+    Nic::symmetric(RateLimiter::continuous(burst, baseline, bucket))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_nic_has_independent_directions() {
+        let nic = lambda_nic();
+        let n = nic.borrow();
+        assert!(n.inbound.burst_rate() > n.outbound.burst_rate());
+        assert_eq!(n.inbound.available(), 300.0 * MIB as f64);
+    }
+
+    #[test]
+    fn lambda_baseline_is_75_mibps() {
+        let nic = lambda_nic();
+        let n = nic.borrow();
+        assert!((n.inbound.baseline_rate() - 75.0 * MIB as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_flow_cap_is_5_gbps() {
+        assert_eq!(EC2_SINGLE_FLOW_CAP, 625e6);
+    }
+}

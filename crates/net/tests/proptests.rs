@@ -1,0 +1,103 @@
+//! Property-based invariants of the token-bucket network model.
+
+use proptest::prelude::*;
+use skyrise_net::{IdleRefill, RateLimiter};
+use skyrise_sim::{SimDuration, SimTime};
+
+const SLICE: SimDuration = SimDuration::from_millis(10);
+
+proptest! {
+    /// Conservation: a continuous bucket can never grant more than its
+    /// initial capacity plus baseline-rate x elapsed time.
+    #[test]
+    fn continuous_bucket_conserves_tokens(
+        burst_mibs in 10.0f64..2000.0,
+        base_mibs in 1.0f64..500.0,
+        cap_mib in 1.0f64..1000.0,
+        demands in prop::collection::vec(0.0f64..50e6, 1..200),
+    ) {
+        let mib = 1024.0 * 1024.0;
+        let mut b = RateLimiter::continuous(burst_mibs * mib, base_mibs * mib, cap_mib * mib);
+        let mut t = SimTime::ZERO;
+        let mut granted = 0.0;
+        for d in &demands {
+            granted += b.grant(t, SLICE, *d);
+            t += SLICE;
+        }
+        let elapsed = (demands.len() as f64 - 1.0).max(0.0) * SLICE.as_secs_f64();
+        let budget = cap_mib * mib + base_mibs * mib * elapsed + 1.0;
+        prop_assert!(granted <= budget, "granted {granted} > budget {budget}");
+    }
+
+    /// The burst-rate ceiling holds per slice, whatever the token level.
+    #[test]
+    fn grant_never_exceeds_burst_rate_per_slice(
+        burst_mibs in 1.0f64..1000.0,
+        steps in 1usize..100,
+    ) {
+        let mib = 1024.0 * 1024.0;
+        let mut b = RateLimiter::continuous(burst_mibs * mib, burst_mibs * mib, 100.0 * 1e9);
+        let per_slice = burst_mibs * mib * SLICE.as_secs_f64();
+        let mut t = SimTime::ZERO;
+        for _ in 0..steps {
+            let g = b.grant(t, SLICE, f64::MAX);
+            prop_assert!(g <= per_slice + 1.0, "{g} > {per_slice}");
+            t += SLICE;
+        }
+    }
+
+    /// Lambda-style buckets: total spend never exceeds one-off + initial
+    /// rechargeable + slot refills + idle refills (bounded by elapsed
+    /// idle periods x capacity).
+    #[test]
+    fn lambda_bucket_oneoff_never_refills(
+        idle_gaps in prop::collection::vec(1u64..10, 1..6),
+    ) {
+        let mib = 1024.0 * 1024.0;
+        let mut b = RateLimiter::lambda_style(
+            1200.0 * mib,
+            150.0 * mib,
+            150.0 * mib,
+            SimDuration::from_millis(100),
+            7.5 * mib,
+            IdleRefill {
+                threshold: SimDuration::from_millis(500),
+                fraction: 1.0,
+            },
+        );
+        let mut t = SimTime::ZERO;
+        // Drain fully.
+        for _ in 0..200 {
+            b.grant(t, SLICE, f64::MAX);
+            t += SLICE;
+        }
+        prop_assert!(b.oneoff() < 1.0, "one-off spent after drain");
+        // Any sequence of idle gaps only ever restores the rechargeable half.
+        for gap_s in idle_gaps {
+            t += SimDuration::from_secs(gap_s);
+            b.advance(t);
+            prop_assert!(b.oneoff() < 1.0, "one-off must never refill");
+            prop_assert!(
+                b.available() <= 150.0 * mib + 1.0,
+                "idle refill capped at the rechargeable half: {}",
+                b.available() / mib
+            );
+            // Drain again.
+            for _ in 0..30 {
+                b.grant(t, SLICE, f64::MAX);
+                t += SLICE;
+            }
+        }
+    }
+
+    /// Granting is monotone in demand: asking for less never yields more.
+    #[test]
+    fn grant_is_monotone_in_demand(want_a in 0.0f64..1e9, want_b in 0.0f64..1e9) {
+        let (lo, hi) = if want_a <= want_b { (want_a, want_b) } else { (want_b, want_a) };
+        let mk = || RateLimiter::continuous(1e9, 1e8, 5e8);
+        let g_lo = mk().grant(SimTime::ZERO, SLICE, lo);
+        let g_hi = mk().grant(SimTime::ZERO, SLICE, hi);
+        prop_assert!(g_lo <= g_hi + 1e-9);
+        prop_assert!(g_lo <= lo + 1e-9);
+    }
+}

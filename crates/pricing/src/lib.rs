@@ -1,0 +1,36 @@
+//! # skyrise-pricing — AWS price catalog, cost metering, break-even analysis
+//!
+//! Three pieces:
+//!
+//! * [`catalog`] — the published prices and configurations the paper's
+//!   Tables 1 and 2 report (Lambda, EC2 C6g/C6gn/C6gd, S3 Standard/Express,
+//!   DynamoDB, EFS, EBS).
+//! * [`meter`] — the usage ledger every simulated service reports into,
+//!   mirroring the paper's client hook that "counts all requests, including
+//!   failures and retries", and the invoice derived from it.
+//! * [`breakeven`] — the Sec. 5.3 economics: both cloud variants of the
+//!   five-minute rule (Table 7) and break-even shuffle access sizes
+//!   (Table 8).
+
+#![warn(missing_docs)]
+
+pub mod breakeven;
+pub mod catalog;
+pub mod meter;
+
+pub use catalog::{
+    ec2_catalog, ec2_instance, Ec2InstanceSpec, LambdaPricing, SsdSpec, StoragePricing,
+    StorageService, LAMBDA_MIB_PER_VCPU,
+};
+pub use meter::{CostReport, UsageMeter};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The shared handle services use to report usage.
+pub type SharedMeter = Rc<RefCell<UsageMeter>>;
+
+/// Create a fresh shared meter.
+pub fn shared_meter() -> SharedMeter {
+    Rc::new(RefCell::new(UsageMeter::new()))
+}

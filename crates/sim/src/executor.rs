@@ -1,0 +1,701 @@
+//! A single-threaded async executor driven by virtual time.
+//!
+//! Services in the simulation are written as ordinary `async fn`s that call
+//! [`SimCtx::sleep`] instead of blocking. The executor polls ready tasks to
+//! quiescence, then jumps the virtual clock straight to the next timer
+//! deadline — so a simulated day costs only as many polls as there are
+//! events in it.
+//!
+//! The executor is deliberately deterministic: tasks are woken in FIFO
+//! order, timers with equal deadlines fire in registration order, and the
+//! only randomness available to tasks flows through the seeded [`SimRng`]
+//! accessible via [`SimCtx::with_rng`].
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::{Rc, Weak};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+type LocalBoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Identifier of a spawned task.
+pub type TaskId = u64;
+
+/// The shared wake queue. `Waker` must be `Send + Sync`, so this small piece
+/// of state uses `Arc<Mutex<..>>` even though the executor itself is
+/// single-threaded.
+#[derive(Default)]
+struct WakeQueue {
+    woken: Mutex<Vec<TaskId>>,
+}
+
+struct TaskWaker {
+    id: TaskId,
+    queue: Arc<WakeQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.queue
+            .woken
+            .lock()
+            .expect("wake queue poisoned")
+            .push(self.id);
+    }
+}
+
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+    waker: Waker,
+    fired: Rc<Cell<bool>>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct SimState {
+    now: Cell<SimTime>,
+    tasks: RefCell<HashMap<TaskId, LocalBoxFuture>>,
+    ready: RefCell<VecDeque<TaskId>>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    next_task_id: Cell<TaskId>,
+    next_timer_seq: Cell<u64>,
+    rng: RefCell<SimRng>,
+    wake_queue: Arc<WakeQueue>,
+    /// Count of tasks that have been spawned but not yet completed.
+    live_tasks: Cell<usize>,
+}
+
+/// The simulation: owns the virtual clock, task set, and timer wheel.
+///
+/// Typical structure of an experiment:
+///
+/// ```
+/// use skyrise_sim::{Sim, SimDuration};
+///
+/// let mut sim = Sim::new(42);
+/// let ctx = sim.ctx();
+/// let handle = sim.spawn(async move {
+///     ctx.sleep(SimDuration::from_secs(5)).await;
+///     ctx.now()
+/// });
+/// sim.run();
+/// assert_eq!(handle.try_take().unwrap().as_secs_f64(), 5.0);
+/// ```
+pub struct Sim {
+    state: Rc<SimState>,
+}
+
+/// A cloneable handle onto the simulation, usable from inside tasks.
+#[derive(Clone)]
+pub struct SimCtx {
+    state: Weak<SimState>,
+}
+
+impl Sim {
+    /// Create a simulation with the given RNG seed. Identical seeds yield
+    /// identical runs.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            state: Rc::new(SimState {
+                now: Cell::new(SimTime::ZERO),
+                tasks: RefCell::new(HashMap::new()),
+                ready: RefCell::new(VecDeque::new()),
+                timers: RefCell::new(BinaryHeap::new()),
+                next_task_id: Cell::new(0),
+                next_timer_seq: Cell::new(0),
+                rng: RefCell::new(SimRng::new(seed)),
+                wake_queue: Arc::new(WakeQueue::default()),
+                live_tasks: Cell::new(0),
+            }),
+        }
+    }
+
+    /// A handle for spawning and sleeping from inside tasks.
+    pub fn ctx(&self) -> SimCtx {
+        SimCtx {
+            state: Rc::downgrade(&self.state),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.state.now.get()
+    }
+
+    /// Spawn a root task. See [`SimCtx::spawn`].
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        self.ctx().spawn(fut)
+    }
+
+    /// Run until no task is runnable and no timer is pending.
+    ///
+    /// Returns the virtual time at quiescence. Panics if tasks remain alive
+    /// but blocked forever (deadlock) — this is a bug in the simulation
+    /// model, and failing loudly beats hanging.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run until quiescence or until the clock would pass `limit`,
+    /// whichever comes first. Timers beyond `limit` stay pending.
+    pub fn run_until(&mut self, limit: SimTime) -> SimTime {
+        loop {
+            self.drain_ready();
+            // No runnable tasks: advance to the next timer.
+            let next = {
+                let mut timers = self.state.timers.borrow_mut();
+                loop {
+                    match timers.peek() {
+                        Some(Reverse(e)) if e.fired.get() => {
+                            // Stale duplicate entry from a re-registered sleep.
+                            timers.pop();
+                        }
+                        Some(Reverse(e)) => break Some(e.deadline),
+                        None => break None,
+                    }
+                }
+            };
+            match next {
+                Some(deadline) if deadline <= limit => {
+                    self.state.now.set(deadline);
+                    // Fire every timer at this deadline.
+                    let mut timers = self.state.timers.borrow_mut();
+                    while let Some(Reverse(e)) = timers.peek() {
+                        if e.deadline > deadline {
+                            break;
+                        }
+                        let e = timers.pop().expect("peeked entry").0;
+                        if !e.fired.replace(true) {
+                            e.waker.wake();
+                        }
+                    }
+                }
+                Some(_) => return self.state.now.get(), // next event beyond limit
+                None => {
+                    let live = self.state.live_tasks.get();
+                    assert!(
+                        live == 0,
+                        "simulation deadlock: {live} task(s) blocked with no pending timer"
+                    );
+                    return self.state.now.get();
+                }
+            }
+        }
+    }
+
+    /// Poll every woken task until the ready queue is empty.
+    fn drain_ready(&mut self) {
+        loop {
+            // Pull wakes accumulated since the last pass.
+            {
+                let mut woken = self
+                    .state
+                    .wake_queue
+                    .woken
+                    .lock()
+                    .expect("wake queue poisoned");
+                let mut ready = self.state.ready.borrow_mut();
+                ready.extend(woken.drain(..));
+            }
+            let Some(id) = self.state.ready.borrow_mut().pop_front() else {
+                // Re-check: a wake may have raced in (not possible single-
+                // threaded, but cheap to verify emptiness once more).
+                let empty = self
+                    .state
+                    .wake_queue
+                    .woken
+                    .lock()
+                    .expect("wake queue poisoned")
+                    .is_empty();
+                if empty {
+                    return;
+                }
+                continue;
+            };
+            let Some(mut fut) = self.state.tasks.borrow_mut().remove(&id) else {
+                continue; // task already completed; stale wake
+            };
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                queue: Arc::clone(&self.state.wake_queue),
+            }));
+            let mut cx = Context::from_waker(&waker);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    self.state.live_tasks.set(self.state.live_tasks.get() - 1);
+                }
+                Poll::Pending => {
+                    self.state.tasks.borrow_mut().insert(id, fut);
+                }
+            }
+        }
+    }
+}
+
+impl SimCtx {
+    fn state(&self) -> Rc<SimState> {
+        self.state
+            .upgrade()
+            .expect("SimCtx used after simulation was dropped")
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.state().now.get()
+    }
+
+    /// Spawn a task onto the simulation; returns a handle that resolves to
+    /// the task's output.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let state = self.state();
+        let id = state.next_task_id.get();
+        state.next_task_id.set(id + 1);
+        state.live_tasks.set(state.live_tasks.get() + 1);
+
+        let slot: Rc<RefCell<JoinSlot<F::Output>>> = Rc::new(RefCell::new(JoinSlot::default()));
+        let slot2 = Rc::clone(&slot);
+        let wrapped: LocalBoxFuture = Box::pin(async move {
+            let out = fut.await;
+            let mut s = slot2.borrow_mut();
+            s.value = Some(out);
+            if let Some(w) = s.waiter.take() {
+                w.wake();
+            }
+        });
+        state.tasks.borrow_mut().insert(id, wrapped);
+        state.ready.borrow_mut().push_back(id);
+        JoinHandle { slot }
+    }
+
+    /// Sleep for a span of virtual time.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        Sleep {
+            ctx: self.clone(),
+            deadline: self.now().saturating_add(d),
+            fired: None,
+        }
+    }
+
+    /// Sleep until an absolute virtual instant (no-op if already past).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            ctx: self.clone(),
+            deadline,
+            fired: None,
+        }
+    }
+
+    /// Yield once, letting every other ready task run before resuming.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Access the simulation RNG. All model randomness must flow through
+    /// here to preserve determinism.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut SimRng) -> T) -> T {
+        let state = self.state();
+        let mut rng = state.rng.borrow_mut();
+        f(&mut rng)
+    }
+
+    fn register_timer(&self, deadline: SimTime, waker: Waker) -> Rc<Cell<bool>> {
+        let state = self.state();
+        let fired = Rc::new(Cell::new(false));
+        let seq = state.next_timer_seq.get();
+        state.next_timer_seq.set(seq + 1);
+        state.timers.borrow_mut().push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            waker,
+            fired: Rc::clone(&fired),
+        }));
+        fired
+    }
+}
+
+struct JoinSlot<T> {
+    value: Option<T>,
+    waiter: Option<Waker>,
+}
+
+impl<T> Default for JoinSlot<T> {
+    fn default() -> Self {
+        JoinSlot {
+            value: None,
+            waiter: None,
+        }
+    }
+}
+
+/// Handle resolving to a spawned task's output. Awaiting it yields the
+/// value; [`JoinHandle::try_take`] retrieves it after the simulation ran.
+pub struct JoinHandle<T> {
+    slot: Rc<RefCell<JoinSlot<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Take the task output if the task has completed.
+    pub fn try_take(&self) -> Option<T> {
+        self.slot.borrow_mut().value.take()
+    }
+
+    /// True once the task has completed (and the value was not taken yet).
+    pub fn is_finished(&self) -> bool {
+        self.slot.borrow().value.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut slot = self.slot.borrow_mut();
+        if let Some(v) = slot.value.take() {
+            Poll::Ready(v)
+        } else {
+            slot.waiter = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`SimCtx::sleep`].
+pub struct Sleep {
+    ctx: SimCtx,
+    deadline: SimTime,
+    fired: Option<Rc<Cell<bool>>>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.ctx.now() >= self.deadline {
+            if let Some(f) = &self.fired {
+                f.set(true); // cancel pending timer entry
+            }
+            return Poll::Ready(());
+        }
+        // (Re-)register on every pending poll: spurious wakes or waker
+        // migration across combinators both stay correct this way. The
+        // previous entry (if any) is cancelled so it cannot keep the
+        // simulation alive after this future is dropped or re-polled.
+        if let Some(old) = self.fired.take() {
+            old.set(true);
+        }
+        let deadline = self.deadline;
+        let fired = self.ctx.register_timer(deadline, cx.waker().clone());
+        self.fired = Some(fired);
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(f) = &self.fired {
+            f.set(true);
+        }
+    }
+}
+
+/// Future returned by [`SimCtx::yield_now`]: pending exactly once.
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Result of [`race`]: which future finished first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The first future won.
+    Left(A),
+    /// The second future won.
+    Right(B),
+}
+
+/// Run two futures concurrently; resolve with the first to finish and drop
+/// the loser. Ties (both ready on the same poll) go to the left.
+pub fn race<A: Future, B: Future>(a: A, b: B) -> Race<A, B> {
+    Race { a, b }
+}
+
+/// Future returned by [`race`].
+pub struct Race<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Future, B: Future> Future for Race<A, B> {
+    type Output = Either<A::Output, B::Output>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: `a` and `b` are structurally pinned — never moved out of
+        // `self`, which is pinned for our whole lifetime.
+        let this = unsafe { self.get_unchecked_mut() };
+        let a = unsafe { Pin::new_unchecked(&mut this.a) };
+        if let Poll::Ready(v) = a.poll(cx) {
+            return Poll::Ready(Either::Left(v));
+        }
+        let b = unsafe { Pin::new_unchecked(&mut this.b) };
+        if let Poll::Ready(v) = b.poll(cx) {
+            return Poll::Ready(Either::Right(v));
+        }
+        Poll::Pending
+    }
+}
+
+/// Await all handles, collecting outputs in order.
+pub async fn join_all<T>(handles: Vec<JoinHandle<T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(handles.len());
+    for h in handles {
+        out.push(h.await);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances_by_sleep() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.sleep(SimDuration::from_millis(100)).await;
+            ctx.now()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), SimTime::from_nanos(100_000_000));
+    }
+
+    #[test]
+    fn no_wall_clock_cost_for_long_sleeps() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            ctx.sleep(SimDuration::from_days(365)).await;
+        });
+        let t0 = std::time::Instant::now();
+        let end = sim.run();
+        assert_eq!(end, SimTime::from_nanos(365 * 86_400 * 1_000_000_000));
+        assert!(t0.elapsed().as_millis() < 100);
+    }
+
+    #[test]
+    fn concurrent_tasks_interleave_in_time_order() {
+        let mut sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<(u64, &str)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (name, delay) in [("b", 20u64), ("a", 10), ("c", 30)] {
+            let ctx = sim.ctx();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                ctx.sleep(SimDuration::from_millis(delay)).await;
+                log.borrow_mut().push((ctx.now().as_nanos(), name));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        let names: Vec<&str> = log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_deadlines_fire_in_registration_order() {
+        let mut sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5u32 {
+            let ctx = sim.ctx();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                ctx.sleep(SimDuration::from_millis(7)).await;
+                log.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_and_join() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let inner = ctx.spawn({
+                let ctx = ctx.clone();
+                async move {
+                    ctx.sleep(SimDuration::from_secs(1)).await;
+                    21u32
+                }
+            });
+            inner.await * 2
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(42));
+    }
+
+    #[test]
+    fn join_all_collects_in_order() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let handles: Vec<_> = (0..10u64)
+                .map(|i| {
+                    let ctx = ctx.clone();
+                    ctx.clone().spawn(async move {
+                        // Reverse delays: later-indexed tasks finish first.
+                        ctx.sleep(SimDuration::from_millis(10 - i)).await;
+                        i
+                    })
+                })
+                .collect();
+            join_all(handles).await
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            ctx.sleep(SimDuration::from_secs(100)).await;
+        });
+        let t = sim.run_until(SimTime::from_nanos(5_000_000_000));
+        assert!(t.as_nanos() <= 5_000_000_000);
+        assert!(!h.is_finished());
+        sim.run();
+        assert!(h.is_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_detection() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            // A join handle for a task that never gets spawned elsewhere:
+            // block forever on a channel with no sender activity.
+            let (_tx, mut rx) = crate::sync::channel::<()>(&ctx);
+            // keep _tx alive so recv never resolves with None
+            let _keep = _tx.clone();
+            rx.recv().await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn race_picks_earlier_future() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let slow = ctx.sleep(SimDuration::from_secs(10));
+            let fast = ctx.sleep(SimDuration::from_millis(5));
+            match race(slow, fast).await {
+                Either::Left(()) => "slow",
+                Either::Right(()) => "fast",
+            }
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some("fast"));
+    }
+
+    #[test]
+    fn race_loser_is_cancelled() {
+        // After the race resolves, the losing sleep must not keep the
+        // simulation alive: total runtime stays at the winner's deadline.
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            let _ = race(
+                ctx.sleep(SimDuration::from_secs(100)),
+                ctx.sleep(SimDuration::from_millis(1)),
+            )
+            .await;
+        });
+        let end = sim.run();
+        assert!(end.as_secs_f64() < 1.0, "end {end}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn trace(seed: u64) -> Vec<u64> {
+            let mut sim = Sim::new(seed);
+            let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..20 {
+                let ctx = sim.ctx();
+                let log = Rc::clone(&log);
+                sim.spawn(async move {
+                    let d = ctx.with_rng(|r| r.gen_range_u64(1, 1000));
+                    ctx.sleep(SimDuration::from_micros(d)).await;
+                    log.borrow_mut().push(ctx.now().as_nanos());
+                });
+            }
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(trace(7), trace(7));
+        assert_ne!(trace(7), trace(8));
+    }
+
+    #[test]
+    fn yield_now_lets_others_run() {
+        let mut sim = Sim::new(1);
+        let flag = Rc::new(Cell::new(false));
+        let f2 = Rc::clone(&flag);
+        let ctx = sim.ctx();
+        let ctx2 = sim.ctx();
+        sim.spawn(async move {
+            ctx.yield_now().await;
+            // By now the other task (spawned after us) must have run.
+            assert!(f2.get());
+        });
+        sim.spawn(async move {
+            let _ = ctx2; // same tick
+            flag.set(true);
+        });
+        sim.run();
+    }
+}

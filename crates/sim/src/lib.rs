@@ -1,0 +1,34 @@
+//! # skyrise-sim — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the Skyrise evaluation platform: a single-threaded
+//! async executor whose clock is *virtual*. Infrastructure models (networks,
+//! storage services, FaaS platforms) are ordinary `async fn`s that sleep on
+//! the virtual clock; a simulated multi-day experiment completes in
+//! milliseconds and is bit-for-bit reproducible from its seed.
+//!
+//! ## Modules
+//! * [`executor`] — the [`Sim`] event loop, task spawning, virtual sleep
+//! * [`time`] — [`SimTime`] / [`SimDuration`]
+//! * [`rng`] — seeded RNG and heavy-tailed latency distributions
+//! * [`sync`] — channels, semaphores, events, wait groups
+//! * [`metrics`] — interval throughput series, latency histograms, stats
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod metrics;
+pub mod rng;
+pub mod sync;
+pub mod time;
+
+pub use executor::{join_all, race, Either, JoinHandle, Sim, SimCtx};
+pub use metrics::{Histogram, HistogramSummary, IntervalSeries};
+pub use rng::{LatencyDist, SimRng};
+pub use time::{SimDuration, SimTime};
+
+/// Bytes in one kibibyte.
+pub const KIB: u64 = 1024;
+/// Bytes in one mebibyte.
+pub const MIB: u64 = 1024 * 1024;
+/// Bytes in one gibibyte.
+pub const GIB: u64 = 1024 * 1024 * 1024;

@@ -1,0 +1,669 @@
+//! Asynchronous coordination primitives for simulation tasks.
+//!
+//! All primitives are single-threaded (`Rc`-based) and deterministic:
+//! waiters are released strictly in FIFO order.
+
+use crate::executor::SimCtx;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+// ---------------------------------------------------------------------------
+// mpsc channel
+// ---------------------------------------------------------------------------
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    recv_waker: Option<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Sending half of an unbounded channel. Cloneable.
+pub struct Sender<T> {
+    state: Rc<RefCell<ChannelState<T>>>,
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    state: Rc<RefCell<ChannelState<T>>>,
+}
+
+/// Create an unbounded mpsc channel. The `ctx` argument pins the channel to
+/// a simulation (not otherwise used today, but part of the API contract so
+/// primitives can later hook the scheduler).
+pub fn channel<T>(_ctx: &SimCtx) -> (Sender<T>, Receiver<T>) {
+    let state = Rc::new(RefCell::new(ChannelState {
+        queue: VecDeque::new(),
+        recv_waker: None,
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (
+        Sender {
+            state: Rc::clone(&state),
+        },
+        Receiver { state },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a value. Returns `Err(v)` if the receiver is gone.
+    pub fn send(&self, v: T) -> Result<(), T> {
+        let mut s = self.state.borrow_mut();
+        if !s.receiver_alive {
+            return Err(v);
+        }
+        s.queue.push_back(v);
+        if let Some(w) = s.recv_waker.take() {
+            w.wake();
+        }
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.state.borrow_mut().senders += 1;
+        Sender {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self.state.borrow_mut();
+        s.senders -= 1;
+        if s.senders == 0 {
+            if let Some(w) = s.recv_waker.take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive the next value; resolves to `None` once all senders dropped
+    /// and the queue drained.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { rx: self }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.state.borrow_mut().queue.pop_front()
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// True when no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.state.borrow_mut().receiver_alive = false;
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    rx: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut s = self.rx.state.borrow_mut();
+        if let Some(v) = s.queue.pop_front() {
+            return Poll::Ready(Some(v));
+        }
+        if s.senders == 0 {
+            return Poll::Ready(None);
+        }
+        s.recv_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// oneshot
+// ---------------------------------------------------------------------------
+
+struct OneshotState<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    sender_alive: bool,
+}
+
+/// Sending half of a oneshot channel.
+pub struct OneshotSender<T> {
+    state: Rc<RefCell<OneshotState<T>>>,
+}
+
+/// Receiving half of a oneshot channel; a future.
+pub struct OneshotReceiver<T> {
+    state: Rc<RefCell<OneshotState<T>>>,
+}
+
+/// Create a oneshot channel.
+pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let state = Rc::new(RefCell::new(OneshotState {
+        value: None,
+        waker: None,
+        sender_alive: true,
+    }));
+    (
+        OneshotSender {
+            state: Rc::clone(&state),
+        },
+        OneshotReceiver { state },
+    )
+}
+
+impl<T> OneshotSender<T> {
+    /// Deliver the value, waking the receiver.
+    pub fn send(self, v: T) {
+        let mut s = self.state.borrow_mut();
+        s.value = Some(v);
+        if let Some(w) = s.waker.take() {
+            w.wake();
+        }
+        // Drop impl will mark sender dead; value already present.
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        let mut s = self.state.borrow_mut();
+        s.sender_alive = false;
+        if let Some(w) = s.waker.take() {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Future for OneshotReceiver<T> {
+    type Output = Option<T>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut s = self.state.borrow_mut();
+        if let Some(v) = s.value.take() {
+            return Poll::Ready(Some(v));
+        }
+        if !s.sender_alive {
+            return Poll::Ready(None);
+        }
+        s.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+struct Waiter {
+    waker: Option<Waker>,
+    /// `None` while waiting, `Some(true)` once granted, `Some(false)` if the
+    /// acquire future was dropped before being granted.
+    state: Cell<WaiterState>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WaiterState {
+    Waiting,
+    Granted,
+    Cancelled,
+}
+
+struct SemState {
+    permits: usize,
+    waiters: VecDeque<Rc<RefCell<Waiter>>>,
+}
+
+/// A counting semaphore with FIFO fairness.
+#[derive(Clone)]
+pub struct Semaphore {
+    state: Rc<RefCell<SemState>>,
+}
+
+impl Semaphore {
+    /// Create with an initial permit count.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            state: Rc::new(RefCell::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> usize {
+        self.state.borrow().permits
+    }
+
+    /// Acquire one permit, waiting if none is available. The permit is
+    /// released when the returned guard drops.
+    pub fn acquire(&self) -> Acquire {
+        Acquire {
+            sem: self.clone(),
+            waiter: None,
+        }
+    }
+
+    /// Try to acquire without waiting.
+    pub fn try_acquire(&self) -> Option<SemaphoreGuard> {
+        let mut s = self.state.borrow_mut();
+        if s.permits > 0 && s.waiters.is_empty() {
+            s.permits -= 1;
+            Some(SemaphoreGuard { sem: self.clone() })
+        } else {
+            None
+        }
+    }
+
+    /// Add permits (used by guards on drop and for dynamic resizing).
+    pub fn release(&self, n: usize) {
+        let mut s = self.state.borrow_mut();
+        s.permits += n;
+        // Hand permits to waiters in FIFO order.
+        while s.permits > 0 {
+            let Some(w) = s.waiters.pop_front() else {
+                break;
+            };
+            let w = w.borrow_mut();
+            match w.state.get() {
+                WaiterState::Cancelled => continue,
+                WaiterState::Waiting => {
+                    s.permits -= 1;
+                    w.state.set(WaiterState::Granted);
+                    if let Some(waker) = w.waker.clone() {
+                        waker.wake();
+                    }
+                }
+                WaiterState::Granted => unreachable!("granted waiter still queued"),
+            }
+        }
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct Acquire {
+    sem: Semaphore,
+    waiter: Option<Rc<RefCell<Waiter>>>,
+}
+
+impl Future for Acquire {
+    type Output = SemaphoreGuard;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<SemaphoreGuard> {
+        if let Some(w) = &self.waiter {
+            let wb = w.borrow_mut();
+            match wb.state.get() {
+                WaiterState::Granted => {
+                    drop(wb);
+                    self.waiter = None;
+                    return Poll::Ready(SemaphoreGuard {
+                        sem: self.sem.clone(),
+                    });
+                }
+                WaiterState::Waiting => {
+                    drop(wb);
+                    w.borrow_mut().waker = Some(cx.waker().clone());
+                    return Poll::Pending;
+                }
+                WaiterState::Cancelled => unreachable!("cancelled while polled"),
+            }
+        }
+        // First poll: fast path or enqueue.
+        let mut s = self.sem.state.borrow_mut();
+        if s.permits > 0 && s.waiters.is_empty() {
+            s.permits -= 1;
+            drop(s);
+            return Poll::Ready(SemaphoreGuard {
+                sem: self.sem.clone(),
+            });
+        }
+        let w = Rc::new(RefCell::new(Waiter {
+            waker: Some(cx.waker().clone()),
+            state: Cell::new(WaiterState::Waiting),
+        }));
+        s.waiters.push_back(Rc::clone(&w));
+        drop(s);
+        self.waiter = Some(w);
+        Poll::Pending
+    }
+}
+
+impl Drop for Acquire {
+    fn drop(&mut self) {
+        if let Some(w) = &self.waiter {
+            let state = w.borrow().state.get();
+            match state {
+                WaiterState::Waiting => w.borrow().state.set(WaiterState::Cancelled),
+                // Granted but never returned: give the permit back.
+                WaiterState::Granted => self.sem.release(1),
+                WaiterState::Cancelled => {}
+            }
+        }
+    }
+}
+
+/// RAII permit. Dropping releases the permit.
+pub struct SemaphoreGuard {
+    sem: Semaphore,
+}
+
+impl Drop for SemaphoreGuard {
+    fn drop(&mut self) {
+        self.sem.release(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event (one-time broadcast) and WaitGroup
+// ---------------------------------------------------------------------------
+
+struct EventState {
+    set: bool,
+    waiters: Vec<Waker>,
+}
+
+/// A one-time broadcast event: tasks wait until some task calls `set()`.
+/// Used for experiment start barriers (the paper synchronises client VMs
+/// "via a shared queue upon startup").
+#[derive(Clone)]
+pub struct Event {
+    state: Rc<RefCell<EventState>>,
+}
+
+impl Default for Event {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Event {
+    /// Create an unset event.
+    pub fn new() -> Self {
+        Event {
+            state: Rc::new(RefCell::new(EventState {
+                set: false,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Fire the event, waking all waiters. Idempotent.
+    pub fn set(&self) {
+        let mut s = self.state.borrow_mut();
+        s.set = true;
+        for w in s.waiters.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// True once fired.
+    pub fn is_set(&self) -> bool {
+        self.state.borrow().set
+    }
+
+    /// Wait until the event fires (immediate if already fired).
+    pub fn wait(&self) -> EventWait {
+        EventWait {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+/// Future returned by [`Event::wait`].
+pub struct EventWait {
+    state: Rc<RefCell<EventState>>,
+}
+
+impl Future for EventWait {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut s = self.state.borrow_mut();
+        if s.set {
+            Poll::Ready(())
+        } else {
+            s.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Counts down from `n`; waiters resume when the count reaches zero.
+#[derive(Clone)]
+pub struct WaitGroup {
+    remaining: Rc<Cell<usize>>,
+    event: Event,
+}
+
+impl WaitGroup {
+    /// Create with an initial count.
+    pub fn new(n: usize) -> Self {
+        let wg = WaitGroup {
+            remaining: Rc::new(Cell::new(n)),
+            event: Event::new(),
+        };
+        if n == 0 {
+            wg.event.set();
+        }
+        wg
+    }
+
+    /// Decrement the count; fires waiters at zero. Panics below zero.
+    pub fn done(&self) {
+        let r = self.remaining.get();
+        assert!(r > 0, "WaitGroup::done called more times than count");
+        self.remaining.set(r - 1);
+        if r == 1 {
+            self.event.set();
+        }
+    }
+
+    /// Wait for the count to reach zero.
+    pub fn wait(&self) -> EventWait {
+        self.event.wait()
+    }
+
+    /// Remaining count.
+    pub fn remaining(&self) -> usize {
+        self.remaining.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn channel_delivers_in_order() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let (tx, mut rx) = channel::<u32>(&ctx);
+            let producer_ctx = ctx.clone();
+            ctx.spawn(async move {
+                for i in 0..5 {
+                    producer_ctx.sleep(SimDuration::from_millis(10)).await;
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn channel_send_after_receiver_drop_errs() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let (tx, rx) = channel::<u32>(&ctx);
+            drop(rx);
+            tx.send(1).is_err()
+        });
+        sim.run();
+        assert!(h.try_take().unwrap());
+    }
+
+    #[test]
+    fn oneshot_roundtrip_and_drop() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let (tx, rx) = oneshot::<&'static str>();
+            let ctx2 = ctx.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(SimDuration::from_secs(1)).await;
+                tx.send("hello");
+            });
+            let got = rx.await;
+
+            let (tx2, rx2) = oneshot::<u32>();
+            drop(tx2);
+            let none = rx2.await;
+            (got, none)
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), (Some("hello"), None));
+    }
+
+    #[test]
+    fn semaphore_limits_concurrency() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let sem = Semaphore::new(2);
+            let peak = Rc::new(Cell::new(0usize));
+            let cur = Rc::new(Cell::new(0usize));
+            let handles: Vec<_> = (0..10)
+                .map(|_| {
+                    let sem = sem.clone();
+                    let peak = Rc::clone(&peak);
+                    let cur = Rc::clone(&cur);
+                    let ctx2 = ctx.clone();
+                    ctx.spawn(async move {
+                        let _g = sem.acquire().await;
+                        cur.set(cur.get() + 1);
+                        peak.set(peak.get().max(cur.get()));
+                        ctx2.sleep(SimDuration::from_millis(5)).await;
+                        cur.set(cur.get() - 1);
+                    })
+                })
+                .collect();
+            crate::executor::join_all(handles).await;
+            peak.get()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), 2);
+    }
+
+    #[test]
+    fn semaphore_fifo_order() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let sem = Semaphore::new(1);
+            let order = Rc::new(RefCell::new(Vec::new()));
+            let first = sem.acquire().await;
+            let handles: Vec<_> = (0..4u32)
+                .map(|i| {
+                    let sem = sem.clone();
+                    let order = Rc::clone(&order);
+                    ctx.spawn(async move {
+                        let _g = sem.acquire().await;
+                        order.borrow_mut().push(i);
+                    })
+                })
+                .collect();
+            // Let all of them enqueue before releasing.
+            ctx.sleep(SimDuration::from_millis(1)).await;
+            drop(first);
+            crate::executor::join_all(handles).await;
+            let v = order.borrow().clone();
+            v
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn event_releases_all_waiters() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let ev = Event::new();
+            let count = Rc::new(Cell::new(0));
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let ev = ev.clone();
+                    let count = Rc::clone(&count);
+                    ctx.spawn(async move {
+                        ev.wait().await;
+                        count.set(count.get() + 1);
+                    })
+                })
+                .collect();
+            ctx.sleep(SimDuration::from_secs(1)).await;
+            assert_eq!(count.get(), 0);
+            ev.set();
+            crate::executor::join_all(handles).await;
+            count.get()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), 8);
+    }
+
+    #[test]
+    fn waitgroup_zero_is_immediately_ready() {
+        let mut sim = Sim::new(1);
+        let h = sim.spawn(async move {
+            let wg = WaitGroup::new(0);
+            wg.wait().await;
+            true
+        });
+        sim.run();
+        assert!(h.try_take().unwrap());
+    }
+
+    #[test]
+    fn waitgroup_counts_down() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let wg = WaitGroup::new(3);
+            for i in 1..=3u64 {
+                let wg = wg.clone();
+                let ctx2 = ctx.clone();
+                ctx.spawn(async move {
+                    ctx2.sleep(SimDuration::from_millis(i * 10)).await;
+                    wg.done();
+                });
+            }
+            wg.wait().await;
+            ctx.now().as_nanos()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), 30_000_000);
+    }
+}

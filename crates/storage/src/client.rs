@@ -1,0 +1,508 @@
+//! Client-side request handling: the `Storage` service handle and the
+//! retrying client.
+//!
+//! The paper configures its S3 client with "a request timeout of 200 ms
+//! for retries and exponential backoff — an eager but not aggressive retry
+//! behavior" (Sec. 4.4.1), and its query engine "retrigger[s] straggling
+//! requests after a size-based timeout" (Sec. 3.2). [`RetryPolicy`] encodes
+//! both. Repeatedly rejected clients back off exponentially and become the
+//! stragglers responsible for the IOPS dips of Fig. 11.
+
+use crate::core::RequestOpts;
+use crate::dynamodb::DynamoTable;
+use crate::efs::EfsFilesystem;
+use crate::error::{Result, StorageError};
+use crate::object::{Blob, ObjectMeta};
+use crate::s3::S3Bucket;
+use skyrise_sim::{race, Either, SimCtx, SimDuration};
+use std::rc::Rc;
+
+/// A handle to any of the simulated storage services, exposing one blob
+/// API. The engine and the microbenchmarks are written against this.
+#[derive(Clone)]
+pub enum Storage {
+    /// An S3 bucket (Standard or Express).
+    S3(Rc<S3Bucket>),
+    /// A DynamoDB table.
+    Dynamo(Rc<DynamoTable>),
+    /// An EFS filesystem.
+    Efs(Rc<EfsFilesystem>),
+}
+
+impl Storage {
+    /// GET/read a whole object.
+    pub async fn get(&self, key: &str, opts: &RequestOpts) -> Result<Blob> {
+        match self {
+            Storage::S3(b) => b.get(key, opts).await,
+            Storage::Dynamo(t) => t.get(key, opts).await,
+            Storage::Efs(f) => f.read(key, opts).await,
+        }
+    }
+
+    /// GET a byte range. Only object storage supports ranged reads; the
+    /// other services return the full object (their values are small).
+    pub async fn get_range(
+        &self,
+        key: &str,
+        offset: u64,
+        len: u64,
+        opts: &RequestOpts,
+    ) -> Result<Blob> {
+        match self {
+            Storage::S3(b) => b.get_range(key, offset, len, opts).await,
+            Storage::Dynamo(t) => t.get(key, opts).await.and_then(|b| b.slice(offset, len)),
+            Storage::Efs(f) => f.read(key, opts).await.and_then(|b| b.slice(offset, len)),
+        }
+    }
+
+    /// PUT/write an object.
+    pub async fn put(&self, key: &str, blob: Blob, opts: &RequestOpts) -> Result<()> {
+        match self {
+            Storage::S3(b) => b.put(key, blob, opts).await,
+            Storage::Dynamo(t) => t.put(key, blob, opts).await,
+            Storage::Efs(f) => f.write(key, blob, opts).await,
+        }
+    }
+
+    /// DELETE an object.
+    pub async fn delete(&self, key: &str) -> Result<()> {
+        match self {
+            Storage::S3(b) => b.delete(key).await,
+            Storage::Dynamo(t) => t.delete(key).await,
+            Storage::Efs(f) => f.remove(key).await,
+        }
+    }
+
+    /// LIST keys under a prefix.
+    pub async fn list(&self, prefix: &str) -> Result<Vec<ObjectMeta>> {
+        match self {
+            Storage::S3(b) => b.list(prefix).await,
+            Storage::Dynamo(t) => t.query_prefix(prefix).await,
+            Storage::Efs(f) => f.list(prefix).await,
+        }
+    }
+
+    /// Insert data without billing or timing (dataset setup).
+    pub fn backdoor_put(&self, key: &str, blob: Blob) {
+        match self {
+            Storage::S3(b) => b.backdoor().put(key, blob),
+            Storage::Dynamo(t) => t.backdoor().put(key, blob),
+            Storage::Efs(f) => f.backdoor().put(key, blob),
+        }
+    }
+
+    /// Service display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Storage::S3(b) => match b.class() {
+                crate::s3::S3Class::Standard => "S3 Standard",
+                crate::s3::S3Class::Express => "S3 Express",
+            },
+            Storage::Dynamo(_) => "DynamoDB",
+            Storage::Efs(_) => "EFS",
+        }
+    }
+}
+
+/// Retry policy: timeout, backoff, attempt cap.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Base timeout for a zero-byte request.
+    pub base_timeout: SimDuration,
+    /// Expected transfer bandwidth for the size-based timeout:
+    /// `timeout = base + bytes / expected_bw * slack`.
+    pub expected_bw: f64,
+    /// Multiplier on the expected transfer time.
+    pub timeout_slack: f64,
+    /// First backoff sleep.
+    pub backoff_base: SimDuration,
+    /// Backoff ceiling.
+    pub backoff_cap: SimDuration,
+    /// Maximum attempts before giving up.
+    pub max_attempts: u32,
+    /// Apply full jitter (AWS-recommended) to backoff sleeps.
+    pub jitter: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_timeout: SimDuration::from_millis(200),
+            expected_bw: 40.0 * 1024.0 * 1024.0,
+            timeout_slack: 2.0,
+            backoff_base: SimDuration::from_millis(100),
+            backoff_cap: SimDuration::from_secs(20),
+            max_attempts: 8,
+            jitter: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The paper's eager-but-not-aggressive S3 client.
+    pub fn eager() -> Self {
+        RetryPolicy::default()
+    }
+
+    /// A patient client for bulk transfers (no 200 ms trigger-happiness).
+    pub fn bulk() -> Self {
+        RetryPolicy {
+            base_timeout: SimDuration::from_secs(5),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Timeout for a request expected to move `bytes`.
+    pub fn timeout_for(&self, bytes: u64) -> SimDuration {
+        self.base_timeout
+            + SimDuration::from_secs_f64(bytes as f64 / self.expected_bw * self.timeout_slack)
+    }
+
+    /// Backoff before retry number `attempt` (1-based).
+    pub fn backoff(&self, ctx: &SimCtx, attempt: u32) -> SimDuration {
+        let exp = self
+            .backoff_base
+            .as_secs_f64()
+            .mul_add(2f64.powi(attempt.saturating_sub(1) as i32), 0.0);
+        let capped = exp.min(self.backoff_cap.as_secs_f64());
+        let secs = if self.jitter {
+            ctx.with_rng(|r| r.gen_range_f64(0.0, capped))
+        } else {
+            capped
+        };
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+/// Outcome statistics of a retried operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Attempts rejected by rate limiting.
+    pub throttles: u32,
+    /// Attempts abandoned at the timeout.
+    pub timeouts: u32,
+}
+
+/// A storage client applying timeouts, retries and exponential backoff.
+#[derive(Clone)]
+pub struct RetryingClient {
+    /// The wrapped service handle.
+    pub storage: Storage,
+    /// Simulation context (for timers and jitter).
+    pub ctx: SimCtx,
+    /// Timeout/backoff policy.
+    pub policy: RetryPolicy,
+}
+
+impl RetryingClient {
+    /// Wrap a service handle.
+    pub fn new(storage: Storage, ctx: SimCtx, policy: RetryPolicy) -> Self {
+        RetryingClient {
+            storage,
+            ctx,
+            policy,
+        }
+    }
+
+    /// GET with retries. `expected_bytes` sizes the timeout.
+    pub async fn get(
+        &self,
+        key: &str,
+        expected_bytes: u64,
+        opts: &RequestOpts,
+    ) -> Result<(Blob, RetryStats)> {
+        let mut stats = RetryStats::default();
+        loop {
+            stats.attempts += 1;
+            let timeout = self.policy.timeout_for(expected_bytes);
+            let attempt = self.storage.get(key, opts);
+            let outcome = race(attempt, self.ctx.sleep(timeout)).await;
+            let err = match outcome {
+                Either::Left(Ok(blob)) => return Ok((blob, stats)),
+                Either::Left(Err(e @ (StorageError::NotFound { .. } | StorageError::TooLarge { .. } | StorageError::InvalidRange { .. }))) => {
+                    return Err(e); // not retryable
+                }
+                Either::Left(Err(e)) => {
+                    if e == StorageError::Throttled {
+                        stats.throttles += 1;
+                    }
+                    e
+                }
+                Either::Right(()) => {
+                    stats.timeouts += 1;
+                    StorageError::Timeout
+                }
+            };
+            if stats.attempts >= self.policy.max_attempts {
+                return Err(StorageError::RetriesExhausted {
+                    attempts: stats.attempts,
+                    last: err.to_string(),
+                });
+            }
+            self.ctx
+                .sleep(self.policy.backoff(&self.ctx, stats.attempts))
+                .await;
+        }
+    }
+
+    /// GET a range with retries. `expected_bytes` sizes the timeout — it
+    /// may differ from `len` when the object is logically scaled.
+    pub async fn get_range(
+        &self,
+        key: &str,
+        offset: u64,
+        len: u64,
+        expected_bytes: u64,
+        opts: &RequestOpts,
+    ) -> Result<(Blob, RetryStats)> {
+        let mut stats = RetryStats::default();
+        loop {
+            stats.attempts += 1;
+            let timeout = self.policy.timeout_for(expected_bytes);
+            let attempt = self.storage.get_range(key, offset, len, opts);
+            let outcome = race(attempt, self.ctx.sleep(timeout)).await;
+            let err = match outcome {
+                Either::Left(Ok(blob)) => return Ok((blob, stats)),
+                Either::Left(Err(e @ (StorageError::NotFound { .. } | StorageError::TooLarge { .. } | StorageError::InvalidRange { .. }))) => {
+                    return Err(e);
+                }
+                Either::Left(Err(e)) => {
+                    if e == StorageError::Throttled {
+                        stats.throttles += 1;
+                    }
+                    e
+                }
+                Either::Right(()) => {
+                    stats.timeouts += 1;
+                    StorageError::Timeout
+                }
+            };
+            if stats.attempts >= self.policy.max_attempts {
+                return Err(StorageError::RetriesExhausted {
+                    attempts: stats.attempts,
+                    last: err.to_string(),
+                });
+            }
+            self.ctx
+                .sleep(self.policy.backoff(&self.ctx, stats.attempts))
+                .await;
+        }
+    }
+
+    /// PUT with retries.
+    pub async fn put(
+        &self,
+        key: &str,
+        blob: Blob,
+        opts: &RequestOpts,
+    ) -> Result<RetryStats> {
+        let mut stats = RetryStats::default();
+        let expected = blob.logical_len();
+        loop {
+            stats.attempts += 1;
+            let timeout = self.policy.timeout_for(expected);
+            let attempt = self.storage.put(key, blob.clone(), opts);
+            let outcome = race(attempt, self.ctx.sleep(timeout)).await;
+            let err = match outcome {
+                Either::Left(Ok(())) => return Ok(stats),
+                Either::Left(Err(e @ (StorageError::NotFound { .. } | StorageError::TooLarge { .. } | StorageError::InvalidRange { .. }))) => {
+                    return Err(e);
+                }
+                Either::Left(Err(e)) => {
+                    if e == StorageError::Throttled {
+                        stats.throttles += 1;
+                    }
+                    e
+                }
+                Either::Right(()) => {
+                    stats.timeouts += 1;
+                    StorageError::Timeout
+                }
+            };
+            if stats.attempts >= self.policy.max_attempts {
+                return Err(StorageError::RetriesExhausted {
+                    attempts: stats.attempts,
+                    last: err.to_string(),
+                });
+            }
+            self.ctx
+                .sleep(self.policy.backoff(&self.ctx, stats.attempts))
+                .await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamodb::DynamoConfig;
+    use skyrise_pricing::shared_meter;
+    use skyrise_sim::Sim;
+
+    #[test]
+    fn retry_succeeds_after_throttles() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            // A tiny-capacity table: the first burst throttles, backoff
+            // waits for token refill, a later attempt succeeds.
+            let cfg = DynamoConfig {
+                read_iops: 2.0,
+                burst_seconds: 0.5,
+                ..DynamoConfig::default()
+            };
+            let table = DynamoTable::new(ctx.clone(), meter, cfg, None);
+            table.backdoor().put("k", Blob::new(vec![0u8; 64]));
+            let client = RetryingClient::new(
+                Storage::Dynamo(Rc::clone(&table)),
+                ctx.clone(),
+                RetryPolicy::default(),
+            );
+            let opts = RequestOpts::default();
+            // Drain the burst first.
+            let _ = table.get("k", &opts).await;
+            let _ = table.get("k", &opts).await;
+            client.get("k", 64, &opts).await
+        });
+        sim.run();
+        let (blob, stats) = h.try_take().unwrap().unwrap();
+        assert_eq!(blob.len(), 64);
+        assert!(stats.attempts >= 1);
+    }
+
+    #[test]
+    fn not_found_is_not_retried() {
+        let mut sim = Sim::new(2);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let bucket = S3Bucket::standard(&ctx, &meter);
+            let client =
+                RetryingClient::new(Storage::S3(bucket), ctx.clone(), RetryPolicy::default());
+            let t0 = ctx.now();
+            let err = client
+                .get("missing", 64, &RequestOpts::default())
+                .await
+                .unwrap_err();
+            ((ctx.now() - t0).as_secs_f64(), err)
+        });
+        sim.run();
+        let (elapsed, err) = h.try_take().unwrap();
+        assert!(matches!(err, StorageError::NotFound { .. }));
+        assert!(elapsed < 0.05, "no backoff loop: {elapsed}");
+    }
+
+    #[test]
+    fn retries_exhaust_against_dead_capacity() {
+        let mut sim = Sim::new(3);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let cfg = DynamoConfig {
+                read_iops: 1e-9, // effectively zero
+                burst_seconds: 0.0,
+                ..DynamoConfig::default()
+            };
+            let table = DynamoTable::new(ctx.clone(), meter, cfg, None);
+            table.backdoor().put("k", Blob::new(vec![0u8; 64]));
+            let policy = RetryPolicy {
+                max_attempts: 3,
+                jitter: false,
+                ..RetryPolicy::default()
+            };
+            let client = RetryingClient::new(Storage::Dynamo(table), ctx.clone(), policy);
+            client.get("k", 64, &RequestOpts::default()).await
+        });
+        sim.run();
+        let err = h.try_take().unwrap().unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::RetriesExhausted { attempts: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn timeout_triggers_retry_for_slow_tail() {
+        // With a 1 ms timeout every attempt times out: the client must
+        // classify them as timeouts, back off, and eventually give up.
+        let mut sim = Sim::new(4);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let bucket = S3Bucket::standard(&ctx, &meter);
+            let opts = RequestOpts::default();
+            bucket
+                .put("k", Blob::new(vec![0u8; 64]), &opts)
+                .await
+                .unwrap();
+            let policy = RetryPolicy {
+                base_timeout: SimDuration::from_millis(1),
+                max_attempts: 4,
+                jitter: false,
+                ..RetryPolicy::default()
+            };
+            let client = RetryingClient::new(Storage::S3(bucket), ctx.clone(), policy);
+            client.get("k", 0, &opts).await
+        });
+        sim.run();
+        let err = h.try_take().unwrap().unwrap_err();
+        assert!(
+            matches!(&err, StorageError::RetriesExhausted { last, .. } if last.contains("timed out")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_without_jitter() {
+        let mut sim = Sim::new(5);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let policy = RetryPolicy {
+                jitter: false,
+                ..RetryPolicy::default()
+            };
+            (
+                policy.backoff(&ctx, 1).as_millis(),
+                policy.backoff(&ctx, 2).as_millis(),
+                policy.backoff(&ctx, 3).as_millis(),
+                policy.backoff(&ctx, 20).as_millis(),
+            )
+        });
+        sim.run();
+        let (b1, b2, b3, bcap) = h.try_take().unwrap();
+        assert_eq!((b1, b2, b3), (100, 200, 400));
+        assert_eq!(bcap, 20_000, "capped");
+    }
+
+    #[test]
+    fn size_based_timeout_scales() {
+        let policy = RetryPolicy::default();
+        let small = policy.timeout_for(0);
+        let big = policy.timeout_for(64 << 20);
+        assert_eq!(small.as_millis(), 200);
+        // 64 MiB at 40 MiB/s expected, x2 slack = 3.2 s extra.
+        assert!((big.as_secs_f64() - 3.4).abs() < 0.05, "{}", big.as_secs_f64());
+    }
+
+    #[test]
+    fn storage_enum_dispatches_names() {
+        let mut sim = Sim::new(6);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let s3 = Storage::S3(S3Bucket::standard(&ctx, &meter));
+            let xp = Storage::S3(S3Bucket::express(&ctx, &meter));
+            let dy = Storage::Dynamo(DynamoTable::on_demand(&ctx, &meter));
+            let ef = Storage::Efs(EfsFilesystem::elastic(&ctx, &meter));
+            vec![s3.name(), xp.name(), dy.name(), ef.name()]
+        });
+        sim.run();
+        assert_eq!(
+            h.try_take().unwrap(),
+            vec!["S3 Standard", "S3 Express", "DynamoDB", "EFS"]
+        );
+    }
+}

