@@ -49,9 +49,7 @@ fn bench_operators(c: &mut Criterion) {
         use skyrise::engine::{CmpOp, Expr, UdfRegistry};
         let udfs = UdfRegistry::with_builtins();
         let pred = Expr::col("l_quantity").cmp(CmpOp::Lt, Expr::lit_f64(24.0));
-        b.iter(|| {
-            skyrise::engine::expr::evaluate_mask(black_box(&pred), &lineitem, &udfs).unwrap()
-        })
+        b.iter(|| skyrise::engine::expr::evaluate_mask(black_box(&pred), &lineitem, &udfs).unwrap())
     });
     g.finish();
 }

@@ -1,5 +1,10 @@
-//! Extension experiment: ablation_combining. Run with `--release`.
+//! Regenerate the paper's ablation_combining. Run with `--release`; set `SKYRISE_FULL=1`
+//! for paper-scale durations where applicable. Pass `--trace-out <path>`
+//! to export a Chrome-trace of every simulation.
 
 fn main() {
-    skyrise_bench::finish(&skyrise_bench::experiments::ablation_combining());
+    skyrise_bench::run_cli(
+        "ablation_combining",
+        skyrise_bench::experiments::ablation_combining,
+    );
 }

@@ -1,11 +1,32 @@
 //! Run the complete experiment suite: every table and figure of the
-//! paper, in order. Results land under `results/`.
+//! paper, in order. Results land under `results/`. Each experiment
+//! prints a summary line: virtual time simulated, wall-clock elapsed,
+//! events traced, and output paths.
+//!
+//! With `--trace-out <path>`, every experiment's Chrome-trace is written
+//! next to `<path>`, suffixed with the experiment name (e.g.
+//! `--trace-out /tmp/all.json` yields `/tmp/all-fig05.json`, ...).
 
-use skyrise_bench::{experiments as e, finish};
+use skyrise_bench::{experiments as e, run_experiment};
+use std::path::PathBuf;
 
 type Experiment = (&'static str, fn() -> skyrise::micro::ExperimentResult);
 
+/// Derive the per-experiment trace path: `dir/stem-name.ext`.
+fn trace_path_for(base: &PathBuf, name: &str) -> PathBuf {
+    let stem = base
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".into());
+    let ext = base
+        .extension()
+        .map(|s| format!(".{}", s.to_string_lossy()))
+        .unwrap_or_default();
+    base.with_file_name(format!("{stem}-{name}{ext}"))
+}
+
 fn main() {
+    let trace_out = skyrise_bench::parse_trace_out(std::env::args().skip(1));
     let t0 = std::time::Instant::now();
     let all: Vec<Experiment> = vec![
         ("table01", e::table01),
@@ -32,9 +53,8 @@ fn main() {
         ("extra_observations", e::extra_observations),
     ];
     for (name, run) in all {
-        let started = std::time::Instant::now();
-        finish(&run());
-        eprintln!("[{name}] wall time: {:.1}s", started.elapsed().as_secs_f64());
+        let path = trace_out.as_ref().map(|base| trace_path_for(base, name));
+        run_experiment(name, run, path.as_deref());
     }
     eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
 }

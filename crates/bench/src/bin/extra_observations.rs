@@ -1,5 +1,10 @@
-//! Extension experiment: extra_observations. Run with `--release`.
+//! Regenerate the paper's extra_observations. Run with `--release`; set `SKYRISE_FULL=1`
+//! for paper-scale durations where applicable. Pass `--trace-out <path>`
+//! to export a Chrome-trace of every simulation.
 
 fn main() {
-    skyrise_bench::finish(&skyrise_bench::experiments::extra_observations());
+    skyrise_bench::run_cli(
+        "extra_observations",
+        skyrise_bench::experiments::extra_observations,
+    );
 }

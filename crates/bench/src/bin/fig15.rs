@@ -1,6 +1,7 @@
 //! Regenerate the paper's fig15. Run with `--release`; set `SKYRISE_FULL=1`
-//! for paper-scale durations where applicable.
+//! for paper-scale durations where applicable. Pass `--trace-out <path>`
+//! to export a Chrome-trace of every simulation.
 
 fn main() {
-    skyrise_bench::finish(&skyrise_bench::experiments::fig15());
+    skyrise_bench::run_cli("fig15", skyrise_bench::experiments::fig15);
 }

@@ -72,8 +72,7 @@ pub fn load_paper_datasets(
             "bb_item" => &bb.item,
             _ => unreachable!(),
         };
-        let partitions =
-            ((spec.sf1000_partitions as f64 * fraction).round() as usize).max(1);
+        let partitions = ((spec.sf1000_partitions as f64 * fraction).round() as usize).max(1);
         let layout = DatasetLayout {
             name: spec.name.into(),
             partitions,
@@ -107,7 +106,10 @@ mod tests {
         let lineitem = &metas[0];
         assert_eq!(lineitem.partitions.len(), 20); // 996 * 0.02
         let mean_mib = lineitem.mean_partition_bytes() / MIB as f64;
-        assert!((mean_mib - 182.4).abs() < 2.0, "partition size {mean_mib} MiB");
+        assert!(
+            (mean_mib - 182.4).abs() < 2.0,
+            "partition size {mean_mib} MiB"
+        );
         let item = &metas[3];
         assert_eq!(item.partitions.len(), 1, "item is always one partition");
     }

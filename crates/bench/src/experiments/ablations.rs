@@ -90,7 +90,10 @@ pub fn ablation_binary_size() -> ExperimentResult {
         "ablation_binary_size",
         "Deployment artifact size vs cold cluster startup",
     );
-    let mut rows = vec![vec!["Binary [MiB]".to_string(), "64-worker cold startup [s]".into()]];
+    let mut rows = vec![vec![
+        "Binary [MiB]".to_string(),
+        "64-worker cold startup [s]".into(),
+    ]];
     for mib in [2u64, 8, 32, 128, 256] {
         let secs = in_sim(0xAB20 + mib, move |ctx| {
             Box::pin(async move {
@@ -141,7 +144,10 @@ pub fn extra_observations() -> ExperimentResult {
                 let storage = Storage::S3(Rc::clone(&bucket));
                 for i in 0..64 {
                     let key = if hashed {
-                        format!("{:016x}/obj{i}", (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                        format!(
+                            "{:016x}/obj{i}",
+                            (i as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                        )
                     } else {
                         format!("data/obj{i}")
                     };
@@ -150,13 +156,17 @@ pub fn extra_observations() -> ExperimentResult {
                 let keys: Vec<String> = if hashed {
                     (0..64)
                         .map(|i| {
-                            format!("{:016x}/obj{i}", (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                            format!(
+                                "{:016x}/obj{i}",
+                                (i as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                            )
                         })
                         .collect()
                 } else {
                     (0..64).map(|i| format!("data/obj{i}")).collect()
                 };
-                let client = RetryingClient::new(storage.clone(), ctx.clone(), RetryPolicy::eager());
+                let client =
+                    RetryingClient::new(storage.clone(), ctx.clone(), RetryPolicy::eager());
                 // 4 minutes of sustained slight overload.
                 let start = ctx.now();
                 let mut handles = Vec::new();
@@ -181,7 +191,11 @@ pub fn extra_observations() -> ExperimentResult {
                 bucket.partition_count() as f64
             })
         });
-        let label = if hashed { "hashed_prefix" } else { "plain_prefix" };
+        let label = if hashed {
+            "hashed_prefix"
+        } else {
+            "plain_prefix"
+        };
         r.scalar(&format!("{label}_partitions"), partitions);
     }
 
@@ -218,7 +232,11 @@ pub fn extra_observations() -> ExperimentResult {
                             ctx.spawn(async move {
                                 ctx2.sleep_until(at).await;
                                 if storage
-                                    .put(&format!("w/{i}"), Blob::synthetic(256), &RequestOpts::default())
+                                    .put(
+                                        &format!("w/{i}"),
+                                        Blob::synthetic(256),
+                                        &RequestOpts::default(),
+                                    )
                                     .await
                                     .is_ok()
                                 {
@@ -267,7 +285,10 @@ mod tests {
     use super::*;
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn combining_cuts_requests_and_grows_objects() {
         let r = ablation_combining();
         let req1 = r.scalars["combine1_requests"];
@@ -282,7 +303,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn small_binaries_start_clusters_faster() {
         let r = ablation_binary_size();
         let small = r.scalars["startup_2mib_secs"];
@@ -291,7 +315,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn extra_observations_hold() {
         let r = extra_observations();
         // Prefix naming is irrelevant.

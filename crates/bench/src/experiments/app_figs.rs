@@ -1,7 +1,7 @@
 //! Figures 14–15: resource effects translated to query performance.
 
 use crate::datasets::load_paper_datasets;
-use crate::in_sim;
+use crate::{in_sim, in_sim_traced};
 use skyrise::engine::{cpu, queries, QueryConfig};
 use skyrise::micro::{ascii_chart, text_table, ExperimentResult, NamedSeries};
 use skyrise::net::presets;
@@ -46,36 +46,58 @@ pub fn fig14() -> ExperimentResult {
             input_bytes / network_model_secs(input_bytes) / GIB as f64,
         ));
 
-        let (bytes_per_worker, io_secs, cpu_secs, fragments) = in_sim(0xFE14 + k as u64, move |ctx| {
-            Box::pin(async move {
-                let meter = shared_meter();
-                let storage = Storage::S3(S3Bucket::standard(&ctx, &meter));
-                // 8 workers x k partitions each.
-                load_paper_datasets(&storage, 0.005, (8 * k) as f64 / 996.0).unwrap();
-                let lambda = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
-                let engine = Skyrise::deploy_simple(&ctx, ComputePlatform::Faas(lambda), storage);
-                engine.warm(12).await;
-                let config = QueryConfig {
-                    target_bytes_per_worker: (k as f64 * partition_mib * MIB as f64) as u64,
-                    ..QueryConfig::default()
-                };
-                let response = engine.run(&queries::q6(), config).await.expect("q6");
-                let scan = &response.stages[0];
-                (
-                    scan.logical_bytes_read as f64 / scan.fragments as f64,
-                    scan.io_secs_total / scan.fragments as f64,
-                    scan.cpu_secs_total / scan.fragments as f64,
-                    scan.fragments,
-                )
-            })
-        });
+        let (bytes_per_worker, io_secs, cpu_secs, fragments, profile) =
+            in_sim_traced(0xFE14 + k as u64, move |ctx, _tracer| {
+                Box::pin(async move {
+                    let meter = shared_meter();
+                    let storage = Storage::S3(S3Bucket::standard(&ctx, &meter));
+                    // 8 workers x k partitions each.
+                    load_paper_datasets(&storage, 0.005, (8 * k) as f64 / 996.0).unwrap();
+                    let lambda = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
+                    let engine =
+                        Skyrise::deploy_simple(&ctx, ComputePlatform::Faas(lambda), storage);
+                    engine.warm(12).await;
+                    let config = QueryConfig {
+                        target_bytes_per_worker: (k as f64 * partition_mib * MIB as f64) as u64,
+                        ..QueryConfig::default()
+                    };
+                    let (response, profile) = engine
+                        .run_profiled(&queries::q6(), config)
+                        .await
+                        .expect("q6");
+                    let scan = &response.stages[0];
+                    (
+                        scan.logical_bytes_read as f64 / scan.fragments as f64,
+                        scan.io_secs_total / scan.fragments as f64,
+                        scan.cpu_secs_total / scan.fragments as f64,
+                        scan.fragments,
+                        profile,
+                    )
+                })
+            });
         assert!(fragments >= 4, "enough parallelism ({fragments})");
+        // The largest input doubles as the acceptance profile: per-operator
+        // time and cost breakdown for TPC-H Q6.
+        if k == 6 {
+            println!("{}", profile.render());
+            r.scalar("q6_profile_runtime_secs", profile.runtime_secs);
+            r.scalar("q6_profile_coldstart_share", profile.coldstart_share);
+            for (op, secs) in &profile.operator_secs {
+                r.scalar(&format!("q6_op_{}_secs", op.replace('-', "_")), *secs);
+            }
+            if let Some(cost) = &profile.cost {
+                r.scalar("q6_profile_cost_usd", cost.total_usd());
+            }
+        }
         let x = bytes_per_worker / GIB as f64;
         // "Scan operator": fetch + I/O stack + decode (the worker's I/O phase).
         scan_pts.push((x, bytes_per_worker / io_secs / GIB as f64));
         // "I/O stack": remove the decode share (charged during the I/O phase).
         let decode = cpu::decode_cost(bytes_per_worker, 4.0).as_secs_f64();
-        io_pts.push((x, bytes_per_worker / (io_secs - decode).max(1e-9) / GIB as f64));
+        io_pts.push((
+            x,
+            bytes_per_worker / (io_secs - decode).max(1e-9) / GIB as f64,
+        ));
         // Complete query: I/O + operators.
         query_pts.push((x, bytes_per_worker / (io_secs + cpu_secs) / GIB as f64));
     }
@@ -99,7 +121,10 @@ pub fn fig14() -> ExperimentResult {
     r.scalar("within_budget_speedup", speedup);
     r.scalar("model_tput_within_gib_s", model_pts[0].1);
     r.scalar("query_tput_within_gib_s", query_pts[0].1);
-    r.scalar("query_tput_beyond_gib_s", query_pts.last().expect("points").1);
+    r.scalar(
+        "query_tput_beyond_gib_s",
+        query_pts.last().expect("points").1,
+    );
     r.push_series(NamedSeries::new("network_model", model_pts));
     r.push_series(NamedSeries::new("io_stack", io_pts));
     r.push_series(NamedSeries::new("scan", scan_pts));
@@ -123,7 +148,11 @@ pub fn fig15() -> ExperimentResult {
         "Shuffle stage [s]".into(),
         "Shuffle IOPS".into(),
     ]];
-    for (arm, label) in [(0u64, "S3 Standard (new)"), (1, "S3 Standard (warmed)"), (2, "S3 Express")] {
+    for (arm, label) in [
+        (0u64, "S3 Standard (new)"),
+        (1, "S3 Standard (warmed)"),
+        (2, "S3 Express"),
+    ] {
         let (query_secs, shuffle_secs, shuffle_iops) = in_sim(0xFE15 + arm, move |ctx| {
             Box::pin(async move {
                 let meter = shared_meter();
@@ -197,11 +226,17 @@ mod tests {
         let tput_within = within / network_model_secs(within);
         let tput_beyond = beyond / network_model_secs(beyond);
         assert!(tput_within > GIB as f64, "within budget ~1.2 GiB/s");
-        assert!(tput_beyond < 0.35 * GIB as f64, "beyond drops toward baseline");
+        assert!(
+            tput_beyond < 0.35 * GIB as f64,
+            "beyond drops toward baseline"
+        );
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn fig14_curves_order_and_burst_speedup() {
         let r = fig14();
         // model >= io stack >= scan >= query, pointwise at the first size.
@@ -214,7 +249,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn fig15_warm_and_express_beat_cold_shuffles() {
         let r = fig15();
         let cold = r.scalars["s3_standard_new_shuffle_secs"];

@@ -6,8 +6,8 @@ use crate::in_sim;
 use skyrise::data::{spf, tpch, tpcxbb};
 use skyrise::engine::{queries, QueryConfig, QueryResponse, Skyrise};
 use skyrise::micro::{text_table, ExperimentResult};
-use skyrise::pricing::LambdaPricing;
 use skyrise::prelude::*;
+use skyrise::pricing::LambdaPricing;
 use skyrise::sim::metrics::summary;
 use std::rc::Rc;
 
@@ -31,7 +31,10 @@ pub fn table04() -> ExperimentResult {
     ]];
     for spec in PAPER_TABLES {
         let (batch, rows_at_sf1000): (&Batch, f64) = match spec.name {
-            "h_lineitem" => (&t.lineitem, t.lineitem.num_rows() as f64 / sample_sf * 1000.0 * sample_sf / sample_sf),
+            "h_lineitem" => (
+                &t.lineitem,
+                t.lineitem.num_rows() as f64 / sample_sf * 1000.0 * sample_sf / sample_sf,
+            ),
             "h_orders" => (&t.orders, tpch::orders_rows(1000.0) as f64),
             "bb_clickstreams" => (&bb.clickstreams, tpcxbb::clickstream_rows(1000.0) as f64),
             _ => (&bb.item, tpcxbb::item_rows(1000.0) as f64),
@@ -62,7 +65,10 @@ pub fn table04() -> ExperimentResult {
 async fn run_suite(engine: &Rc<Skyrise>, config: &QueryConfig) -> f64 {
     let mut total = 0.0;
     for plan in queries::suite() {
-        let response = engine.run(&plan, config.clone()).await.expect("suite query");
+        let response = engine
+            .run(&plan, config.clone())
+            .await
+            .expect("suite query");
         total += response.runtime_secs;
     }
     total
@@ -103,10 +109,8 @@ pub fn table05() -> ExperimentResult {
 
                 // Cold: repetitions spread across a workday (paper: 15-min
                 // intervals over a workday); sandboxes expire in between.
-                ctx.sleep_until(skyrise::sim::SimTime::from_nanos(
-                    9 * 3_600 * 1_000_000_000,
-                ))
-                .await;
+                ctx.sleep_until(skyrise::sim::SimTime::from_nanos(9 * 3_600 * 1_000_000_000))
+                    .await;
                 let mut cold = Vec::new();
                 for _ in 0..reps {
                     // Co-tenant workloads keep the account's sandbox-scaling
@@ -141,7 +145,10 @@ pub fn table05() -> ExperimentResult {
         "EU".into(),
         "AP".into(),
     ]];
-    for (mi, (label, idx)) in [("Cold MR (US)", 0usize), ("Warm MR (US)", 1)].iter().enumerate() {
+    for (mi, (label, idx)) in [("Cold MR (US)", 0usize), ("Warm MR (US)", 1)]
+        .iter()
+        .enumerate()
+    {
         let _ = mi;
         let mut row = vec![label.to_string()];
         for reg in 0..3 {
@@ -243,15 +250,16 @@ fn measure_query(plan_idx: usize) -> QueryEconomics {
                 .await;
             let cluster = ShimCluster::new(&ctx, vms, 4);
             let cluster_usd_h = cluster.usd_per_hour();
-            let iaas_engine =
-                Skyrise::deploy_simple(&ctx, ComputePlatform::Shim(cluster), s2);
+            let iaas_engine = Skyrise::deploy_simple(&ctx, ComputePlatform::Shim(cluster), s2);
             let iaas = iaas_engine.run(&plan, config).await.expect("iaas run");
 
             // Shuffle object size range across shuffle-writing stages.
             let mut shuffle_sizes: Vec<f64> = faas
                 .stages
                 .iter()
-                .filter(|s| s.downstream_fragments > 0 && s.pipeline != faas.stages.last().unwrap().pipeline)
+                .filter(|s| {
+                    s.downstream_fragments > 0 && s.pipeline != faas.stages.last().unwrap().pipeline
+                })
                 .filter_map(|s| s.mean_shuffle_object_bytes())
                 .collect();
             shuffle_sizes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -357,22 +365,35 @@ mod tests {
     use super::*;
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn table04_sizes_are_paper_magnitude() {
         let r = table04();
         let lineitem = r.scalars["h_lineitem_sf1000_gib"];
         // Paper: 177.4 GiB. Encoding differences allowed; same magnitude.
-        assert!((100.0..=320.0).contains(&lineitem), "lineitem {lineitem} GiB");
+        assert!(
+            (100.0..=320.0).contains(&lineitem),
+            "lineitem {lineitem} GiB"
+        );
         let orders = r.scalars["h_orders_sf1000_gib"];
         assert!(orders < lineitem / 2.5, "orders much smaller: {orders}");
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn table05_variability_shapes() {
         let r = table05();
         // EU cluster startup is substantially slower when cold (paper: ~1.5x).
-        assert!(r.scalars["eu_cold_mr"] > 1.15, "eu cold MR {}", r.scalars["eu_cold_mr"]);
+        assert!(
+            r.scalars["eu_cold_mr"] > 1.15,
+            "eu cold MR {}",
+            r.scalars["eu_cold_mr"]
+        );
         // US and AP sit near parity (paper: 1.00 / 0.95).
         assert!((0.85..=1.1).contains(&r.scalars["ap_cold_mr"]));
         // Cold runs vary more than warm runs in the busy regions.
@@ -381,7 +402,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn table06_economics_shapes() {
         let r = table06();
         // FaaS is slightly slower than peak-provisioned IaaS (paper: 6-10%).

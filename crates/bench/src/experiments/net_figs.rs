@@ -2,10 +2,12 @@
 
 use crate::in_sim;
 use skyrise::compute::nic_for;
-use skyrise::micro::{analyze_burst, ascii_chart, measure, Direction, NetIoConfig, NamedSeries, ExperimentResult};
+use skyrise::micro::{
+    analyze_burst, ascii_chart, measure, Direction, ExperimentResult, NamedSeries, NetIoConfig,
+};
 use skyrise::net::presets;
-use skyrise::pricing::ec2_instance;
 use skyrise::prelude::*;
+use skyrise::pricing::ec2_instance;
 use std::rc::Rc;
 
 /// Fig. 5: function network throughput at 20 ms intervals, with a 3 s
@@ -107,7 +109,10 @@ pub fn fig06() -> ExperimentResult {
         base_pts.push((idx as f64, probe.baseline_bw * 8.0 / 1e9));
         bucket_pts.push((idx as f64, probe.bucket_bytes / GIB as f64));
         r.scalar(&format!("{name}_burst_gbps"), probe.burst_bw * 8.0 / 1e9);
-        r.scalar(&format!("{name}_bucket_gib"), probe.bucket_bytes / GIB as f64);
+        r.scalar(
+            &format!("{name}_bucket_gib"),
+            probe.bucket_bytes / GIB as f64,
+        );
     }
 
     // Lambda alongside.
@@ -218,8 +223,14 @@ pub fn fig07() -> ExperimentResult {
             14,
         )
     );
-    r.scalar("no_vpc_burst_at_256_gib_s", no_vpc_burst.last().expect("points").1);
-    r.scalar("vpc_burst_at_256_gib_s", vpc_burst.last().expect("points").1);
+    r.scalar(
+        "no_vpc_burst_at_256_gib_s",
+        no_vpc_burst.last().expect("points").1,
+    );
+    r.scalar(
+        "vpc_burst_at_256_gib_s",
+        vpc_burst.last().expect("points").1,
+    );
     r.push_series(NamedSeries::new("no_vpc_burst", no_vpc_burst));
     r.push_series(NamedSeries::new("vpc_burst", vpc_burst));
     r.push_series(NamedSeries::new("no_vpc_baseline", no_vpc_base));
@@ -232,7 +243,10 @@ mod tests {
     use super::*;
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn fig05_reproduces_burst_and_baseline() {
         let r = fig05();
         assert!((r.scalars["inbound_burst_gib_s"] - 1.2).abs() < 0.1);
@@ -241,7 +255,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn fig06_bucket_grows_with_instance_size_and_lambda_is_tiny() {
         let r = fig06();
         let medium = r.scalars["c6g.medium_bucket_gib"];
@@ -257,7 +274,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn fig07_scales_without_vpc_and_caps_with_vpc() {
         let r = fig07();
         let free = r.scalars["no_vpc_burst_at_256_gib_s"];

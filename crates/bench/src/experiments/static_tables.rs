@@ -30,8 +30,14 @@ pub fn table01() -> ExperimentResult {
         .iter()
         .map(|i| i.cents_per_vcpu_hour())
         .fold(0.0f64, f64::max);
-    let net_min = c6g.iter().map(|i| i.net_baseline_gbps).fold(f64::INFINITY, f64::min);
-    let net_max = c6g.iter().map(|i| i.net_baseline_gbps).fold(0.0f64, f64::max);
+    let net_min = c6g
+        .iter()
+        .map(|i| i.net_baseline_gbps)
+        .fold(f64::INFINITY, f64::min);
+    let net_max = c6g
+        .iter()
+        .map(|i| i.net_baseline_gbps)
+        .fold(0.0f64, f64::max);
 
     let rows = vec![
         vec!["Resource".into(), "Lambda (ARM)".into(), "EC2 (C6g)".into()],
@@ -178,7 +184,11 @@ pub fn table07() -> ExperimentResult {
         rows.push(row);
         for (i, &secs) in cells.iter().enumerate() {
             r.scalar(
-                &format!("{}_{}b_secs", pair.label().replace(['/', ' '], "_"), TABLE7_ACCESS_SIZES[i]),
+                &format!(
+                    "{}_{}b_secs",
+                    pair.label().replace(['/', ' '], "_"),
+                    TABLE7_ACCESS_SIZES[i]
+                ),
                 secs,
             );
         }
@@ -200,15 +210,24 @@ pub fn table08() -> ExperimentResult {
     let mut xps_row = vec!["S3 Express".to_string()];
     for c in &clusters {
         let beas_mb = table8_s3_standard(c);
-        std_row.push(format!("{:.0} MiB", (beas_mb * 1e6 / (1 << 20) as f64).round()));
-        r.scalar(&format!("s3std_{}_mb", c.label().replace(' ', "_")), beas_mb);
+        std_row.push(format!(
+            "{:.0} MiB",
+            (beas_mb * 1e6 / (1 << 20) as f64).round()
+        ));
+        r.scalar(
+            &format!("s3std_{}_mb", c.label().replace(' ', "_")),
+            beas_mb,
+        );
         xps_row.push(match table8_s3_express(c) {
             Some(mb) => format!("{mb:.0} MB"),
             None => "never".into(),
         });
     }
     println!("{}", text_table(&[header, std_row, xps_row]));
-    r.param("s3_express", "never breaks even (transfer fee > VM network cost)");
+    r.param(
+        "s3_express",
+        "never breaks even (transfer fee > VM network cost)",
+    );
     r
 }
 

@@ -9,8 +9,8 @@ use crate::{full_profile, in_sim};
 use skyrise::micro::{
     ascii_chart, run_closed_loop, text_table, ExperimentResult, NamedSeries, StorageIoConfig,
 };
-use skyrise::pricing::{shared_meter, StoragePricing, StorageService};
 use skyrise::prelude::*;
+use skyrise::pricing::{shared_meter, StoragePricing, StorageService};
 use skyrise::storage::{EfsAccount, EfsConfig, RetryPolicy};
 use std::rc::Rc;
 
@@ -106,11 +106,41 @@ pub fn fig09() -> ExperimentResult {
         svc: usize,
     }
     let arms = [
-        Arm { name: "S3 Standard", read_quota: 5_500.0, write_quota: 3_500.0, fs_count: 1, svc: 0 },
-        Arm { name: "S3 Express", read_quota: 220_000.0, write_quota: 42_000.0, fs_count: 1, svc: 1 },
-        Arm { name: "DynamoDB", read_quota: 12_000.0, write_quota: 4_000.0, fs_count: 1, svc: 2 },
-        Arm { name: "EFS-1", read_quota: 55_000.0, write_quota: 25_000.0, fs_count: 1, svc: 3 },
-        Arm { name: "EFS-2", read_quota: 55_000.0, write_quota: 25_000.0, fs_count: 2, svc: 3 },
+        Arm {
+            name: "S3 Standard",
+            read_quota: 5_500.0,
+            write_quota: 3_500.0,
+            fs_count: 1,
+            svc: 0,
+        },
+        Arm {
+            name: "S3 Express",
+            read_quota: 220_000.0,
+            write_quota: 42_000.0,
+            fs_count: 1,
+            svc: 1,
+        },
+        Arm {
+            name: "DynamoDB",
+            read_quota: 12_000.0,
+            write_quota: 4_000.0,
+            fs_count: 1,
+            svc: 2,
+        },
+        Arm {
+            name: "EFS-1",
+            read_quota: 55_000.0,
+            write_quota: 25_000.0,
+            fs_count: 1,
+            svc: 3,
+        },
+        Arm {
+            name: "EFS-2",
+            read_quota: 55_000.0,
+            write_quota: 25_000.0,
+            fs_count: 2,
+            svc: 3,
+        },
     ];
 
     let mut rows = vec![vec![
@@ -181,8 +211,14 @@ pub fn fig09() -> ExperimentResult {
             format!("{:.0}", arm.read_quota * arm.fs_count as f64),
             format!("{:.0}", arm.write_quota * arm.fs_count as f64),
         ]);
-        r.scalar(&format!("{}_read_iops", arm.name.replace([' ', '-'], "_")), measured[0]);
-        r.scalar(&format!("{}_write_iops", arm.name.replace([' ', '-'], "_")), measured[1]);
+        r.scalar(
+            &format!("{}_read_iops", arm.name.replace([' ', '-'], "_")),
+            measured[0],
+        );
+        r.scalar(
+            &format!("{}_write_iops", arm.name.replace([' ', '-'], "_")),
+            measured[1],
+        );
     }
     println!("{}", text_table(&rows));
     r
@@ -311,7 +347,14 @@ pub fn fig11() -> ExperimentResult {
     let profile = scaling_profile(0.1);
     let iops_factor = profile.iops_factor;
     let time_factor = profile.time_factor;
-    r.param("profile", if full_profile() { "full" } else { "fast (converted)" });
+    r.param(
+        "profile",
+        if full_profile() {
+            "full"
+        } else {
+            "fast (converted)"
+        },
+    );
 
     let cfg = profile.cfg.clone();
     let per_partition = profile.cfg.read_iops_per_partition;
@@ -595,7 +638,10 @@ mod tests {
     use super::*;
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn fig09_quota_relationships_hold() {
         let r = fig09();
         // S3 Express provides the highest IOPS.
@@ -611,7 +657,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn fig10_latency_ordering_matches_paper() {
         let r = fig10();
         // S3 Standard has the highest median; Express/DynamoDB/EFS are ~5 ms.
@@ -629,10 +678,17 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn fig11_scales_iops_with_partition_splits() {
         let r = fig11();
-        assert!(r.scalars["final_partitions"] >= 4.0, "{}", r.scalars["final_partitions"]);
+        assert!(
+            r.scalars["final_partitions"] >= 4.0,
+            "{}",
+            r.scalars["final_partitions"]
+        );
         assert!(
             r.scalars["peak_iops"] > 20_000.0,
             "peak {}",
@@ -646,7 +702,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn fig08_throughput_crossovers() {
         let r = fig08();
         // Both S3 classes scale far beyond DynamoDB and EFS.
@@ -664,7 +723,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn fig12_time_and_budget_grow_superlinearly() {
         let r = fig12();
         let h50 = r.scalars["hours_to_50k"];
@@ -677,7 +739,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "simulates a full experiment; run with --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "simulates a full experiment; run with --release"
+    )]
     fn fig13_downscales_over_days() {
         let r = fig13();
         // Starts at ~5 partitions' capacity (27.5K), ends at ~1 (5.5K).

@@ -10,12 +10,20 @@
 //!   interval; results are converted back to paper scale). Minutes of
 //!   wall time for the whole suite.
 //! * **full** (`SKYRISE_FULL=1`) — paper-scale durations.
+//!
+//! Every binary accepts `--trace-out <path>`: the experiment then runs
+//! with virtual-time tracing enabled in every simulation, and the merged
+//! trace is written as Chrome-trace JSON at `<path>` (open in Perfetto)
+//! plus a flat JSONL log at `<path>.jsonl`. Traces are byte-identical
+//! across runs with identical seeds.
 
 pub mod datasets;
 pub mod experiments;
 
 use skyrise::micro::ExperimentResult;
-use std::path::PathBuf;
+use skyrise::sim::Tracer;
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
 
 /// Where results are written (`SKYRISE_RESULTS`, default `results/`).
 pub fn results_dir() -> PathBuf {
@@ -26,7 +34,9 @@ pub fn results_dir() -> PathBuf {
 
 /// Paper-scale mode?
 pub fn full_profile() -> bool {
-    std::env::var("SKYRISE_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SKYRISE_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Print and persist an experiment result.
@@ -49,17 +59,220 @@ pub fn finish(result: &ExperimentResult) {
     println!();
 }
 
+// ---------------------------------------------------------------------------
+// Trace capture across simulations
+// ---------------------------------------------------------------------------
+
+/// Per-thread capture state: `in_sim` consults it to decide whether to
+/// install a tracer, and records per-simulation accounting either way.
+#[derive(Default)]
+struct CaptureState {
+    /// Install a tracer in every simulation (set by `--trace-out`).
+    trace_all: bool,
+    /// Added to every `in_sim` seed (the determinism test's lever for
+    /// "different seed → different trace").
+    seed_offset: u64,
+    runs: Vec<(String, Tracer)>,
+    sims: u64,
+    virtual_secs: f64,
+}
+
+thread_local! {
+    static CAPTURE: RefCell<CaptureState> = RefCell::new(CaptureState::default());
+}
+
+/// What a traced experiment run produced, aside from its result.
+pub struct RunSummary {
+    /// One `(label, tracer)` per traced simulation, in execution order.
+    pub runs: Vec<(String, Tracer)>,
+    /// Simulations executed.
+    pub sims: u64,
+    /// Total virtual time simulated (seconds).
+    pub virtual_secs: f64,
+}
+
+impl RunSummary {
+    /// Total events recorded across all traced simulations.
+    pub fn events(&self) -> u64 {
+        self.runs.iter().map(|(_, t)| t.len() as u64).sum()
+    }
+
+    fn run_refs(&self) -> Vec<(String, &Tracer)> {
+        self.runs
+            .iter()
+            .map(|(label, t)| (label.clone(), t))
+            .collect()
+    }
+
+    /// Merged Chrome-trace JSON over every traced simulation.
+    pub fn chrome_json(&self) -> String {
+        skyrise::sim::chrome_trace_json_multi(&self.run_refs())
+    }
+
+    /// Merged JSONL event log over every traced simulation.
+    pub fn jsonl(&self) -> String {
+        skyrise::sim::jsonl_multi(&self.run_refs())
+    }
+}
+
+/// Run `f` with capture active: every [`in_sim`] inside it records its
+/// virtual time, and — when `trace` is set — installs a tracer whose
+/// events are collected into the returned [`RunSummary`]. `seed_offset`
+/// shifts every simulation seed (0 for normal runs).
+pub fn capture_runs<T>(trace: bool, seed_offset: u64, f: impl FnOnce() -> T) -> (T, RunSummary) {
+    CAPTURE.with(|c| {
+        *c.borrow_mut() = CaptureState {
+            trace_all: trace,
+            seed_offset,
+            ..CaptureState::default()
+        }
+    });
+    let out = f();
+    let state = CAPTURE.with(|c| std::mem::take(&mut *c.borrow_mut()));
+    (
+        out,
+        RunSummary {
+            runs: state.runs,
+            sims: state.sims,
+            virtual_secs: state.virtual_secs,
+        },
+    )
+}
+
+fn record_sim(seed: u64, end: skyrise::sim::SimTime, tracer: Option<Tracer>) {
+    CAPTURE.with(|c| {
+        let mut c = c.borrow_mut();
+        c.sims += 1;
+        c.virtual_secs += end.as_secs_f64();
+        if let Some(t) = tracer {
+            let label = format!("sim{:02}-seed{:x}", c.runs.len(), seed);
+            c.runs.push((label, t));
+        }
+    });
+}
+
 /// Run a closure inside a fresh simulation and return its output.
 pub fn in_sim<T: 'static>(
     seed: u64,
     f: impl FnOnce(skyrise::sim::SimCtx) -> std::pin::Pin<Box<dyn std::future::Future<Output = T>>>
         + 'static,
 ) -> T {
+    let (trace_all, offset) = CAPTURE.with(|c| {
+        let c = c.borrow();
+        (c.trace_all, c.seed_offset)
+    });
+    let seed = seed.wrapping_add(offset);
     let mut sim = skyrise::sim::Sim::new(seed);
+    let tracer = trace_all.then(|| sim.install_tracer());
     let ctx = sim.ctx();
     let h = sim.spawn(f(ctx));
-    sim.run();
+    let end = sim.run();
+    record_sim(seed, end, tracer);
     h.try_take().expect("experiment completed")
+}
+
+/// Like [`in_sim`], but tracing is always on: the closure receives the
+/// tracer handle alongside the context (for building per-query profiles).
+/// The trace is still collected into the active capture, if any.
+pub fn in_sim_traced<T: 'static>(
+    seed: u64,
+    f: impl FnOnce(
+            skyrise::sim::SimCtx,
+            Tracer,
+        ) -> std::pin::Pin<Box<dyn std::future::Future<Output = T>>>
+        + 'static,
+) -> T {
+    let offset = CAPTURE.with(|c| c.borrow().seed_offset);
+    let seed = seed.wrapping_add(offset);
+    let mut sim = skyrise::sim::Sim::new(seed);
+    let tracer = sim.install_tracer();
+    let ctx = sim.ctx();
+    let h = sim.spawn(f(ctx, tracer.clone()));
+    let end = sim.run();
+    record_sim(seed, end, Some(tracer));
+    h.try_take().expect("experiment completed")
+}
+
+// ---------------------------------------------------------------------------
+// CLI entry points
+// ---------------------------------------------------------------------------
+
+/// Parse `--trace-out <path>` / `--trace-out=<path>` from an argument list.
+/// Unknown arguments abort with a usage message.
+pub fn parse_trace_out<I: IntoIterator<Item = String>>(args: I) -> Option<PathBuf> {
+    let mut out = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--trace-out" {
+            match iter.next() {
+                Some(path) => out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--trace-out requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--trace-out=") {
+            out = Some(PathBuf::from(path));
+        } else {
+            eprintln!("unknown argument `{arg}`; usage: [--trace-out <path>]");
+            std::process::exit(2);
+        }
+    }
+    out
+}
+
+/// Write a captured trace: Chrome-trace JSON at `path`, JSONL alongside at
+/// `<path>.jsonl`. Returns the JSONL path.
+pub fn write_traces(path: &Path, summary: &RunSummary) -> std::io::Result<PathBuf> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, summary.chrome_json())?;
+    let mut jsonl_path = path.as_os_str().to_owned();
+    jsonl_path.push(".jsonl");
+    let jsonl_path = PathBuf::from(jsonl_path);
+    std::fs::write(&jsonl_path, summary.jsonl())?;
+    Ok(jsonl_path)
+}
+
+/// Run one experiment with optional tracing and print its summary line:
+/// virtual time simulated, wall-clock elapsed, events traced, and where
+/// the outputs went.
+pub fn run_experiment(
+    name: &str,
+    run: impl FnOnce() -> ExperimentResult,
+    trace_out: Option<&Path>,
+) {
+    let wall = std::time::Instant::now();
+    let (result, summary) = capture_runs(trace_out.is_some(), 0, run);
+    finish(&result);
+    let mut outputs = vec![format!("{}/{}.json", results_dir().display(), result.id)];
+    if let Some(path) = trace_out {
+        match write_traces(path, &summary) {
+            Ok(jsonl_path) => {
+                outputs.push(path.display().to_string());
+                outputs.push(jsonl_path.display().to_string());
+            }
+            Err(e) => eprintln!("  (could not write trace to {}: {e})", path.display()),
+        }
+    }
+    println!(
+        "[{name}] virtual {:.1}s across {} sims, {} events traced, wall {:.1}s -> {}",
+        summary.virtual_secs,
+        summary.sims,
+        summary.events(),
+        wall.elapsed().as_secs_f64(),
+        outputs.join(", ")
+    );
+}
+
+/// Standard `main` body for the single-experiment binaries: parses
+/// `--trace-out` and runs the experiment with a summary line.
+pub fn run_cli(name: &str, run: impl FnOnce() -> ExperimentResult) {
+    let trace_out = parse_trace_out(std::env::args().skip(1));
+    run_experiment(name, run, trace_out.as_deref());
 }
 
 #[cfg(test)]
@@ -83,5 +296,70 @@ mod tests {
         if std::env::var("SKYRISE_FULL").is_err() {
             assert!(!full_profile());
         }
+    }
+
+    #[test]
+    fn capture_collects_traces_and_virtual_time() {
+        let (out, summary) = capture_runs(true, 0, || {
+            in_sim(7, |ctx| {
+                Box::pin(async move {
+                    let tracer = ctx.tracer();
+                    let span = tracer.span(&ctx, "svc", tracer.next_lane(), "work");
+                    ctx.sleep(skyrise::sim::SimDuration::from_secs(3)).await;
+                    span.end();
+                    1u32
+                })
+            })
+        });
+        assert_eq!(out, 1);
+        assert_eq!(summary.sims, 1);
+        assert_eq!(summary.virtual_secs, 3.0);
+        assert_eq!(summary.events(), 1);
+        assert!(summary.chrome_json().contains("\"work\""));
+        assert_eq!(summary.jsonl().lines().count(), 1);
+    }
+
+    #[test]
+    fn capture_disabled_still_counts_sims() {
+        let ((), summary) = capture_runs(false, 0, || {
+            in_sim(8, |ctx| {
+                Box::pin(async move {
+                    ctx.sleep(skyrise::sim::SimDuration::from_secs(1)).await;
+                })
+            })
+        });
+        assert_eq!(summary.sims, 1);
+        assert_eq!(summary.events(), 0);
+        assert!(summary.runs.is_empty());
+    }
+
+    #[test]
+    fn seed_offset_shifts_sim_seeds() {
+        fn seed_of(offset: u64) -> u64 {
+            let ((), summary) = capture_runs(true, offset, || {
+                in_sim(100, |ctx| {
+                    Box::pin(async move {
+                        let tracer = ctx.tracer();
+                        tracer.instant(&ctx, "svc", 0, "mark");
+                    })
+                })
+            });
+            summary.runs[0].1.run_id().expect("traced")
+        }
+        assert_eq!(seed_of(0), 100);
+        assert_eq!(seed_of(5), 105);
+    }
+
+    #[test]
+    fn trace_out_parsing() {
+        assert_eq!(parse_trace_out(Vec::<String>::new()), None);
+        assert_eq!(
+            parse_trace_out(vec!["--trace-out".into(), "/tmp/t.json".into()]),
+            Some(PathBuf::from("/tmp/t.json"))
+        );
+        assert_eq!(
+            parse_trace_out(vec!["--trace-out=/tmp/t.json".into()]),
+            Some(PathBuf::from("/tmp/t.json"))
+        );
     }
 }

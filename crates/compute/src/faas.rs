@@ -174,8 +174,7 @@ impl LambdaPlatform {
             functions: RefCell::new(HashMap::new()),
             scaling: RefCell::new(skyrise_net::RateLimiter::continuous(
                 1e9, // tokens are the constraint, not the instantaneous rate
-                rate,
-                3_000.0,
+                rate, 3_000.0,
             )),
             concurrency_quota: 10_000,
             concurrent: Cell::new(0),
@@ -207,6 +206,11 @@ impl LambdaPlatform {
         self.ctx.clone()
     }
 
+    /// The usage meter this platform bills into.
+    pub fn meter(&self) -> SharedMeter {
+        Rc::clone(&self.meter)
+    }
+
     /// Consume `n` sandbox-scaling tokens up front — models an account
     /// whose burst pool is largely spent by co-located workloads, so
     /// cluster startup depends on the region's refill rate (used by the
@@ -234,7 +238,11 @@ impl LambdaPlatform {
     }
 
     /// Invoke a function synchronously.
-    pub async fn invoke(self: &Rc<Self>, name: &str, payload: String) -> Result<InvokeResult, FaasError> {
+    pub async fn invoke(
+        self: &Rc<Self>,
+        name: &str,
+        payload: String,
+    ) -> Result<InvokeResult, FaasError> {
         if payload.len() > MAX_PAYLOAD {
             return Err(FaasError::PayloadTooLarge(payload.len()));
         }
@@ -245,13 +253,23 @@ impl LambdaPlatform {
                 .ok_or_else(|| FaasError::UnknownFunction(name.to_string()))?;
             (reg.config.clone(), Rc::clone(&reg.handler))
         };
+        let tracer = self.ctx.tracer();
+        let lane = tracer.next_lane();
         if self.concurrent.get() >= self.concurrency_quota {
+            tracer
+                .instant(&self.ctx, "faas", lane, "throttle-429")
+                .attr("function", name)
+                .attr("concurrent", self.concurrent.get());
             return Err(FaasError::TooManyRequests);
         }
         self.concurrent.set(self.concurrent.get() + 1);
         let started = self.ctx.now();
+        let span = tracer.span(&self.ctx, "faas", lane, "invoke");
+        span.attr("function", name)
+            .attr("payload_bytes", payload.len())
+            .attr("concurrent", self.concurrent.get());
 
-        let (sandbox, cold) = self.acquire_sandbox(name, &config).await;
+        let (sandbox, cold) = self.acquire_sandbox(name, &config, lane).await;
         let env = ExecEnv {
             ctx: self.ctx.clone(),
             nic: Rc::clone(&sandbox.nic),
@@ -260,7 +278,10 @@ impl LambdaPlatform {
             memory_mib: config.memory_mib,
             instance_id: sandbox.id,
         };
+        let run_span = tracer.span(&self.ctx, "faas", lane, "run");
+        run_span.attr("sandbox", sandbox.id).attr("cold", cold);
         let result = handler(env, payload).await;
+        drop(run_span);
         let now = self.ctx.now();
         let duration = now.duration_since(started);
 
@@ -268,7 +289,7 @@ impl LambdaPlatform {
         self.meter
             .borrow_mut()
             .record_lambda(config.memory_gb(), duration.as_secs_f64());
-        self.release_sandbox(name, sandbox);
+        self.release_sandbox(name, sandbox, lane);
         self.concurrent.set(self.concurrent.get() - 1);
 
         match result {
@@ -303,15 +324,21 @@ impl LambdaPlatform {
                 let name = name.to_string();
                 let config = config.clone();
                 self.ctx.spawn(async move {
-                    let (sandbox, _) = this.acquire_sandbox(&name, &config).await;
-                    this.release_sandbox(&name, sandbox);
+                    let lane = this.ctx.tracer().next_lane();
+                    let (sandbox, _) = this.acquire_sandbox(&name, &config, lane).await;
+                    this.release_sandbox(&name, sandbox, lane);
                 })
             })
             .collect();
         skyrise_sim::join_all(handles).await;
     }
 
-    async fn acquire_sandbox(&self, name: &str, config: &FunctionConfig) -> (Sandbox, bool) {
+    async fn acquire_sandbox(
+        &self,
+        name: &str,
+        config: &FunctionConfig,
+        lane: u64,
+    ) -> (Sandbox, bool) {
         // Warm path: pop a live sandbox, lazily expiring dead ones.
         let now = self.ctx.now();
         let popped = {
@@ -329,7 +356,10 @@ impl LambdaPlatform {
                 }
             }
         };
+        let tracer = self.ctx.tracer();
         if let Some(sb) = popped {
+            let span = tracer.span(&self.ctx, "faas", lane, "warmstart");
+            span.attr("sandbox", sb.id);
             let lat = self.ctx.with_rng(|r| self.region.sample_warmstart(r));
             self.ctx.sleep(lat).await;
             self.warm_starts.set(self.warm_starts.get() + 1);
@@ -337,19 +367,26 @@ impl LambdaPlatform {
         }
 
         // Cold path: wait for a scaling token, then create the sandbox.
+        let mut token_waited = false;
         loop {
-            let granted = {
+            let (granted, available) = {
                 let mut s = self.scaling.borrow_mut();
                 s.advance(self.ctx.now());
                 if s.available() >= 1.0 {
                     s.consume(self.ctx.now(), 1.0);
-                    true
+                    (true, s.available())
                 } else {
-                    false
+                    (false, s.available())
                 }
             };
             if granted {
                 break;
+            }
+            if !token_waited {
+                tracer
+                    .instant(&self.ctx, "faas", lane, "scaling-token-wait")
+                    .attr("burst_tokens", available);
+                token_waited = true;
             }
             self.ctx.sleep(SimDuration::from_millis(200)).await;
         }
@@ -357,8 +394,13 @@ impl LambdaPlatform {
             .ctx
             .with_rng(|r| self.region.sample_coldstart(r, self.ctx.now()));
         let download = SimDuration::from_secs_f64(config.binary_size as f64 / ARTIFACT_BW);
+        let span = tracer.span(&self.ctx, "faas", lane, "coldstart");
+        span.attr("binary_size", config.binary_size)
+            .attr("init_s", init.as_secs_f64())
+            .attr("download_s", download.as_secs_f64());
         self.ctx.sleep(init + download).await;
         self.cold_starts.set(self.cold_starts.get() + 1);
+        span.end();
 
         let id = self.next_sandbox.get();
         self.next_sandbox.set(id + 1);
@@ -380,8 +422,12 @@ impl LambdaPlatform {
         )
     }
 
-    fn release_sandbox(&self, name: &str, mut sandbox: Sandbox) {
+    fn release_sandbox(&self, name: &str, mut sandbox: Sandbox, lane: u64) {
         sandbox.last_used = self.ctx.now();
+        self.ctx
+            .tracer()
+            .instant(&self.ctx, "faas", lane, "reclaim")
+            .attr("sandbox", sandbox.id);
         if let Some(reg) = self.functions.borrow_mut().get_mut(name) {
             reg.warm.push_back(sandbox);
         }
@@ -500,10 +546,7 @@ mod tests {
                 })
                 .collect();
             let durations = join_all(handles).await;
-            let slow = durations
-                .iter()
-                .filter(|d| d.as_secs_f64() > 5.0)
-                .count();
+            let slow = durations.iter().filter(|d| d.as_secs_f64() > 5.0).count();
             (slow, platform.cold_start_count())
         });
         sim.run();

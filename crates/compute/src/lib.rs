@@ -62,6 +62,15 @@ impl ComputePlatform {
         matches!(self, ComputePlatform::Faas(_))
     }
 
+    /// The usage meter behind this platform, when it exposes one (FaaS
+    /// bills through the platform; the shim's VMs are billed at launch).
+    pub fn meter(&self) -> Option<skyrise_pricing::SharedMeter> {
+        match self {
+            ComputePlatform::Faas(p) => Some(p.meter()),
+            ComputePlatform::Shim(_) => None,
+        }
+    }
+
     /// Display name of the execution mode.
     pub fn mode(&self) -> &'static str {
         match self {
@@ -86,7 +95,11 @@ mod tests {
             let meter = shared_meter();
             let body = handler(|env: ExecEnv, p: String| async move {
                 env.ctx.sleep(SimDuration::from_millis(5)).await;
-                Ok(format!("{}:{}", if env.cold_start { "cold" } else { "warm" }, p))
+                Ok(format!(
+                    "{}:{}",
+                    if env.cold_start { "cold" } else { "warm" },
+                    p
+                ))
             });
 
             let lambda = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());

@@ -119,7 +119,11 @@ impl ShimCluster {
     }
 
     /// Invoke a function: queue for a slot, run on its VM. No coldstarts.
-    pub async fn invoke(self: &Rc<Self>, name: &str, payload: String) -> Result<InvokeResult, FaasError> {
+    pub async fn invoke(
+        self: &Rc<Self>,
+        name: &str,
+        payload: String,
+    ) -> Result<InvokeResult, FaasError> {
         let (config, handler) = {
             let fns = self.functions.borrow();
             let reg = fns

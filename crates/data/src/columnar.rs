@@ -167,7 +167,8 @@ impl Column {
         fn keep<T: Clone>(v: &[T], mask: &[bool]) -> Vec<T> {
             v.iter()
                 .zip(mask)
-                .filter(|&(_x, &m)| m).map(|(x, &_m)| x.clone())
+                .filter(|&(_x, &m)| m)
+                .map(|(x, &_m)| x.clone())
                 .collect()
         }
         match self {
@@ -422,7 +423,10 @@ mod tests {
         let t = b.take(&[3, 0]);
         assert_eq!(t.column("price").as_f64(), &[40.0, 10.0]);
         let s = b.slice(1, 3);
-        assert_eq!(s.column("flag").as_str(), &["b".to_string(), "a".to_string()]);
+        assert_eq!(
+            s.column("flag").as_str(),
+            &["b".to_string(), "a".to_string()]
+        );
     }
 
     #[test]

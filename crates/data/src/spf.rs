@@ -557,7 +557,10 @@ pub fn parse_footer(buf: &[u8]) -> Result<Footer, SpfError> {
             4 => DataType::Date,
             _ => return Err(SpfError::Corrupt("bad data type")),
         };
-        fields.push(Field { name, data_type: dtype });
+        fields.push(Field {
+            name,
+            data_type: dtype,
+        });
     }
     let n_groups = cur.u32()? as usize;
     let mut row_groups = Vec::with_capacity(n_groups);
@@ -659,7 +662,11 @@ mod tests {
                 Column::Float64((0..n).map(|i| i as f64 * 0.5 - 3.0).collect()),
                 Column::Utf8((0..n).map(|i| format!("tag{}", i % 5)).collect()),
                 Column::Bool((0..n).map(|i| i % 3 == 0).collect()),
-                Column::Int64((0..n as i64).map(|i| date::from_ymd(1995, 1, 1) + i).collect()),
+                Column::Int64(
+                    (0..n as i64)
+                        .map(|i| date::from_ymd(1995, 1, 1) + i)
+                        .collect(),
+                ),
             ],
         )
     }
@@ -733,17 +740,24 @@ mod tests {
         let schema = Schema::new(vec![Field::new("mode", DataType::Utf8)]);
         let low = Batch::new(
             Rc::clone(&schema),
-            vec![Column::Utf8((0..n).map(|i| format!("M{}", i % 4)).collect())],
+            vec![Column::Utf8(
+                (0..n).map(|i| format!("M{}", i % 4)).collect(),
+            )],
         );
         let high = Batch::new(
             schema,
-            vec![Column::Utf8((0..n).map(|i| format!("unique-{i}")).collect())],
+            vec![Column::Utf8(
+                (0..n).map(|i| format!("unique-{i}")).collect(),
+            )],
         );
         let f_low = write(&[low], n);
         let f_high = write(&[high], n);
         let foot_low = read_footer(&f_low).unwrap();
         let foot_high = read_footer(&f_high).unwrap();
-        assert_eq!(foot_low.row_groups[0].chunks[0].encoding, Encoding::Utf8Dict);
+        assert_eq!(
+            foot_low.row_groups[0].chunks[0].encoding,
+            Encoding::Utf8Dict
+        );
         assert_eq!(
             foot_high.row_groups[0].chunks[0].encoding,
             Encoding::Utf8Plain

@@ -15,13 +15,8 @@ use std::rc::Rc;
 /// The seven TPC-H ship modes.
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 /// The five TPC-H order priorities.
-pub const ORDER_PRIORITIES: [&str; 5] = [
-    "1-URGENT",
-    "2-HIGH",
-    "3-MEDIUM",
-    "4-NOT SPECIFIED",
-    "5-LOW",
-];
+pub const ORDER_PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// LINEITEM schema (the query-relevant subset, in spec order).
 pub fn lineitem_schema() -> Rc<Schema> {
@@ -246,8 +241,13 @@ mod tests {
     #[test]
     fn every_lineitem_joins_to_an_order() {
         let t = generate(0.002, 11);
-        let orders: std::collections::HashSet<i64> =
-            t.orders.column("o_orderkey").as_i64().iter().copied().collect();
+        let orders: std::collections::HashSet<i64> = t
+            .orders
+            .column("o_orderkey")
+            .as_i64()
+            .iter()
+            .copied()
+            .collect();
         for &k in t.lineitem.column("l_orderkey").as_i64() {
             assert!(orders.contains(&k));
         }
@@ -264,11 +264,7 @@ mod tests {
         let hi = date::from_ymd(1995, 1, 1);
         let hits = (0..t.lineitem.num_rows())
             .filter(|&i| {
-                ship[i] >= lo
-                    && ship[i] < hi
-                    && disc[i] >= 0.05
-                    && disc[i] <= 0.07
-                    && qty[i] < 24.0
+                ship[i] >= lo && ship[i] < hi && disc[i] >= 0.05 && disc[i] <= 0.07 && qty[i] < 24.0
             })
             .count();
         let frac = hits as f64 / t.lineitem.num_rows() as f64;

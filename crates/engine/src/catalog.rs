@@ -132,7 +132,9 @@ pub async fn fetch_dataset(
     name: &str,
     opts: &RequestOpts,
 ) -> Result<DatasetMeta, EngineError> {
-    let (blob, _) = client.get(&DatasetMeta::catalog_key(name), 4096, opts).await?;
+    let (blob, _) = client
+        .get(&DatasetMeta::catalog_key(name), 4096, opts)
+        .await?;
     let meta: DatasetMeta = serde_json::from_slice(&blob.bytes)?;
     Ok(meta)
 }
@@ -174,7 +176,10 @@ mod tests {
             };
             let meta = load_dataset(&storage, &layout, &table(1000)).unwrap();
             assert_eq!(meta.partitions.len(), 4);
-            assert_eq!(meta.partitions.iter().map(|p| p.payload_rows).sum::<u64>(), 1000);
+            assert_eq!(
+                meta.partitions.iter().map(|p| p.payload_rows).sum::<u64>(),
+                1000
+            );
             let client = RetryingClient::new(
                 storage.clone(),
                 ctx.clone(),

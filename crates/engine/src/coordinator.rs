@@ -158,6 +158,13 @@ pub async fn run_coordinator(
     let started = env.ctx.now();
     let opts = RequestOpts::from_nic(&env.nic);
     let plan = &request.plan;
+    let tracer = env.ctx.tracer();
+    let lane = tracer.next_lane();
+    let query_span = tracer.span(&env.ctx, "coordinator", lane, "query");
+    query_span
+        .attr("query", request.query_id.as_str())
+        .attr("plan", plan.name.as_str())
+        .attr("pipelines", plan.pipelines.len());
     let client = RetryingClient::new(scan_storage.clone(), env.ctx.clone(), RetryPolicy::eager());
 
     // 1. Fetch metadata for every scanned dataset.
@@ -209,9 +216,9 @@ pub async fn run_coordinator(
             .pipelines
             .iter()
             .find(|p| {
-                p.inputs
-                    .iter()
-                    .any(|i| matches!(i, InputSpec::Shuffle { from_pipeline } if *from_pipeline == id))
+                p.inputs.iter().any(
+                    |i| matches!(i, InputSpec::Shuffle { from_pipeline } if *from_pipeline == id),
+                )
             })
             .map(|p| fragments[&p.id])
             .unwrap_or(1);
@@ -271,6 +278,17 @@ pub async fn run_coordinator(
             });
         }
 
+        let stage_span = tracer.span(&env.ctx, "coordinator", lane, "stage");
+        stage_span
+            .attr("query", request.query_id.as_str())
+            .attr("pipeline", id)
+            .attr("fragments", n)
+            .attr("downstream_fragments", downstream);
+        tracer
+            .instant(&env.ctx, "coordinator", lane, "fragment-assignment")
+            .attr("query", request.query_id.as_str())
+            .attr("pipeline", id)
+            .attr("fragments", n);
         let stage_started = env.ctx.now();
         let reports = invoke_fleet(env, platform, worker_fn, fanout_fn, tasks).await?;
         let duration = (env.ctx.now() - stage_started).as_secs_f64();
@@ -292,6 +310,10 @@ pub async fn run_coordinator(
             stat.rows_out += r.rows_out;
             stat.cold_starts += r.cold_start as u32;
         }
+        stage_span
+            .attr("rows_out", stat.rows_out)
+            .attr("cold_starts", stat.cold_starts);
+        stage_span.end();
         cumulative += stat.cumulative_worker_secs;
         stages.push(stat);
     }
@@ -300,9 +322,7 @@ pub async fn run_coordinator(
     let result_pipeline = plan.result_pipeline();
     let key = result_key(&request.query_id, 0);
     let rows = if request.config.include_rows && fragments[&result_pipeline.id] == 1 {
-        let (blob, _) = client
-            .get(&key, 64 * 1024, &opts)
-            .await?;
+        let (blob, _) = client.get(&key, 64 * 1024, &opts).await?;
         let batches = skyrise_data::spf::read_all(&blob.bytes, None)?;
         let all = skyrise_data::Batch::concat(&batches);
         if all.num_rows() <= 10_000 {
@@ -342,9 +362,10 @@ async fn invoke_fleet(
             })?;
             let platform = platform.clone();
             let name = fanout_fn.to_string();
-            handles.push(env.ctx.spawn(async move {
-                platform.invoke(&name, payload).await
-            }));
+            handles.push(
+                env.ctx
+                    .spawn(async move { platform.invoke(&name, payload).await }),
+            );
         }
         let mut reports = Vec::with_capacity(tasks.len());
         for h in skyrise_sim::join_all(handles).await {
@@ -360,9 +381,10 @@ async fn invoke_fleet(
             let payload = serde_json::to_string(task)?;
             let platform = platform.clone();
             let name = worker_fn.to_string();
-            handles.push(env.ctx.spawn(async move {
-                platform.invoke(&name, payload).await
-            }));
+            handles.push(
+                env.ctx
+                    .spawn(async move { platform.invoke(&name, payload).await }),
+            );
         }
         let mut reports = Vec::with_capacity(tasks.len());
         for h in skyrise_sim::join_all(handles).await {
@@ -387,9 +409,10 @@ pub async fn run_fanout(
         let payload = serde_json::to_string(task)?;
         let platform = platform.clone();
         let name = worker_fn.to_string();
-        handles.push(env.ctx.spawn(async move {
-            platform.invoke(&name, payload).await
-        }));
+        handles.push(
+            env.ctx
+                .spawn(async move { platform.invoke(&name, payload).await }),
+        );
     }
     let mut reports = Vec::with_capacity(request.tasks.len());
     for h in skyrise_sim::join_all(handles).await {

@@ -40,6 +40,12 @@ pub fn chain_cost(ops: &[Op], logical_rows: f64, vcpus: f64) -> SimDuration {
     SimDuration::from_secs_f64(ns_per_row * logical_rows / 1e9 / vcpus.max(0.25))
 }
 
+/// CPU time a single operator contributes to [`chain_cost`] — used to slice
+/// the chain charge into per-operator trace spans.
+pub fn op_cost(op: &Op, logical_rows: f64, vcpus: f64) -> SimDuration {
+    SimDuration::from_secs_f64(op_ns_per_row(op) * logical_rows / 1e9 / vcpus.max(0.25))
+}
+
 /// CPU time for the I/O stack to ingest `logical_bytes` over `requests`.
 pub fn io_stack_cost(logical_bytes: f64, requests: u64, vcpus: f64) -> SimDuration {
     let secs = IO_STACK_NS_PER_BYTE * logical_bytes / 1e9 / vcpus.max(0.25)
@@ -91,7 +97,10 @@ mod tests {
         let decode_bps = gb / decode_cost(gb, 4.0).as_secs_f64();
         let io_bps = gb / io_stack_cost(gb, 16, 4.0).as_secs_f64();
         assert!(decode_bps < io_bps);
-        assert!(decode_bps > 1.29e9, "decode must not be the hard bottleneck");
+        assert!(
+            decode_bps > 1.29e9,
+            "decode must not be the hard bottleneck"
+        );
         assert!(io_bps > 2.0 * 1.29e9, "I/O stack close to network-bound");
     }
 }

@@ -8,10 +8,13 @@
 //! request is routed to the same coordinator binary yet running on a
 //! provisioned VM with our shim layer."
 
-use crate::coordinator::{run_coordinator, run_fanout, FanoutRequest, QueryConfig, QueryRequest, QueryResponse};
+use crate::coordinator::{
+    run_coordinator, run_fanout, FanoutRequest, QueryConfig, QueryRequest, QueryResponse,
+};
 use crate::error::EngineError;
 use crate::expr::UdfRegistry;
 use crate::plan::PhysicalPlan;
+use crate::profile::QueryProfile;
 use crate::worker::{barrier_key, run_worker, WorkerTask};
 use skyrise_compute::{
     handler, ComputePlatform, ExecEnv, FunctionConfig, LambdaPlatform, ShimCluster,
@@ -167,11 +170,10 @@ impl Skyrise {
                         let request: QueryRequest =
                             serde_json::from_str(&payload).map_err(|e| e.to_string())?;
                         let platform = weak.upgrade();
-                        let response = run_coordinator(
-                            &env, &scan, &platform, WORKER_FN, FANOUT_FN, &request,
-                        )
-                        .await
-                        .map_err(|e| e.to_string())?;
+                        let response =
+                            run_coordinator(&env, &scan, &platform, WORKER_FN, FANOUT_FN, &request)
+                                .await
+                                .map_err(|e| e.to_string())?;
                         serde_json::to_string(&response).map_err(|e| e.to_string())
                     }
                 }),
@@ -188,11 +190,7 @@ impl Skyrise {
     }
 
     /// Deploy with one storage service for both base tables and shuffles.
-    pub fn deploy_simple(
-        ctx: &SimCtx,
-        platform: ComputePlatform,
-        storage: Storage,
-    ) -> Rc<Self> {
+    pub fn deploy_simple(ctx: &SimCtx, platform: ComputePlatform, storage: Storage) -> Rc<Self> {
         Skyrise::deploy(
             ctx,
             platform,
@@ -218,7 +216,11 @@ impl Skyrise {
     }
 
     /// Submit a plan for execution; resolves to the coordinator response.
-    pub async fn run(&self, plan: &PhysicalPlan, config: QueryConfig) -> Result<QueryResponse, EngineError> {
+    pub async fn run(
+        &self,
+        plan: &PhysicalPlan,
+        config: QueryConfig,
+    ) -> Result<QueryResponse, EngineError> {
         let id = self.next_query.get();
         self.next_query.set(id + 1);
         let request = QueryRequest {
@@ -240,6 +242,26 @@ impl Skyrise {
     /// Run with default per-query configuration.
     pub async fn run_default(&self, plan: &PhysicalPlan) -> Result<QueryResponse, EngineError> {
         self.run(plan, QueryConfig::default()).await
+    }
+
+    /// Run a plan and assemble a [`QueryProfile`] from the virtual-time
+    /// trace: stage critical path, per-operator time, coldstart share, and
+    /// the marginal cost drawn from the platform's usage meter. Works with
+    /// tracing disabled too (the trace-derived sections stay empty).
+    pub async fn run_profiled(
+        &self,
+        plan: &PhysicalPlan,
+        config: QueryConfig,
+    ) -> Result<(QueryResponse, QueryProfile), EngineError> {
+        let meter = self.platform.meter();
+        let before = meter.as_ref().map(|m| m.borrow().report());
+        let response = self.run(plan, config).await?;
+        let cost = meter
+            .as_ref()
+            .zip(before.as_ref())
+            .map(|(m, before)| crate::profile::ProfileCost::delta(before, &m.borrow().report()));
+        let profile = QueryProfile::from_trace(&response, &self.ctx.tracer(), cost);
+        Ok((response, profile))
     }
 
     /// Pre-warm `n` worker sandboxes (and one coordinator) on FaaS.

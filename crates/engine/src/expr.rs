@@ -326,9 +326,7 @@ pub fn evaluate(expr: &Expr, batch: &Batch, udfs: &UdfRegistry) -> Result<Column
                 let v = udf(&row);
                 match (&mut out, &v) {
                     (None, Value::Int64(_)) => out = Some(Column::Int64(Vec::with_capacity(n))),
-                    (None, Value::Float64(_)) => {
-                        out = Some(Column::Float64(Vec::with_capacity(n)))
-                    }
+                    (None, Value::Float64(_)) => out = Some(Column::Float64(Vec::with_capacity(n))),
                     (None, Value::Utf8(_)) => out = Some(Column::Utf8(Vec::with_capacity(n))),
                     (None, Value::Bool(_)) => out = Some(Column::Bool(Vec::with_capacity(n))),
                     _ => {}
@@ -347,7 +345,11 @@ pub fn evaluate(expr: &Expr, batch: &Batch, udfs: &UdfRegistry) -> Result<Column
 }
 
 /// Evaluate a predicate to a selection mask.
-pub fn evaluate_mask(expr: &Expr, batch: &Batch, udfs: &UdfRegistry) -> Result<Vec<bool>, ExprError> {
+pub fn evaluate_mask(
+    expr: &Expr,
+    batch: &Batch,
+    udfs: &UdfRegistry,
+) -> Result<Vec<bool>, ExprError> {
     let c = evaluate(expr, batch, udfs)?;
     expect_bool(&c).map(<[bool]>::to_vec)
 }
@@ -433,12 +435,12 @@ fn arithmetic(op: ArithOp, l: &Column, r: &Column) -> Result<Column, ExprError> 
         (Column::Float64(a), Column::Float64(b)) => {
             Column::Float64(a.iter().zip(b).map(|(&x, &y)| f(op, x, y)).collect())
         }
-        (Column::Int64(a), Column::Float64(b)) => Column::Float64(
-            a.iter().zip(b).map(|(&x, &y)| f(op, x as f64, y)).collect(),
-        ),
-        (Column::Float64(a), Column::Int64(b)) => Column::Float64(
-            a.iter().zip(b).map(|(&x, &y)| f(op, x, y as f64)).collect(),
-        ),
+        (Column::Int64(a), Column::Float64(b)) => {
+            Column::Float64(a.iter().zip(b).map(|(&x, &y)| f(op, x as f64, y)).collect())
+        }
+        (Column::Float64(a), Column::Int64(b)) => {
+            Column::Float64(a.iter().zip(b).map(|(&x, &y)| f(op, x, y as f64)).collect())
+        }
         _ => return Err(ExprError::TypeMismatch("arithmetic on non-numeric")),
     })
 }
@@ -522,8 +524,12 @@ mod tests {
     #[test]
     fn mixed_type_comparison_coerces() {
         let b = batch();
-        let mask =
-            evaluate_mask(&Expr::col("a").cmp(CmpOp::Gt, Expr::lit_f64(2.5)), &b, &udfs()).unwrap();
+        let mask = evaluate_mask(
+            &Expr::col("a").cmp(CmpOp::Gt, Expr::lit_f64(2.5)),
+            &b,
+            &udfs(),
+        )
+        .unwrap();
         assert_eq!(mask, vec![false, false, true, true, true]);
     }
 

@@ -19,6 +19,7 @@ pub mod error;
 pub mod expr;
 pub mod operators;
 pub mod plan;
+pub mod profile;
 pub mod pushdown;
 pub mod queries;
 pub mod reference;
@@ -30,4 +31,5 @@ pub use driver::{Skyrise, SkyriseConfig, COORDINATOR_FN, FANOUT_FN, WORKER_FN};
 pub use error::EngineError;
 pub use expr::{ArithOp, CmpOp, Expr, NamedExpr, UdfRegistry};
 pub use plan::{AggExpr, AggFunc, AggMode, InputSpec, Op, PhysicalPlan, Pipeline, Sink};
+pub use profile::{ProfileCost, QueryProfile, StageSlice};
 pub use worker::{WorkerReport, WorkerTask};

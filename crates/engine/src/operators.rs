@@ -235,7 +235,11 @@ fn apply_op(
     }
 }
 
-fn project(batch: &Batch, exprs: &[crate::expr::NamedExpr], udfs: &UdfRegistry) -> Result<Batch, EngineError> {
+fn project(
+    batch: &Batch,
+    exprs: &[crate::expr::NamedExpr],
+    udfs: &UdfRegistry,
+) -> Result<Batch, EngineError> {
     let mut fields = Vec::with_capacity(exprs.len());
     let mut columns = Vec::with_capacity(exprs.len());
     for ne in exprs {
@@ -357,9 +361,9 @@ fn hash_aggregate(
                     })
                     .collect::<Result<_, _>>()?;
                 for (row, key) in keys.into_iter().enumerate() {
-                    let states = groups
-                        .entry(key)
-                        .or_insert_with(|| aggregates.iter().map(|a| AggState::new(a.func)).collect());
+                    let states = groups.entry(key).or_insert_with(|| {
+                        aggregates.iter().map(|a| AggState::new(a.func)).collect()
+                    });
                     for (s, col) in states.iter_mut().zip(&args) {
                         s.update(&col.value(row));
                     }
@@ -394,11 +398,14 @@ fn hash_aggregate(
                     })
                     .collect::<Result<_, EngineError>>()?;
                 for (row, key) in keys.into_iter().enumerate() {
-                    let states = groups
-                        .entry(key)
-                        .or_insert_with(|| aggregates.iter().map(|a| AggState::new(a.func)).collect());
+                    let states = groups.entry(key).or_insert_with(|| {
+                        aggregates.iter().map(|a| AggState::new(a.func)).collect()
+                    });
                     for (s, (primary, secondary)) in states.iter_mut().zip(&cols) {
-                        s.merge(&primary.value(row), secondary.as_ref().map(|c| c.value(row)).as_ref());
+                        s.merge(
+                            &primary.value(row),
+                            secondary.as_ref().map(|c| c.value(row)).as_ref(),
+                        );
                     }
                 }
             }
@@ -447,9 +454,11 @@ fn hash_aggregate(
                     vals.push(match &states[ai] {
                         AggState::Sum(s) => Value::Float64(*s),
                         AggState::Count(c) => Value::Int64(*c),
-                        AggState::Avg { sum, count } => {
-                            Value::Float64(if *count == 0 { 0.0 } else { sum / *count as f64 })
-                        }
+                        AggState::Avg { sum, count } => Value::Float64(if *count == 0 {
+                            0.0
+                        } else {
+                            sum / *count as f64
+                        }),
                         AggState::Min(m) | AggState::Max(m) => {
                             m.clone().unwrap_or(Value::Float64(f64::NAN))
                         }
@@ -480,12 +489,14 @@ fn hash_aggregate(
 
 fn column_from_values(vals: &[Value]) -> Column {
     match vals.first() {
-        Some(Value::Int64(_)) => {
-            Column::Int64(vals.iter().map(|v| match v {
-                Value::Int64(x) => *x,
-                other => other.as_f64() as i64,
-            }).collect())
-        }
+        Some(Value::Int64(_)) => Column::Int64(
+            vals.iter()
+                .map(|v| match v {
+                    Value::Int64(x) => *x,
+                    other => other.as_f64() as i64,
+                })
+                .collect(),
+        ),
         Some(Value::Utf8(_)) => Column::Utf8(
             vals.iter()
                 .map(|v| match v {
@@ -523,7 +534,10 @@ fn hash_join(
     let build_keys = row_keys(&build_all, &[build_key.to_string()])?;
     let mut table: HashMap<ScalarKey, Vec<usize>> = HashMap::with_capacity(build_keys.len());
     for (row, mut key) in build_keys.into_iter().enumerate() {
-        table.entry(key.pop().expect("single key")).or_default().push(row);
+        table
+            .entry(key.pop().expect("single key"))
+            .or_default()
+            .push(row);
     }
 
     let build_col_refs: Vec<(&Field, &Column)> = build_columns
@@ -781,7 +795,10 @@ mod tests {
         }];
         let (out, _) = execute_ops(&ops, &[lineitems()], &udfs()).unwrap();
         let b = &out[0];
-        assert_eq!(b.column("flag").as_str(), &["A".to_string(), "B".to_string()]);
+        assert_eq!(
+            b.column("flag").as_str(),
+            &["A".to_string(), "B".to_string()]
+        );
         assert_eq!(b.column("total").as_f64(), &[90.0, 60.0]);
         assert_eq!(b.column("cnt").as_i64(), &[3, 2]);
         assert_eq!(b.column("avg_price").as_f64(), &[30.0, 30.0]);
@@ -804,8 +821,18 @@ mod tests {
             aggregates: aggs.clone(),
             mode: AggMode::Partial,
         };
-        let (p1, _) = execute_ops(std::slice::from_ref(&partial_op), &[vec![input[0].clone()]], &udfs()).unwrap();
-        let (p2, _) = execute_ops(std::slice::from_ref(&partial_op), &[vec![input[1].clone()]], &udfs()).unwrap();
+        let (p1, _) = execute_ops(
+            std::slice::from_ref(&partial_op),
+            &[vec![input[0].clone()]],
+            &udfs(),
+        )
+        .unwrap();
+        let (p2, _) = execute_ops(
+            std::slice::from_ref(&partial_op),
+            &[vec![input[1].clone()]],
+            &udfs(),
+        )
+        .unwrap();
         let final_op = Op::HashAggregate {
             group_by: group.clone(),
             aggregates: aggs.clone(),

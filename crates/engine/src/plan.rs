@@ -317,8 +317,12 @@ mod tests {
         assert_eq!(plan.dependencies(0), Vec::<u32>::new());
         assert_eq!(plan.dependencies(2), vec![0, 1]);
         let stages = plan.stages();
-        let pos =
-            |id: u32| stages.iter().position(|&x| x == id).expect("pipeline in stage order");
+        let pos = |id: u32| {
+            stages
+                .iter()
+                .position(|&x| x == id)
+                .expect("pipeline in stage order")
+        };
         assert!(pos(0) < pos(2));
         assert!(pos(1) < pos(2));
     }

@@ -26,18 +26,14 @@ fn never_matches(expr: &Expr, schema: &Schema, rg: &RowGroupMeta) -> bool {
             // Only `col <op> literal` / `literal <op> col` shapes prune.
             match (&**left, &**right) {
                 (Expr::Col(c), Expr::Lit(v)) => cmp_never(*op, stats_of(schema, rg, c), v),
-                (Expr::Lit(v), Expr::Col(c)) => {
-                    cmp_never(flip(*op), stats_of(schema, rg, c), v)
-                }
+                (Expr::Lit(v), Expr::Col(c)) => cmp_never(flip(*op), stats_of(schema, rg, c), v),
                 _ => false,
             }
         }
         Expr::InList { expr, list } => {
             if let Expr::Col(c) = &**expr {
                 if let Some(stats) = stats_of(schema, rg, c) {
-                    return list
-                        .iter()
-                        .all(|v| cmp_never(CmpOp::Eq, Some(stats), v));
+                    return list.iter().all(|v| cmp_never(CmpOp::Eq, Some(stats), v));
                 }
             }
             false
@@ -70,7 +66,9 @@ fn cmp_never(op: CmpOp, stats: Option<&ChunkStats>, lit: &Value) -> bool {
         (Value::Int64(lo), Value::Int64(hi), Value::Float64(v)) => {
             float_never(op, *lo as f64, *hi as f64, *v)
         }
-        (Value::Float64(lo), Value::Float64(hi), Value::Float64(v)) => float_never(op, *lo, *hi, *v),
+        (Value::Float64(lo), Value::Float64(hi), Value::Float64(v)) => {
+            float_never(op, *lo, *hi, *v)
+        }
         (Value::Float64(lo), Value::Float64(hi), Value::Int64(v)) => {
             float_never(op, *lo, *hi, *v as f64)
         }
@@ -133,7 +131,11 @@ mod tests {
         );
         let bytes = spf::write(&[batch], 50);
         let footer = spf::read_footer(&bytes).unwrap();
-        ((*bytes).to_vec(), (*footer.schema).clone(), footer.row_groups)
+        (
+            (*bytes).to_vec(),
+            (*footer.schema).clone(),
+            footer.row_groups,
+        )
     }
 
     #[test]
@@ -183,7 +185,10 @@ mod tests {
             expr: Box::new(Expr::col("m")),
             list: vec![Value::Utf8("001".into())],
         };
-        assert!(prune_row_group(&inlist, &schema, &rgs[0]), "group 0 is all 000");
+        assert!(
+            prune_row_group(&inlist, &schema, &rgs[0]),
+            "group 0 is all 000"
+        );
         assert!(!prune_row_group(&inlist, &schema, &rgs[1]));
     }
 

@@ -8,7 +8,7 @@
 //! `bb_clickstreams`, `bb_item`.
 
 use crate::expr::{ArithOp, CmpOp, Expr, NamedExpr};
-use crate::plan::{AggExpr, AggFunc, AggMode, InputSpec, Op, Pipeline, PhysicalPlan, Sink};
+use crate::plan::{AggExpr, AggFunc, AggMode, InputSpec, Op, PhysicalPlan, Pipeline, Sink};
 use skyrise_data::date;
 use skyrise_data::Value;
 

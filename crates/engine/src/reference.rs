@@ -73,12 +73,7 @@ pub fn q6(lineitem: &Batch) -> f64 {
     let ship = lineitem.column("l_shipdate").as_i64();
     let mut revenue = 0.0;
     for i in 0..lineitem.num_rows() {
-        if ship[i] >= lo
-            && ship[i] < hi
-            && disc[i] >= 0.05
-            && disc[i] <= 0.07
-            && qty[i] < 24.0
-        {
+        if ship[i] >= lo && ship[i] < hi && disc[i] >= 0.05 && disc[i] <= 0.07 && qty[i] < 24.0 {
             revenue += price[i] * disc[i];
         }
     }
@@ -233,13 +228,14 @@ mod tests {
         let rows = q1(&t.lineitem);
         // A/F, N/F, N/O, R/F are the standard four groups.
         assert_eq!(rows.len(), 4);
-        let Value::Int64(total) = rows.iter().map(|r| r[9].clone()).fold(
-            Value::Int64(0),
-            |acc, v| match (acc, v) {
-                (Value::Int64(a), Value::Int64(b)) => Value::Int64(a + b),
-                _ => unreachable!(),
-            },
-        ) else {
+        let Value::Int64(total) =
+            rows.iter()
+                .map(|r| r[9].clone())
+                .fold(Value::Int64(0), |acc, v| match (acc, v) {
+                    (Value::Int64(a), Value::Int64(b)) => Value::Int64(a + b),
+                    _ => unreachable!(),
+                })
+        else {
             unreachable!()
         };
         assert!(total > 0 && (total as usize) <= t.lineitem.num_rows());

@@ -99,6 +99,20 @@ fn default_combine() -> u32 {
     1
 }
 
+/// Stable trace label for an operator.
+fn op_label(op: &Op) -> &'static str {
+    match op {
+        Op::Filter { .. } => "filter",
+        Op::Project { .. } => "project",
+        Op::HashAggregate { .. } => "hash-aggregate",
+        Op::HashJoin { .. } => "hash-join",
+        Op::Sort { .. } => "sort",
+        Op::Limit { .. } => "limit",
+        Op::SessionizeQ3 { .. } => "sessionize",
+        Op::Barrier { .. } => "barrier",
+    }
+}
+
 /// Shuffle object key: `query/pipeline/source fragment/destination bucket
 /// group` (a group holds `combine` consecutive buckets).
 pub fn shuffle_key(query_id: &str, pipeline: u32, src_fragment: u32, dst_group: u32) -> String {
@@ -160,6 +174,15 @@ pub async fn run_worker(
     let shuffle_client =
         RetryingClient::new(shuffle_storage.clone(), env.ctx.clone(), shuffle_policy);
     let opts = RequestOpts::from_nic(&env.nic);
+    let tracer = env.ctx.tracer();
+    let lane = tracer.next_lane();
+    let worker_span = tracer.span(&env.ctx, "worker", lane, "fragment");
+    worker_span
+        .attr("query", task.query_id.as_str())
+        .attr("pipeline", task.pipeline.id)
+        .attr("fragment", task.fragment)
+        .attr("cold", env.cold_start)
+        .attr("instance", env.instance_id);
 
     // Barriers first (subflow isolation; see plan::Op::Barrier).
     for op in &task.pipeline.ops {
@@ -183,6 +206,12 @@ pub async fn run_worker(
             .inputs
             .get(idx)
             .ok_or_else(|| EngineError::Plan("assignment without input spec".into()))?;
+        let read_name: &'static str = match assignment {
+            InputAssignment::Scan { .. } => "scan-read",
+            InputAssignment::Shuffle { .. } => "shuffle-read",
+        };
+        let read_span = tracer.span(&env.ctx, "worker", lane, read_name);
+        read_span.attr("query", task.query_id.as_str());
         let outcome = match assignment {
             InputAssignment::Scan { partitions } => {
                 let (projection, predicate) = match spec {
@@ -192,11 +221,21 @@ pub async fn run_worker(
                         ..
                     } => (projection.clone(), predicate.clone()),
                     InputSpec::Shuffle { .. } => {
-                        return Err(EngineError::Plan("scan assignment for shuffle input".into()))
+                        return Err(EngineError::Plan(
+                            "scan assignment for shuffle input".into(),
+                        ))
                     }
                 };
-                read_scan(&client, &opts, env, partitions, &projection, predicate.as_ref(), udfs)
-                    .await?
+                read_scan(
+                    &client,
+                    &opts,
+                    env,
+                    partitions,
+                    &projection,
+                    predicate.as_ref(),
+                    udfs,
+                )
+                .await?
             }
             InputAssignment::Shuffle {
                 from_pipeline,
@@ -223,9 +262,17 @@ pub async fn run_worker(
         if idx == 0 {
             stream_scale = outcome.scale;
         }
+        read_span
+            .attr("bytes", outcome.logical_bytes)
+            .attr("requests", outcome.requests);
+        read_span.end();
         inputs.push(outcome.batches);
     }
     // I/O-stack CPU charge for ingesting the inputs.
+    let io_span = tracer.span(&env.ctx, "worker", lane, "io-stack");
+    io_span
+        .attr("query", task.query_id.as_str())
+        .attr("bytes", report.logical_bytes_read);
     env.ctx
         .sleep(cpu::io_stack_cost(
             report.logical_bytes_read as f64,
@@ -233,6 +280,7 @@ pub async fn run_worker(
             env.vcpus,
         ))
         .await;
+    io_span.end();
     report.io_secs = (env.ctx.now() - io_started).as_secs_f64();
 
     // Execute the operator chain, charging virtual CPU for logical rows.
@@ -242,6 +290,22 @@ pub async fn run_worker(
     env.ctx
         .sleep(cpu::chain_cost(&task.pipeline.ops, logical_rows, env.vcpus))
         .await;
+    // Lay per-operator spans over the chain charge: the single sleep above
+    // keeps timing identical, the spans slice it at each operator's share.
+    if tracer.enabled() {
+        let mut cursor = cpu_started;
+        for op in &task.pipeline.ops {
+            let end = cursor.saturating_add(cpu::op_cost(op, logical_rows, env.vcpus));
+            let op_span = tracer.span_at(cursor, end, "worker", lane, op_label(op));
+            op_span
+                .attr("query", task.query_id.as_str())
+                .attr("rows", logical_rows as u64)
+                .attr("pipeline", task.pipeline.id)
+                .attr("fragment", task.fragment);
+            op_span.end();
+            cursor = end;
+        }
+    }
     report.rows_in = (stats.rows_in as f64 * stream_scale) as u64;
     report.rows_out = (stats.rows_out as f64 * stream_scale) as u64;
     report.cpu_secs = (env.ctx.now() - cpu_started).as_secs_f64();
@@ -252,6 +316,8 @@ pub async fn run_worker(
             partition_by,
             combine,
         } => {
+            let sink_span = tracer.span(&env.ctx, "worker", lane, "shuffle-write");
+            sink_span.attr("query", task.query_id.as_str());
             let combine = (*combine).max(1) as usize;
             let n_buckets = task.downstream_fragments.max(1) as usize;
             // Empty output still writes (empty) markers for every bucket
@@ -285,16 +351,27 @@ pub async fn run_worker(
                 let logical = overhead + stream_scale.max(1.0) * (len - overhead).max(0.0);
                 let blob = Blob::scaled(encoded, (logical / len).max(1e-9));
                 report.logical_bytes_written += blob.logical_len();
-                let key =
-                    shuffle_key(&task.query_id, task.pipeline.id, task.fragment, group as u32);
+                let key = shuffle_key(
+                    &task.query_id,
+                    task.pipeline.id,
+                    task.fragment,
+                    group as u32,
+                );
                 let client = shuffle_client.clone();
                 let opts = opts.clone();
-                puts.push(env.ctx.spawn(async move { client.put(&key, blob, &opts).await }));
+                puts.push(
+                    env.ctx
+                        .spawn(async move { client.put(&key, blob, &opts).await }),
+                );
             }
             for p in skyrise_sim::join_all(puts).await {
                 let stats = p?;
                 report.storage_requests += stats.attempts as u64;
             }
+            sink_span
+                .attr("bytes", report.logical_bytes_written)
+                .attr("objects", n_groups);
+            sink_span.end();
         }
         Sink::Result => {
             let part = if output.is_empty() {
@@ -305,13 +382,23 @@ pub async fn run_worker(
             let encoded = spf::write(std::slice::from_ref(&part), 8192);
             let blob = Blob::new(encoded);
             report.logical_bytes_written += blob.logical_len();
+            let sink_span = tracer.span(&env.ctx, "worker", lane, "result-write");
+            sink_span
+                .attr("query", task.query_id.as_str())
+                .attr("bytes", blob.logical_len());
             let stats = client
                 .put(&result_key(&task.query_id, task.fragment), blob, &opts)
                 .await?;
+            sink_span.end();
             report.storage_requests += stats.attempts as u64;
         }
     }
 
+    worker_span
+        .attr("rows_in", report.rows_in)
+        .attr("rows_out", report.rows_out)
+        .attr("bytes_read", report.logical_bytes_read)
+        .attr("bytes_written", report.logical_bytes_written);
     Ok(report)
 }
 
@@ -351,8 +438,18 @@ async fn read_scan(
         let vcpus = env.vcpus;
         let gate = Rc::clone(&chunk_gate);
         handles.push(env.ctx.spawn(async move {
-            read_partition(&client, &opts, &ctx, vcpus, &part, &projection, predicate.as_ref(), &udfs, &gate)
-                .await
+            read_partition(
+                &client,
+                &opts,
+                &ctx,
+                vcpus,
+                &part,
+                &projection,
+                predicate.as_ref(),
+                &udfs,
+                &gate,
+            )
+            .await
         }));
     }
     for h in skyrise_sim::join_all(handles).await {

@@ -1,10 +1,10 @@
 //! Property-based tests over the engine's core invariants.
 
 use proptest::prelude::*;
+use skyrise_data::{Batch, Column, DataType, Field, Schema, Value};
 use skyrise_engine::expr::{evaluate_mask, CmpOp, Expr, UdfRegistry};
 use skyrise_engine::operators::{execute_ops, partition_batch, ScalarKey};
 use skyrise_engine::plan::{AggExpr, AggFunc, AggMode, Op};
-use skyrise_data::{Batch, Column, DataType, Field, Schema, Value};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -244,12 +244,26 @@ fn distributed_agg_through_partitioning() {
         mode: AggMode::Partial,
     };
     // Two "workers" aggregate halves, partition by key into 3 buckets.
-    let (w1, _) = execute_ops(std::slice::from_ref(&partial), &[vec![batch.slice(0, 100)]], &udfs).unwrap();
-    let (w2, _) = execute_ops(std::slice::from_ref(&partial), &[vec![batch.slice(100, 200)]], &udfs).unwrap();
+    let (w1, _) = execute_ops(
+        std::slice::from_ref(&partial),
+        &[vec![batch.slice(0, 100)]],
+        &udfs,
+    )
+    .unwrap();
+    let (w2, _) = execute_ops(
+        std::slice::from_ref(&partial),
+        &[vec![batch.slice(100, 200)]],
+        &udfs,
+    )
+    .unwrap();
     let mut buckets: Vec<Vec<Batch>> = vec![Vec::new(); 3];
     for out in [w1, w2] {
         for b in out {
-            for (i, p) in partition_batch(&b, &["k".to_string()], 3).unwrap().into_iter().enumerate() {
+            for (i, p) in partition_batch(&b, &["k".to_string()], 3)
+                .unwrap()
+                .into_iter()
+                .enumerate()
+            {
                 buckets[i].push(p);
             }
         }
@@ -264,7 +278,10 @@ fn distributed_agg_through_partitioning() {
     for bucket in buckets {
         let (fin, _) = execute_ops(std::slice::from_ref(&final_op), &[bucket], &udfs).unwrap();
         for i in 0..fin[0].num_rows() {
-            got.push((fin[0].column("k").as_i64()[i], fin[0].column("s").as_f64()[i]));
+            got.push((
+                fin[0].column("k").as_i64()[i],
+                fin[0].column("s").as_f64()[i],
+            ));
         }
     }
     got.sort_by_key(|a| a.0);
@@ -275,7 +292,12 @@ fn distributed_agg_through_partitioning() {
     };
     let (want, _) = execute_ops(std::slice::from_ref(&single), &[vec![batch]], &udfs).unwrap();
     let want_rows: Vec<(i64, f64)> = (0..want[0].num_rows())
-        .map(|i| (want[0].column("k").as_i64()[i], want[0].column("s").as_f64()[i]))
+        .map(|i| {
+            (
+                want[0].column("k").as_i64()[i],
+                want[0].column("s").as_f64()[i],
+            )
+        })
         .collect();
     assert_eq!(got, want_rows);
     let _ = Rc::new(());

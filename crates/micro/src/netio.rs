@@ -53,7 +53,10 @@ impl Default for NetIoConfig {
 /// Drive traffic through `client` for the configured window and return
 /// the 20 ms throughput series (bytes per bucket).
 pub async fn measure(ctx: &SimCtx, client: &SharedNic, cfg: &NetIoConfig) -> IntervalSeries {
-    let recorder = Rc::new(RefCell::new(IntervalSeries::new(ctx.now(), SAMPLE_INTERVAL)));
+    let recorder = Rc::new(RefCell::new(IntervalSeries::new(
+        ctx.now(),
+        SAMPLE_INTERVAL,
+    )));
     let server = Nic::unlimited();
     let opts = TransferOpts {
         flows: cfg.flows,
@@ -123,8 +126,7 @@ pub fn analyze_burst(series: &IntervalSeries) -> BurstProbe {
     let burst_window = 5.min(rates.len());
     let burst_bw = rates[..burst_window].iter().sum::<f64>() / burst_window as f64;
     let tail_start = rates.len() - (rates.len() / 4).max(1);
-    let baseline_bw =
-        rates[tail_start..].iter().sum::<f64>() / (rates.len() - tail_start) as f64;
+    let baseline_bw = rates[tail_start..].iter().sum::<f64>() / (rates.len() - tail_start) as f64;
     // The baseline itself is spiky (slotted refill), so estimating the
     // bucket per-interval overcounts; the excess over the whole window is
     // robust: total bytes minus what the baseline alone would have moved.
@@ -159,13 +161,24 @@ mod tests {
         let series = h.try_take().unwrap();
         let rates = series.rates_per_sec();
         // Initial burst at ~1.2 GiB/s for ~250 ms.
-        assert!(rates[0] > 1.1 * GIB as f64, "initial burst {:.2e}", rates[0]);
+        assert!(
+            rates[0] > 1.1 * GIB as f64,
+            "initial burst {:.2e}",
+            rates[0]
+        );
         let burst_buckets = rates.iter().take(15).filter(|&&r| r > GIB as f64).count();
-        assert!((10..=14).contains(&burst_buckets), "{burst_buckets} buckets of burst");
+        assert!(
+            (10..=14).contains(&burst_buckets),
+            "{burst_buckets} buckets of burst"
+        );
         // After the 3 s pause (phase 2 starts at t=4 s, bucket 200): a
         // second, shorter burst from the refilled rechargeable half.
         let second = &rates[200..];
-        assert!(second[0] > 1.1 * GIB as f64, "second burst {:.2e}", second[0]);
+        assert!(
+            second[0] > 1.1 * GIB as f64,
+            "second burst {:.2e}",
+            second[0]
+        );
         let second_burst = second.iter().filter(|&&r| r > GIB as f64).count();
         assert!(
             second_burst < burst_buckets,
@@ -195,7 +208,10 @@ mod tests {
             probe.baseline_bw / MIB as f64
         );
         let bucket_mib = probe.bucket_bytes / MIB as f64;
-        assert!((250.0..=360.0).contains(&bucket_mib), "bucket {bucket_mib} MiB");
+        assert!(
+            (250.0..=360.0).contains(&bucket_mib),
+            "bucket {bucket_mib} MiB"
+        );
     }
 
     #[test]

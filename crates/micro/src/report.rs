@@ -137,7 +137,12 @@ pub fn ascii_chart(series: &[NamedSeries], width: usize, height: usize) -> Strin
         let _ = writeln!(out, "{:>12} |{line}", "");
     }
     let _ = writeln!(out, "{y_min:>12.3e} +{}", "-".repeat(width));
-    let _ = writeln!(out, "{:>13}{:<width$}", "", format!("x: {x_min:.3} .. {x_max:.3}"));
+    let _ = writeln!(
+        out,
+        "{:>13}{:<width$}",
+        "",
+        format!("x: {x_min:.3} .. {x_max:.3}")
+    );
     for (si, s) in series.iter().enumerate() {
         let _ = writeln!(out, "{:>14} {} = {}", "", glyphs[si % glyphs.len()], s.name);
     }
@@ -205,7 +210,10 @@ mod tests {
     fn ascii_chart_renders_all_series() {
         let s = vec![
             NamedSeries::new("up", (0..10).map(|i| (i as f64, i as f64)).collect()),
-            NamedSeries::new("down", (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect()),
+            NamedSeries::new(
+                "down",
+                (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect(),
+            ),
         ];
         let chart = ascii_chart(&s, 40, 10);
         assert!(chart.contains('*'));

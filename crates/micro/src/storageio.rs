@@ -241,7 +241,11 @@ mod tests {
         sim.run();
         let r = h.try_take().unwrap();
         // 16 threads at ~27 ms median latency: ~550 ops/s, no throttling.
-        assert!(r.ops_per_sec > 300.0 && r.ops_per_sec < 800.0, "{}", r.ops_per_sec);
+        assert!(
+            r.ops_per_sec > 300.0 && r.ops_per_sec < 800.0,
+            "{}",
+            r.ops_per_sec
+        );
         assert!(r.failed_per_sec < 5.0, "{}", r.failed_per_sec);
         let med = r.latency.median();
         assert!((med - 0.027).abs() < 0.008, "median {med}");

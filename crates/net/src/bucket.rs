@@ -71,7 +71,9 @@ impl RateLimiter {
             capacity,
             tokens: capacity,
             oneoff: 0.0,
-            refill: RefillPolicy::Continuous { rate: baseline_rate },
+            refill: RefillPolicy::Continuous {
+                rate: baseline_rate,
+            },
             idle_refill: None,
             last_advance: SimTime::ZERO,
             last_use: SimTime::ZERO,
@@ -94,7 +96,10 @@ impl RateLimiter {
             capacity: rechargeable,
             tokens: rechargeable,
             oneoff,
-            refill: RefillPolicy::Slotted { slot, bytes_per_slot },
+            refill: RefillPolicy::Slotted {
+                slot,
+                bytes_per_slot,
+            },
             idle_refill: Some(idle),
             last_advance: SimTime::ZERO,
             last_use: SimTime::ZERO,
@@ -122,7 +127,10 @@ impl RateLimiter {
                 let dt = (now - self.last_advance).as_secs_f64();
                 self.tokens = (self.tokens + rate * dt).min(self.capacity);
             }
-            RefillPolicy::Slotted { slot, bytes_per_slot } => {
+            RefillPolicy::Slotted {
+                slot,
+                bytes_per_slot,
+            } => {
                 let slot_ns = slot.as_nanos();
                 let prev_slots = self.last_advance.as_nanos() / slot_ns;
                 let now_slots = now.as_nanos() / slot_ns;
@@ -203,9 +211,10 @@ impl RateLimiter {
     pub fn baseline_rate(&self) -> f64 {
         match self.refill {
             RefillPolicy::Continuous { rate } => rate,
-            RefillPolicy::Slotted { slot, bytes_per_slot } => {
-                bytes_per_slot / slot.as_secs_f64()
-            }
+            RefillPolicy::Slotted {
+                slot,
+                bytes_per_slot,
+            } => bytes_per_slot / slot.as_secs_f64(),
         }
     }
 
@@ -256,7 +265,11 @@ mod tests {
         // ~2 seconds elapsed: 500 MiB bucket + ~199 MiB baseline refill
         // (refill accrues up to the start of the final slice).
         let expect = mib(500.0 + 199.0);
-        assert!((sent - expect).abs() < mib(1.5), "sent {} MiB", sent / MIB as f64);
+        assert!(
+            (sent - expect).abs() < mib(1.5),
+            "sent {} MiB",
+            sent / MIB as f64
+        );
         // Steady state: each slice grants ~baseline.
         let g = b.grant(t, SLICE, f64::MAX);
         assert!((g - base * SLICE.as_secs_f64()).abs() < 1.0, "g {g}");
@@ -307,7 +320,11 @@ mod tests {
             t += SLICE;
         }
         let total: f64 = per_slice.iter().sum();
-        assert!((total - mib(75.0)).abs() < mib(1.0), "total {}", total / MIB as f64);
+        assert!(
+            (total - mib(75.0)).abs() < mib(1.0),
+            "total {}",
+            total / MIB as f64
+        );
         // Spiky: most slices grant zero, a few grant 7.5 MiB.
         let zeros = per_slice.iter().filter(|&&g| g < 1.0).count();
         assert!(zeros >= 85, "zeros {zeros}");
@@ -330,14 +347,22 @@ mod tests {
         b.advance(t);
         let avail = b.available();
         // Rechargeable pool restored to 150 MiB; one-off stays empty.
-        assert!((avail - mib(150.0)).abs() < mib(1.0), "second burst {}", avail / MIB as f64);
+        assert!(
+            (avail - mib(150.0)).abs() < mib(1.0),
+            "second burst {}",
+            avail / MIB as f64
+        );
         // Second burst total is roughly half the first.
         let mut sent = 0.0;
         for _ in 0..30 {
             sent += b.grant(t, SLICE, f64::MAX);
             t += SLICE;
         }
-        assert!(sent < mib(300.0 + 25.0) / 1.8, "second burst shorter: {}", sent / MIB as f64);
+        assert!(
+            sent < mib(300.0 + 25.0) / 1.8,
+            "second burst shorter: {}",
+            sent / MIB as f64
+        );
     }
 
     #[test]

@@ -98,6 +98,8 @@ pub struct TransferOpts {
     pub slice: Option<SimDuration>,
     /// Receive-side throughput recorder.
     pub recorder: Option<Rc<RefCell<IntervalSeries>>>,
+    /// Endpoint label attached to trace spans (e.g. the storage service).
+    pub label: Option<&'static str>,
 }
 
 /// Outcome of a completed transfer.
@@ -139,6 +141,16 @@ pub async fn transfer(
         .flow_cap
         .map(|cap| cap * opts.flows.max(1) as f64 * slice.as_secs_f64());
 
+    let tracer = ctx.tracer();
+    let lane = tracer.next_lane();
+    let span = tracer.span(ctx, "net", lane, "transfer");
+    span.attr("bytes", bytes);
+    if let Some(label) = opts.label {
+        span.attr("endpoint", label);
+    }
+    let mut stalled_slices: u64 = 0;
+    let mut flowing = true;
+
     while remaining > 0.0 {
         let now = ctx.now();
         // Peek every constraint before consuming from any.
@@ -161,6 +173,11 @@ pub async fn transfer(
         }
 
         if allow > 0.5 {
+            if !flowing {
+                // Token buckets replenished enough to resume.
+                tracer.instant(ctx, "net", lane, "bucket-refill");
+                flowing = true;
+            }
             // Commit the grant everywhere.
             src.borrow_mut().outbound.consume(now, allow);
             dst.borrow_mut().inbound.consume(now, allow);
@@ -189,9 +206,21 @@ pub async fn transfer(
             ctx.sleep(slice).await;
         } else {
             // Nothing grantable this slice — wait for refill.
+            if flowing {
+                let onset = tracer.instant(ctx, "net", lane, "throttle-onset");
+                onset
+                    .attr("src_tokens", allow_src)
+                    .attr("dst_tokens", allow_dst);
+                if let Some(label) = opts.label {
+                    onset.attr("endpoint", label);
+                }
+                flowing = false;
+            }
+            stalled_slices += 1;
             ctx.sleep(slice).await;
         }
     }
+    span.attr("stalled_slices", stalled_slices);
 
     TransferStats {
         bytes,
@@ -268,8 +297,7 @@ mod tests {
             // Drain inbound fully.
             transfer(&ctx, &server, &client, 310 * MIB, &TransferOpts::default()).await;
             // Outbound must still be at full burst.
-            let out =
-                transfer(&ctx, &client, &server, 100 * MIB, &TransferOpts::default()).await;
+            let out = transfer(&ctx, &client, &server, 100 * MIB, &TransferOpts::default()).await;
             out.mean_throughput()
         });
         sim.run();
@@ -383,8 +411,7 @@ mod tests {
                     let client = Rc::clone(&client);
                     let server = Rc::clone(&server);
                     ctx.spawn(async move {
-                        transfer(&ctx2, &server, &client, 150 * MIB, &TransferOpts::default())
-                            .await
+                        transfer(&ctx2, &server, &client, 150 * MIB, &TransferOpts::default()).await
                     })
                 })
                 .collect();
@@ -393,7 +420,10 @@ mod tests {
         sim.run();
         let stats = h.try_take().unwrap();
         // Combined 300 MiB fits the burst budget: both finish ~0.25s.
-        let end = stats.iter().map(|s| s.end.as_secs_f64()).fold(0.0, f64::max);
+        let end = stats
+            .iter()
+            .map(|s| s.end.as_secs_f64())
+            .fold(0.0, f64::max);
         assert!(end < 0.35, "end {end}");
     }
 }

@@ -17,8 +17,8 @@
 //! premium over c6g.xlarge, and the EBS unit is a 400 GB gp3 volume.
 
 use crate::catalog::{
-    ec2_instance, StoragePricing, StorageService, CROSS_REGION_TRANSFER_PER_GB,
-    EBS_GP3_BASE_IOPS, EBS_GP3_BASE_MBPS, EBS_GP3_PER_GB_MONTH,
+    ec2_instance, StoragePricing, StorageService, CROSS_REGION_TRANSFER_PER_GB, EBS_GP3_BASE_IOPS,
+    EBS_GP3_BASE_MBPS, EBS_GP3_PER_GB_MONTH,
 };
 use serde::{Deserialize, Serialize};
 
@@ -54,13 +54,21 @@ pub fn bei_capacity(
 }
 
 /// Break-even interval for request-priced tier-2 (seconds).
-pub fn bei_request(pages_per_mb: f64, price_per_access: f64, rent_per_sec_per_mb_tier1: f64) -> f64 {
+pub fn bei_request(
+    pages_per_mb: f64,
+    price_per_access: f64,
+    rent_per_sec_per_mb_tier1: f64,
+) -> f64 {
     pages_per_mb * price_per_access / rent_per_sec_per_mb_tier1
 }
 
 /// Break-even access size for shuffling via request-priced storage (MB),
 /// with a *size-independent* price per access.
-pub fn beas(price_per_access: f64, mb_per_hour_per_server: f64, rent_per_hour_per_server: f64) -> f64 {
+pub fn beas(
+    price_per_access: f64,
+    mb_per_hour_per_server: f64,
+    rent_per_hour_per_server: f64,
+) -> f64 {
     price_per_access * mb_per_hour_per_server / rent_per_hour_per_server
 }
 
@@ -221,7 +229,11 @@ impl ShuffleCluster {
         format!(
             "{} {}",
             self.instance,
-            if self.reserved { "reserved" } else { "on-demand" }
+            if self.reserved {
+                "reserved"
+            } else {
+                "on-demand"
+            }
         )
     }
 
@@ -338,7 +350,10 @@ mod tests {
         let d4 = cell(HierarchyPair::SsdS3CrossRegion, 4 << 10) / 86_400.0;
         let d16 = cell(HierarchyPair::SsdS3CrossRegion, 16 << 10) / 86_400.0;
         assert!((d4 - 12.0).abs() < 1.5, "{d4}");
-        assert!((d4 - d16).abs() / d4 < 0.05, "transfer fee dominates: constant");
+        assert!(
+            (d4 - d16).abs() / d4 < 0.05,
+            "transfer fee dominates: constant"
+        );
     }
 
     #[test]

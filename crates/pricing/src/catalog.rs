@@ -245,9 +245,7 @@ pub fn ec2_instance(name: &str) -> Option<Ec2InstanceSpec> {
 // ---------------------------------------------------------------------------
 
 /// Identifier of a storage service in the catalog and usage meter.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum StorageService {
     /// S3 Standard object storage.
     S3Standard,
@@ -471,7 +469,10 @@ mod tests {
         assert!((small - 2e-7).abs() < 1e-12, "free below 512 KiB");
         let big = p.request_cost(false, 16 * 1024 * 1024);
         // 15.5 MiB billable * 0.0015/GiB ≈ 2.27e-5, plus the request.
-        assert!((big - (2e-7 + 15.5 / 1024.0 * 0.0015)).abs() < 1e-9, "{big}");
+        assert!(
+            (big - (2e-7 + 15.5 / 1024.0 * 0.0015)).abs() < 1e-9,
+            "{big}"
+        );
     }
 
     #[test]

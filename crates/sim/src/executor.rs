@@ -13,6 +13,7 @@
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::Tracer;
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -85,6 +86,10 @@ struct SimState {
     wake_queue: Arc<WakeQueue>,
     /// Count of tasks that have been spawned but not yet completed.
     live_tasks: Cell<usize>,
+    /// RNG seed this simulation was created with.
+    seed: u64,
+    /// Trace sink; disabled (no-op) unless installed via [`Sim::install_tracer`].
+    tracer: RefCell<Tracer>,
 }
 
 /// The simulation: owns the virtual clock, task set, and timer wheel.
@@ -128,8 +133,24 @@ impl Sim {
                 rng: RefCell::new(SimRng::new(seed)),
                 wake_queue: Arc::new(WakeQueue::default()),
                 live_tasks: Cell::new(0),
+                seed,
+                tracer: RefCell::new(Tracer::disabled()),
             }),
         }
+    }
+
+    /// Enable tracing for this simulation: installs an enabled [`Tracer`]
+    /// (run id = seed) that all components reach via [`SimCtx::tracer`],
+    /// and returns a handle that outlives the simulation for export.
+    pub fn install_tracer(&self) -> Tracer {
+        let tracer = Tracer::new(self.state.seed);
+        *self.state.tracer.borrow_mut() = tracer.clone();
+        tracer
+    }
+
+    /// The tracer currently installed (disabled by default).
+    pub fn tracer(&self) -> Tracer {
+        self.state.tracer.borrow().clone()
     }
 
     /// A handle for spawning and sleeping from inside tasks.
@@ -268,6 +289,21 @@ impl SimCtx {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.state().now.get()
+    }
+
+    /// Current virtual time, or `None` if the simulation was dropped.
+    /// Used by trace span guards, which may be dropped after teardown.
+    pub(crate) fn try_now(&self) -> Option<SimTime> {
+        self.state.upgrade().map(|s| s.now.get())
+    }
+
+    /// The simulation's tracer (disabled, i.e. no-op, unless a tracer was
+    /// installed via [`Sim::install_tracer`]). Cheap to clone and call.
+    pub fn tracer(&self) -> Tracer {
+        match self.state.upgrade() {
+            Some(s) => s.tracer.borrow().clone(),
+            None => Tracer::disabled(),
+        }
     }
 
     /// Spawn a task onto the simulation; returns a handle that resolves to

@@ -12,6 +12,7 @@
 //! * [`rng`] — seeded RNG and heavy-tailed latency distributions
 //! * [`sync`] — channels, semaphores, events, wait groups
 //! * [`metrics`] — interval throughput series, latency histograms, stats
+//! * [`trace`] — virtual-time spans/events, Chrome-trace + JSONL export
 
 #![warn(missing_docs)]
 
@@ -20,11 +21,15 @@ pub mod metrics;
 pub mod rng;
 pub mod sync;
 pub mod time;
+pub mod trace;
 
 pub use executor::{join_all, race, Either, JoinHandle, Sim, SimCtx};
 pub use metrics::{Histogram, HistogramSummary, IntervalSeries};
 pub use rng::{LatencyDist, SimRng};
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    chrome_trace_json_multi, jsonl_multi, AttrValue, EventKind, Span, TraceEvent, Tracer,
+};
 
 /// Bytes in one kibibyte.
 pub const KIB: u64 = 1024;

@@ -175,7 +175,11 @@ impl Histogram {
     /// Record a value. Non-finite or non-positive values clamp to the
     /// smallest bucket.
     pub fn record(&mut self, v: f64) {
-        let v = if v.is_finite() && v > 0.0 { v } else { HIST_MIN };
+        let v = if v.is_finite() && v > 0.0 {
+            v
+        } else {
+            HIST_MIN
+        };
         let idx = Self::bucket_of(v);
         if idx >= self.counts.len() {
             self.counts.resize(idx + 1, 0);

@@ -105,6 +105,38 @@ proptest! {
         prop_assert_eq!(trace(seed, n), trace(seed, n));
     }
 
+    /// `IntervalSeries::record_span` conserves mass: however a span aligns
+    /// with the bucket grid, the sum over all buckets equals the sum of the
+    /// recorded amounts (within f64 tolerance).
+    #[test]
+    fn record_span_conserves_amount(
+        interval_ns in 1u64..5_000_000,
+        origin_ns in 0u64..1_000_000,
+        spans in prop::collection::vec(
+            (0u64..50_000_000, 0u64..10_000_000, 1e-3f64..1e6),
+            1..40,
+        ),
+    ) {
+        let mut s = skyrise_sim::IntervalSeries::new(
+            skyrise_sim::SimTime::from_nanos(origin_ns),
+            SimDuration::from_nanos(interval_ns),
+        );
+        let mut expected = 0.0f64;
+        for &(start_ns, len_ns, amount) in &spans {
+            s.record_span(
+                skyrise_sim::SimTime::from_nanos(start_ns),
+                skyrise_sim::SimTime::from_nanos(start_ns + len_ns),
+                amount,
+            );
+            expected += amount;
+        }
+        let total = s.total();
+        prop_assert!(
+            (total - expected).abs() <= 1e-9 * expected.max(1.0),
+            "total {} != expected {}", total, expected
+        );
+    }
+
     /// Histogram quantiles respect the recorded min/max and are monotone.
     #[test]
     fn histogram_quantiles_are_monotone(values in prop::collection::vec(1e-6f64..1e3, 1..300)) {

@@ -174,6 +174,15 @@ impl RetryPolicy {
     }
 }
 
+/// Trace label for a retry-triggering error.
+fn retry_reason(err: &StorageError) -> &'static str {
+    match err {
+        StorageError::Throttled => "throttled",
+        StorageError::Timeout => "timeout",
+        _ => "error",
+    }
+}
+
 /// Outcome statistics of a retried operation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RetryStats {
@@ -221,7 +230,11 @@ impl RetryingClient {
             let outcome = race(attempt, self.ctx.sleep(timeout)).await;
             let err = match outcome {
                 Either::Left(Ok(blob)) => return Ok((blob, stats)),
-                Either::Left(Err(e @ (StorageError::NotFound { .. } | StorageError::TooLarge { .. } | StorageError::InvalidRange { .. }))) => {
+                Either::Left(Err(
+                    e @ (StorageError::NotFound { .. }
+                    | StorageError::TooLarge { .. }
+                    | StorageError::InvalidRange { .. }),
+                )) => {
                     return Err(e); // not retryable
                 }
                 Either::Left(Err(e)) => {
@@ -241,6 +254,12 @@ impl RetryingClient {
                     last: err.to_string(),
                 });
             }
+            self.ctx
+                .tracer()
+                .instant(&self.ctx, "storage-client", 0, "retry")
+                .attr("attempt", stats.attempts)
+                .attr("reason", retry_reason(&err))
+                .attr("key", key);
             self.ctx
                 .sleep(self.policy.backoff(&self.ctx, stats.attempts))
                 .await;
@@ -265,7 +284,11 @@ impl RetryingClient {
             let outcome = race(attempt, self.ctx.sleep(timeout)).await;
             let err = match outcome {
                 Either::Left(Ok(blob)) => return Ok((blob, stats)),
-                Either::Left(Err(e @ (StorageError::NotFound { .. } | StorageError::TooLarge { .. } | StorageError::InvalidRange { .. }))) => {
+                Either::Left(Err(
+                    e @ (StorageError::NotFound { .. }
+                    | StorageError::TooLarge { .. }
+                    | StorageError::InvalidRange { .. }),
+                )) => {
                     return Err(e);
                 }
                 Either::Left(Err(e)) => {
@@ -286,18 +309,19 @@ impl RetryingClient {
                 });
             }
             self.ctx
+                .tracer()
+                .instant(&self.ctx, "storage-client", 0, "retry")
+                .attr("attempt", stats.attempts)
+                .attr("reason", retry_reason(&err))
+                .attr("key", key);
+            self.ctx
                 .sleep(self.policy.backoff(&self.ctx, stats.attempts))
                 .await;
         }
     }
 
     /// PUT with retries.
-    pub async fn put(
-        &self,
-        key: &str,
-        blob: Blob,
-        opts: &RequestOpts,
-    ) -> Result<RetryStats> {
+    pub async fn put(&self, key: &str, blob: Blob, opts: &RequestOpts) -> Result<RetryStats> {
         let mut stats = RetryStats::default();
         let expected = blob.logical_len();
         loop {
@@ -307,7 +331,11 @@ impl RetryingClient {
             let outcome = race(attempt, self.ctx.sleep(timeout)).await;
             let err = match outcome {
                 Either::Left(Ok(())) => return Ok(stats),
-                Either::Left(Err(e @ (StorageError::NotFound { .. } | StorageError::TooLarge { .. } | StorageError::InvalidRange { .. }))) => {
+                Either::Left(Err(
+                    e @ (StorageError::NotFound { .. }
+                    | StorageError::TooLarge { .. }
+                    | StorageError::InvalidRange { .. }),
+                )) => {
                     return Err(e);
                 }
                 Either::Left(Err(e)) => {
@@ -327,6 +355,12 @@ impl RetryingClient {
                     last: err.to_string(),
                 });
             }
+            self.ctx
+                .tracer()
+                .instant(&self.ctx, "storage-client", 0, "retry")
+                .attr("attempt", stats.attempts)
+                .attr("reason", retry_reason(&err))
+                .attr("key", key);
             self.ctx
                 .sleep(self.policy.backoff(&self.ctx, stats.attempts))
                 .await;
@@ -484,7 +518,11 @@ mod tests {
         let big = policy.timeout_for(64 << 20);
         assert_eq!(small.as_millis(), 200);
         // 64 MiB at 40 MiB/s expected, x2 slack = 3.2 s extra.
-        assert!((big.as_secs_f64() - 3.4).abs() < 0.05, "{}", big.as_secs_f64());
+        assert!(
+            (big.as_secs_f64() - 3.4).abs() < 0.05,
+            "{}",
+            big.as_secs_f64()
+        );
     }
 
     #[test]

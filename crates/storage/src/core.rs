@@ -45,11 +45,8 @@ impl OpsLimiter {
 
     /// Replace the sustained rate, keeping the burst window.
     pub fn set_rate(&self, rate: f64) {
-        *self.inner.borrow_mut() = RateLimiter::continuous(
-            rate.max(1.0) * 1e6,
-            rate,
-            rate * self.burst_seconds,
-        );
+        *self.inner.borrow_mut() =
+            RateLimiter::continuous(rate.max(1.0) * 1e6, rate, rate * self.burst_seconds);
     }
 
     /// The sustained admission rate (ops/s).
@@ -154,15 +151,18 @@ impl ServiceCore {
         Ok(InflightGuard { core: self })
     }
 
-    /// Sample first-byte latency for a direction and sleep it.
-    pub async fn first_byte(&self, write: bool) {
+    /// Sample first-byte latency for a direction and sleep it. Returns the
+    /// sampled duration so callers can attach it to trace spans.
+    pub async fn first_byte(&self, write: bool) -> SimDuration {
         let dist = if write {
             &self.write.latency
         } else {
             &self.read.latency
         };
         let secs = self.ctx.with_rng(|r| r.sample(dist));
-        self.ctx.sleep(SimDuration::from_secs_f64(secs)).await;
+        let d = SimDuration::from_secs_f64(secs);
+        self.ctx.sleep(d).await;
+        d
     }
 
     /// Stream `logical_bytes` to/from the client after the first byte,
@@ -176,6 +176,7 @@ impl ServiceCore {
         let topts = TransferOpts {
             flows: 1,
             flow_cap: Some(model.per_request_bw),
+            label: Some(self.service.name()),
             ..Default::default()
         };
         let unconstrained = skyrise_net::Nic::unlimited();

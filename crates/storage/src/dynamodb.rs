@@ -122,12 +122,7 @@ impl DynamoTable {
 
     /// A table with default on-demand parameters.
     pub fn on_demand(ctx: &SimCtx, meter: &SharedMeter) -> Rc<Self> {
-        DynamoTable::new(
-            ctx.clone(),
-            Rc::clone(meter),
-            DynamoConfig::default(),
-            None,
-        )
+        DynamoTable::new(ctx.clone(), Rc::clone(meter), DynamoConfig::default(), None)
     }
 
     /// Model configuration.
@@ -287,14 +282,23 @@ mod tests {
                 ..DynamoConfig::default()
             };
             let account = DynamoAccount::new(&cfg);
-            let t1 = DynamoTable::new(ctx.clone(), meter.clone(), cfg.clone(), Some(account.clone()));
+            let t1 = DynamoTable::new(
+                ctx.clone(),
+                meter.clone(),
+                cfg.clone(),
+                Some(account.clone()),
+            );
             let t2 = DynamoTable::new(ctx.clone(), meter, cfg, Some(account));
             t1.backdoor().put("k", Blob::new(vec![0u8; 512]));
             t2.backdoor().put("k", Blob::new(vec![0u8; 512]));
             let t0 = ctx.now();
             let handles: Vec<_> = (0..30_000u64)
                 .map(|i| {
-                    let table = if i % 2 == 0 { Rc::clone(&t1) } else { Rc::clone(&t2) };
+                    let table = if i % 2 == 0 {
+                        Rc::clone(&t1)
+                    } else {
+                        Rc::clone(&t2)
+                    };
                     let ctx2 = ctx.clone();
                     let at = t0 + SimDuration::from_nanos(i * 33_000);
                     ctx.spawn(async move {

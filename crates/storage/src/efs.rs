@@ -252,7 +252,9 @@ mod tests {
         let h = sim.spawn(async move {
             let fs = EfsFilesystem::elastic(&ctx, &meter);
             let opts = RequestOpts::default();
-            fs.write("/f", Blob::new(vec![0u8; 64]), &opts).await.unwrap();
+            fs.write("/f", Blob::new(vec![0u8; 64]), &opts)
+                .await
+                .unwrap();
             let mut reads = Vec::new();
             let mut writes = Vec::new();
             for i in 0..300 {
@@ -328,8 +330,18 @@ mod tests {
             let account2 = EfsAccount::new(&cfg);
             let two = run(
                 vec![
-                    EfsFilesystem::new(ctx.clone(), meter.clone(), cfg.clone(), Some(account2.clone())),
-                    EfsFilesystem::new(ctx.clone(), meter.clone(), cfg.clone(), Some(account2.clone())),
+                    EfsFilesystem::new(
+                        ctx.clone(),
+                        meter.clone(),
+                        cfg.clone(),
+                        Some(account2.clone()),
+                    ),
+                    EfsFilesystem::new(
+                        ctx.clone(),
+                        meter.clone(),
+                        cfg.clone(),
+                        Some(account2.clone()),
+                    ),
                 ],
                 ctx.clone(),
             )
@@ -339,7 +351,12 @@ mod tests {
             let three = run(
                 (0..3)
                     .map(|_| {
-                        EfsFilesystem::new(ctx.clone(), meter.clone(), cfg.clone(), Some(account3.clone()))
+                        EfsFilesystem::new(
+                            ctx.clone(),
+                            meter.clone(),
+                            cfg.clone(),
+                            Some(account3.clone()),
+                        )
                     })
                     .collect(),
                 ctx.clone(),

@@ -56,10 +56,7 @@ impl fmt::Display for StorageError {
                 len,
                 offset,
                 requested,
-            } => write!(
-                f,
-                "range {offset}+{requested} outside object of {len} B"
-            ),
+            } => write!(f, "range {offset}+{requested} outside object of {len} B"),
             StorageError::ConnectionRejected => write!(f, "connection rejected"),
             StorageError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts: {last}")

@@ -255,6 +255,11 @@ impl S3Bucket {
                 usize::MAX
             };
             if s.partitions > target {
+                let ctx = &self.core.ctx;
+                ctx.tracer()
+                    .instant(ctx, self.core.service.name(), 0, "partition-merge")
+                    .attr("from", s.partitions)
+                    .attr("to", target);
                 s.partitions = target;
                 s.read_admission
                     .set_rate(target as f64 * self.cfg.read_iops_per_partition);
@@ -276,6 +281,10 @@ impl S3Bucket {
                         s.partitions += 1;
                         s.read_admission
                             .set_rate(s.partitions as f64 * self.cfg.read_iops_per_partition);
+                        let ctx = &self.core.ctx;
+                        ctx.tracer()
+                            .instant(ctx, self.core.service.name(), 0, "partition-split")
+                            .attr("partitions", s.partitions);
                     }
                     // Another full interval of overload earns the next split.
                     s.overload_since = Some(now);
@@ -302,21 +311,36 @@ impl S3Bucket {
 
     async fn reject(&self, write: bool, logical: u64) -> StorageError {
         self.core.meter_request(write, logical, true);
+        let ctx = &self.core.ctx;
+        ctx.tracer()
+            .instant(ctx, self.core.service.name(), 0, "throttle-503")
+            .attr("write", write)
+            .attr("bytes", logical);
         self.core.ctx.sleep(REJECT_LATENCY).await;
         StorageError::Throttled
     }
 
     /// GET an object.
     pub async fn get(&self, key: &str, opts: &RequestOpts) -> Result<Blob> {
+        let tracer = self.core.ctx.tracer();
+        let span = tracer.span(
+            &self.core.ctx,
+            self.core.service.name(),
+            tracer.next_lane(),
+            "get",
+        );
+        span.attr("key", key);
         let now = self.core.ctx.now();
         self.advance_scaling(now, true);
         let blob = self.store.get(key)?;
         let logical = blob.logical_len();
+        span.attr("bytes", logical);
         if !self.admit(now, false) {
             return Err(self.reject(false, logical).await);
         }
         self.core.meter_request(false, logical, false);
-        self.core.first_byte(false).await;
+        let fb = self.core.first_byte(false).await;
+        span.attr("first_byte_s", fb.as_secs_f64());
         self.core.stream(false, logical, opts).await;
         Ok(blob)
     }
@@ -330,25 +354,44 @@ impl S3Bucket {
         len: u64,
         opts: &RequestOpts,
     ) -> Result<Blob> {
+        let tracer = self.core.ctx.tracer();
+        let span = tracer.span(
+            &self.core.ctx,
+            self.core.service.name(),
+            tracer.next_lane(),
+            "get_range",
+        );
+        span.attr("key", key);
         let now = self.core.ctx.now();
         self.advance_scaling(now, true);
         let blob = self.store.get(key)?;
         let slice = blob.slice(offset, len)?;
         let logical = slice.logical_len();
+        span.attr("bytes", logical);
         if !self.admit(now, false) {
             return Err(self.reject(false, logical).await);
         }
         self.core.meter_request(false, logical, false);
-        self.core.first_byte(false).await;
+        let fb = self.core.first_byte(false).await;
+        span.attr("first_byte_s", fb.as_secs_f64());
         self.core.stream(false, logical, opts).await;
         Ok(slice)
     }
 
     /// PUT an object.
     pub async fn put(&self, key: &str, blob: Blob, opts: &RequestOpts) -> Result<()> {
+        let tracer = self.core.ctx.tracer();
+        let span = tracer.span(
+            &self.core.ctx,
+            self.core.service.name(),
+            tracer.next_lane(),
+            "put",
+        );
+        span.attr("key", key);
         let now = self.core.ctx.now();
         self.advance_scaling(now, false);
         let logical = blob.logical_len();
+        span.attr("bytes", logical);
         if logical > self.cfg.max_object {
             return Err(StorageError::TooLarge {
                 limit: self.cfg.max_object,
@@ -359,7 +402,8 @@ impl S3Bucket {
             return Err(self.reject(true, logical).await);
         }
         self.core.meter_request(true, logical, false);
-        self.core.first_byte(true).await;
+        let fb = self.core.first_byte(true).await;
+        span.attr("first_byte_s", fb.as_secs_f64());
         self.core.stream(true, logical, opts).await;
         self.store.put(key, blob);
         Ok(())
@@ -429,7 +473,10 @@ mod tests {
         run_in_sim(1, |ctx, meter| {
             Box::pin(async move {
                 let bucket = S3Bucket::standard(&ctx, &meter);
-                let err = bucket.get("nope", &RequestOpts::default()).await.unwrap_err();
+                let err = bucket
+                    .get("nope", &RequestOpts::default())
+                    .await
+                    .unwrap_err();
                 assert!(matches!(err, StorageError::NotFound { .. }));
             })
         });
@@ -642,7 +689,11 @@ mod tests {
                             ctx.spawn(async move {
                                 ctx2.sleep(SimDuration::from_micros(i as u64 * 160)).await;
                                 bucket
-                                    .put(&format!("w{i}"), Blob::new(vec![0u8; 64]), &RequestOpts::default())
+                                    .put(
+                                        &format!("w{i}"),
+                                        Blob::new(vec![0u8; 64]),
+                                        &RequestOpts::default(),
+                                    )
                                     .await
                                     .is_ok()
                             })

@@ -61,7 +61,11 @@ fn advise(w: &Workload) -> Vec<String> {
     let beas_mb = table8_s3_standard(cluster);
     let shuffle_mb = w.shuffle_bytes as f64 / 1e6;
     row.push(if shuffle_mb >= beas_mb {
-        format!("S3 Standard ({} >= {:.0} MB)", format_mb(shuffle_mb), beas_mb)
+        format!(
+            "S3 Standard ({} >= {:.0} MB)",
+            format_mb(shuffle_mb),
+            beas_mb
+        )
     } else {
         format!(
             "VM-based store ({} < {:.0} MB) or combine writes",

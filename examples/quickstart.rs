@@ -67,9 +67,15 @@ fn main() {
             .expect("query succeeds");
 
         println!("\nTPC-H Q6 on serverless infrastructure:");
-        println!("  revenue        = {:.2}", response.rows.as_ref().unwrap()[0][0].as_f64());
+        println!(
+            "  revenue        = {:.2}",
+            response.rows.as_ref().unwrap()[0][0].as_f64()
+        );
         println!("  runtime        = {:.3} s", response.runtime_secs);
-        println!("  worker time    = {:.3} s (cumulated)", response.cumulative_worker_secs);
+        println!(
+            "  worker time    = {:.3} s (cumulated)",
+            response.cumulative_worker_secs
+        );
         println!("  peak workers   = {}", response.peak_workers());
         println!("  storage req.   = {}", response.total_requests());
         for stage in &response.stages {

@@ -7,8 +7,8 @@
 //! ```
 
 use skyrise::micro::{run_closed_loop, text_table, StorageIoConfig};
-use skyrise::pricing::{StoragePricing, StorageService};
 use skyrise::prelude::*;
+use skyrise::pricing::{StoragePricing, StorageService};
 
 struct Row {
     name: &'static str,
@@ -25,14 +25,26 @@ fn bench_service(which: usize) -> Row {
     let handle = sim.spawn(async move {
         let meter = shared_meter();
         let (storage, name, object): (Storage, &'static str, u64) = match which {
-            0 => (Storage::S3(S3Bucket::standard(&ctx, &meter)), "S3 Standard", 64 << 20),
-            1 => (Storage::S3(S3Bucket::express(&ctx, &meter)), "S3 Express", 64 << 20),
+            0 => (
+                Storage::S3(S3Bucket::standard(&ctx, &meter)),
+                "S3 Standard",
+                64 << 20,
+            ),
+            1 => (
+                Storage::S3(S3Bucket::express(&ctx, &meter)),
+                "S3 Express",
+                64 << 20,
+            ),
             2 => (
                 Storage::Dynamo(DynamoTable::on_demand(&ctx, &meter)),
                 "DynamoDB",
                 400 << 10,
             ),
-            _ => (Storage::Efs(EfsFilesystem::elastic(&ctx, &meter)), "EFS", 4 << 20),
+            _ => (
+                Storage::Efs(EfsFilesystem::elastic(&ctx, &meter)),
+                "EFS",
+                4 << 20,
+            ),
         };
 
         // Throughput: 32 clients x 32 threads moving large objects.

@@ -34,11 +34,19 @@ fn spf_remote_reads_via_ranged_gets() {
 
         let opts = RequestOpts::default();
         let trailer = bucket
-            .get_range("t.spf", file_len - spf::TRAILER_LEN, spf::TRAILER_LEN, &opts)
+            .get_range(
+                "t.spf",
+                file_len - spf::TRAILER_LEN,
+                spf::TRAILER_LEN,
+                &opts,
+            )
             .await
             .unwrap();
         let (fstart, flen) = spf::footer_range(&trailer.bytes, file_len).unwrap();
-        let footer_blob = bucket.get_range("t.spf", fstart, flen, &opts).await.unwrap();
+        let footer_blob = bucket
+            .get_range("t.spf", fstart, flen, &opts)
+            .await
+            .unwrap();
         let footer = spf::parse_footer(&footer_blob.bytes).unwrap();
         assert_eq!(footer.total_rows(), 10_000);
         assert_eq!(footer.row_groups.len(), 5);
@@ -123,9 +131,12 @@ fn barrier_blocks_pipeline_until_opened() {
 
         // Inject a barrier into Q6's scan pipeline.
         let mut plan = queries::q6();
-        plan.pipelines[0]
-            .ops
-            .insert(0, skyrise::engine::Op::Barrier { name: "scan-gate".into() });
+        plan.pipelines[0].ops.insert(
+            0,
+            skyrise::engine::Op::Barrier {
+                name: "scan-gate".into(),
+            },
+        );
 
         let engine2 = Rc::clone(&engine);
         let ctx2 = ctx.clone();
@@ -140,7 +151,10 @@ fn barrier_blocks_pipeline_until_opened() {
     });
     sim.run();
     let runtime = h.try_take().unwrap();
-    assert!(runtime >= 30.0, "runtime includes the barrier wait: {runtime}");
+    assert!(
+        runtime >= 30.0,
+        "runtime includes the barrier wait: {runtime}"
+    );
 }
 
 /// Repeatedly rejected clients back off exponentially and become

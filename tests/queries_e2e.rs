@@ -276,7 +276,10 @@ fn write_combining_preserves_q12_results_with_fewer_writes() {
     let t = tpch::generate(SF, SEED);
     let expect = reference::q12(&t.lineitem, &t.orders);
     assert!(rows_approx_eq(&rows1, &expect, 1e-9));
-    assert!(rows_approx_eq(&rows4, &expect, 1e-9), "combined shuffle must not change results");
+    assert!(
+        rows_approx_eq(&rows4, &expect, 1e-9),
+        "combined shuffle must not change results"
+    );
     assert!(
         (writes4 as f64) < 0.55 * writes1 as f64,
         "write combining cuts shuffle writes: {writes1} -> {writes4}"
@@ -284,7 +287,10 @@ fn write_combining_preserves_q12_results_with_fewer_writes() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "schedules 300+ workers; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "schedules 300+ workers; run with --release"
+)]
 fn two_level_invocation_handles_wide_fanouts() {
     // >=256 fragments flips the coordinator into two-level invocation
     // (fan-out helpers). Results must be unchanged and all fragments served.
@@ -325,5 +331,8 @@ fn two_level_invocation_handles_wide_fanouts() {
     let (revenue, fragments) = h.try_take().unwrap();
     assert_eq!(fragments, 300, "one worker per partition");
     let expect = reference::q6(&tpch::generate(0.02, SEED).lineitem);
-    assert!((revenue - expect).abs() / expect < 1e-9, "{revenue} vs {expect}");
+    assert!(
+        (revenue - expect).abs() / expect < 1e-9,
+        "{revenue} vs {expect}"
+    );
 }
