@@ -27,6 +27,8 @@ fn trace_path_for(base: &PathBuf, name: &str) -> PathBuf {
 
 fn main() {
     let trace_out = skyrise_bench::parse_trace_out(std::env::args().skip(1));
+    // CLI shell only: wall time for the suite summary, never fed into a sim.
+    #[allow(clippy::disallowed_methods)]
     let t0 = std::time::Instant::now();
     let all: Vec<Experiment> = vec![
         ("table01", e::table01),

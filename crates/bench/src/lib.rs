@@ -21,7 +21,7 @@ pub mod datasets;
 pub mod experiments;
 
 use skyrise::micro::ExperimentResult;
-use skyrise::sim::Tracer;
+use skyrise::sim::{SanitizerReport, Tracer};
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 
@@ -73,6 +73,7 @@ struct CaptureState {
     /// "different seed → different trace").
     seed_offset: u64,
     runs: Vec<(String, Tracer)>,
+    digests: Vec<(String, SanitizerReport)>,
     sims: u64,
     virtual_secs: f64,
 }
@@ -85,6 +86,10 @@ thread_local! {
 pub struct RunSummary {
     /// One `(label, tracer)` per traced simulation, in execution order.
     pub runs: Vec<(String, Tracer)>,
+    /// One `(label, report)` per sanitized simulation, in execution order.
+    /// Two same-seed executions of the same experiment must produce
+    /// identical digest sequences; see `tests/determinism_sweep.rs`.
+    pub digests: Vec<(String, SanitizerReport)>,
     /// Simulations executed.
     pub sims: u64,
     /// Total virtual time simulated (seconds).
@@ -133,20 +138,29 @@ pub fn capture_runs<T>(trace: bool, seed_offset: u64, f: impl FnOnce() -> T) -> 
         out,
         RunSummary {
             runs: state.runs,
+            digests: state.digests,
             sims: state.sims,
             virtual_secs: state.virtual_secs,
         },
     )
 }
 
-fn record_sim(seed: u64, end: skyrise::sim::SimTime, tracer: Option<Tracer>) {
+fn record_sim(
+    seed: u64,
+    end: skyrise::sim::SimTime,
+    tracer: Option<Tracer>,
+    report: Option<SanitizerReport>,
+) {
     CAPTURE.with(|c| {
         let mut c = c.borrow_mut();
         c.sims += 1;
         c.virtual_secs += end.as_secs_f64();
+        let label = format!("sim{:02}-seed{:x}", c.sims - 1, seed);
         if let Some(t) = tracer {
-            let label = format!("sim{:02}-seed{:x}", c.runs.len(), seed);
-            c.runs.push((label, t));
+            c.runs.push((label.clone(), t));
+        }
+        if let Some(r) = report {
+            c.digests.push((label, r));
         }
     });
 }
@@ -164,10 +178,11 @@ pub fn in_sim<T: 'static>(
     let seed = seed.wrapping_add(offset);
     let mut sim = skyrise::sim::Sim::new(seed);
     let tracer = trace_all.then(|| sim.install_tracer());
+    let sanitizer = sim.enable_sanitizer();
     let ctx = sim.ctx();
     let h = sim.spawn(f(ctx));
     let end = sim.run();
-    record_sim(seed, end, tracer);
+    record_sim(seed, end, tracer, sanitizer.report());
     h.try_take().expect("experiment completed")
 }
 
@@ -186,10 +201,11 @@ pub fn in_sim_traced<T: 'static>(
     let seed = seed.wrapping_add(offset);
     let mut sim = skyrise::sim::Sim::new(seed);
     let tracer = sim.install_tracer();
+    let sanitizer = sim.enable_sanitizer();
     let ctx = sim.ctx();
     let h = sim.spawn(f(ctx, tracer.clone()));
     let end = sim.run();
-    record_sim(seed, end, Some(tracer));
+    record_sim(seed, end, Some(tracer), sanitizer.report());
     h.try_take().expect("experiment completed")
 }
 
@@ -245,6 +261,9 @@ pub fn run_experiment(
     run: impl FnOnce() -> ExperimentResult,
     trace_out: Option<&Path>,
 ) {
+    // CLI shell only: wall time for the human-facing summary line, never
+    // fed into the simulation.
+    #[allow(clippy::disallowed_methods)]
     let wall = std::time::Instant::now();
     let (result, summary) = capture_runs(trace_out.is_some(), 0, run);
     finish(&result);
@@ -348,6 +367,26 @@ mod tests {
         }
         assert_eq!(seed_of(0), 100);
         assert_eq!(seed_of(5), 105);
+    }
+
+    #[test]
+    fn sanitizer_digests_recorded_and_reproducible() {
+        fn one(seed: u64) -> RunSummary {
+            capture_runs(false, 0, || {
+                in_sim(seed, |ctx| {
+                    Box::pin(async move {
+                        ctx.sleep(skyrise::sim::SimDuration::from_secs(2)).await;
+                    })
+                })
+            })
+            .1
+        }
+        let a = one(11);
+        let b = one(11);
+        assert_eq!(a.digests.len(), 1);
+        assert!(a.digests[0].1.events > 0);
+        assert_eq!(a.digests, b.digests, "same seed, same digest trail");
+        assert_eq!(a.digests[0].1.first_divergence(&b.digests[0].1), None);
     }
 
     #[test]

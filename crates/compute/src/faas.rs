@@ -23,7 +23,7 @@ use skyrise_net::{presets, SharedNic};
 use skyrise_pricing::{SharedMeter, LAMBDA_MIB_PER_VCPU};
 use skyrise_sim::{SimCtx, SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
@@ -152,7 +152,7 @@ pub struct LambdaPlatform {
     ctx: SimCtx,
     meter: SharedMeter,
     region: Region,
-    functions: RefCell<HashMap<String, Registered>>,
+    functions: RefCell<BTreeMap<String, Registered>>,
     /// Sandbox-scaling token bucket (3,000 burst + 500/min).
     scaling: RefCell<skyrise_net::RateLimiter>,
     concurrency_quota: u32,
@@ -171,7 +171,7 @@ impl LambdaPlatform {
             ctx: ctx.clone(),
             meter: Rc::clone(meter),
             region,
-            functions: RefCell::new(HashMap::new()),
+            functions: RefCell::new(BTreeMap::new()),
             scaling: RefCell::new(skyrise_net::RateLimiter::continuous(
                 1e9, // tokens are the constraint, not the instantaneous rate
                 rate, 3_000.0,
@@ -286,9 +286,20 @@ impl LambdaPlatform {
         let duration = now.duration_since(started);
 
         // Bill, return the sandbox, release concurrency — also on failure.
+        let gb_s_before = self.meter.borrow().lambda.gb_seconds;
         self.meter
             .borrow_mut()
             .record_lambda(config.memory_gb(), duration.as_secs_f64());
+        // Sanitizer cross-check: the metered GB-seconds delta must equal the
+        // invoke span's wall window times configured memory. A drift here
+        // means billing and tracing disagree about how long the run took.
+        let san = self.ctx.sanitizer();
+        if san.enabled() {
+            let delta = self.meter.borrow().lambda.gb_seconds - gb_s_before;
+            san.check_close(delta, config.memory_gb() * duration.as_secs_f64(), || {
+                format!("lambda GB-seconds metered for `{name}` vs invoke span window")
+            });
+        }
         self.release_sandbox(name, sandbox, lane);
         self.concurrent.set(self.concurrent.get() - 1);
 

@@ -11,7 +11,7 @@ use crate::faas::{ExecEnv, FaasError, FunctionConfig, Handler, InvokeResult};
 use skyrise_sim::sync::Semaphore;
 use skyrise_sim::SimCtx;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// A VM cluster running function handlers behind the shim layer.
@@ -21,7 +21,7 @@ pub struct ShimCluster {
     /// One slot per `vcpus_per_worker` vCPUs on each VM.
     slots: Semaphore,
     free_slots: RefCell<Vec<usize>>, // VM indices
-    functions: RefCell<HashMap<String, (FunctionConfig, Handler)>>,
+    functions: RefCell<BTreeMap<String, (FunctionConfig, Handler)>>,
     vcpus_per_worker: u32,
 }
 
@@ -43,7 +43,7 @@ impl ShimCluster {
             vms,
             slots: Semaphore::new(total),
             free_slots: RefCell::new(free),
-            functions: RefCell::new(HashMap::new()),
+            functions: RefCell::new(BTreeMap::new()),
             vcpus_per_worker,
         })
     }

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use skyrise_compute::{ComputePlatform, ExecEnv};
 use skyrise_sim::SimDuration;
 use skyrise_storage::{RequestOpts, RetryPolicy, RetryingClient, Storage};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Fragment threshold beyond which the two-level invocation kicks in.
@@ -168,7 +168,7 @@ pub async fn run_coordinator(
     let client = RetryingClient::new(scan_storage.clone(), env.ctx.clone(), RetryPolicy::eager());
 
     // 1. Fetch metadata for every scanned dataset.
-    let mut datasets: HashMap<String, DatasetMeta> = HashMap::new();
+    let mut datasets: BTreeMap<String, DatasetMeta> = BTreeMap::new();
     for pipeline in &plan.pipelines {
         for input in &pipeline.inputs {
             if let InputSpec::Scan { dataset, .. } = input {
@@ -181,7 +181,7 @@ pub async fn run_coordinator(
     }
 
     // 2. Decide fragment counts.
-    let mut fragments: HashMap<u32, u32> = HashMap::new();
+    let mut fragments: BTreeMap<u32, u32> = BTreeMap::new();
     for &id in &plan.stages() {
         let pipeline = plan.pipeline(id);
         let mut n = if let Some(hint) = pipeline.fragments {

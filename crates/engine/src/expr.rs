@@ -7,7 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use skyrise_data::{Batch, Column, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Comparison operators.
@@ -161,7 +161,7 @@ pub type ScalarUdf = Rc<dyn Fn(&[Value]) -> Value>;
 /// UDF registry shared by workers.
 #[derive(Clone, Default)]
 pub struct UdfRegistry {
-    udfs: HashMap<String, ScalarUdf>,
+    udfs: BTreeMap<String, ScalarUdf>,
 }
 
 impl UdfRegistry {

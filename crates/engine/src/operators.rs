@@ -8,7 +8,7 @@ use crate::error::EngineError;
 use crate::expr::{evaluate, evaluate_mask, UdfRegistry};
 use crate::plan::{AggExpr, AggFunc, AggMode, Op};
 use skyrise_data::{Batch, Column, DataType, Field, Schema, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Target batch size of the vectorised executor.
@@ -532,7 +532,7 @@ fn hash_join(
     }
     let build_all = Batch::concat(build);
     let build_keys = row_keys(&build_all, &[build_key.to_string()])?;
-    let mut table: HashMap<ScalarKey, Vec<usize>> = HashMap::with_capacity(build_keys.len());
+    let mut table: BTreeMap<ScalarKey, Vec<usize>> = BTreeMap::new();
     for (row, mut key) in build_keys.into_iter().enumerate() {
         table
             .entry(key.pop().expect("single key"))
@@ -639,7 +639,7 @@ fn limit(stream: Vec<Batch>, n: usize) -> Vec<Batch> {
 /// the preceding `window` clicks of the same user session stream. Emits
 /// `(item_sk, views)` partial counts.
 fn sessionize_q3(clicks: &[Batch], items: &[Batch], window: usize) -> Result<Batch, EngineError> {
-    let category: std::collections::HashSet<i64> = items
+    let category: std::collections::BTreeSet<i64> = items
         .iter()
         .flat_map(|b| b.column("i_item_sk").as_i64().iter().copied())
         .collect();

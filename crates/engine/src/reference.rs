@@ -85,7 +85,7 @@ pub fn q6(lineitem: &Batch) -> f64 {
 pub fn q12(lineitem: &Batch, orders: &Batch) -> Vec<Vec<Value>> {
     let lo = date::from_ymd(1994, 1, 1);
     let hi = date::from_ymd(1995, 1, 1);
-    let priorities: std::collections::HashMap<i64, &String> = orders
+    let priorities: std::collections::BTreeMap<i64, &String> = orders
         .column("o_orderkey")
         .as_i64()
         .iter()
@@ -138,7 +138,7 @@ pub fn bb_q3(
     window: usize,
     top_n: usize,
 ) -> Vec<Vec<Value>> {
-    let cat_items: std::collections::HashSet<i64> = item
+    let cat_items: std::collections::BTreeSet<i64> = item
         .column("i_item_sk")
         .as_i64()
         .iter()

@@ -60,6 +60,10 @@ pub struct RateLimiter {
     last_use: SimTime,
     /// Total bytes ever consumed (for accounting/tests).
     consumed: f64,
+    /// Budget at construction: initial tokens + one-off (bytes).
+    initial: f64,
+    /// Total tokens actually added by refills, post-capping (bytes).
+    refilled: f64,
 }
 
 impl RateLimiter {
@@ -78,6 +82,8 @@ impl RateLimiter {
             last_advance: SimTime::ZERO,
             last_use: SimTime::ZERO,
             consumed: 0.0,
+            initial: capacity,
+            refilled: 0.0,
         }
     }
 
@@ -104,6 +110,8 @@ impl RateLimiter {
             last_advance: SimTime::ZERO,
             last_use: SimTime::ZERO,
             consumed: 0.0,
+            initial: rechargeable + oneoff,
+            refilled: 0.0,
         }
     }
 
@@ -122,6 +130,7 @@ impl RateLimiter {
         if now <= self.last_advance {
             return;
         }
+        let before = self.tokens;
         match self.refill {
             RefillPolicy::Continuous { rate } => {
                 let dt = (now - self.last_advance).as_secs_f64();
@@ -146,7 +155,15 @@ impl RateLimiter {
                 self.tokens = self.tokens.max(idle.fraction * self.capacity);
             }
         }
+        // Conservation ledger: record what the refill actually added after
+        // capping, so granted + remaining always equals initial + refilled.
+        self.refilled += self.tokens - before;
         self.last_advance = now;
+        debug_assert!(
+            self.conservation_error() < 1e-6,
+            "token bucket leaked on advance: rel err {}",
+            self.conservation_error()
+        );
     }
 
     /// Maximum bytes grantable over the next `slice` starting at `now`.
@@ -169,6 +186,11 @@ impl RateLimiter {
         self.oneoff = (self.oneoff - rest).max(0.0);
         self.consumed += bytes;
         self.last_use = now;
+        debug_assert!(
+            self.conservation_error() < 1e-6,
+            "token bucket leaked on consume: rel err {} (overdraw past peek?)",
+            self.conservation_error()
+        );
     }
 
     /// Advance, then atomically grant up to `want` bytes for the coming
@@ -221,6 +243,44 @@ impl RateLimiter {
     /// Rechargeable capacity (bytes).
     pub fn capacity(&self) -> f64 {
         self.capacity
+    }
+
+    /// Budget at construction (initial tokens + one-off, bytes).
+    pub fn initial(&self) -> f64 {
+        self.initial
+    }
+
+    /// Total tokens added by refills so far, after capping (bytes).
+    pub fn refilled(&self) -> f64 {
+        self.refilled
+    }
+
+    /// Relative error of the token-conservation law
+    ///
+    /// ```text
+    /// tokens + oneoff + consumed == initial + refilled
+    /// ```
+    ///
+    /// Every byte now spendable or already spent must have entered the
+    /// bucket at construction or through a refill. The error is relative to
+    /// the larger side (floored at 1.0 byte) so it stays meaningful for
+    /// both small buckets and the quasi-infinite `unlimited()` bucket.
+    pub fn conservation_error(&self) -> f64 {
+        let lhs = self.tokens + self.oneoff + self.consumed;
+        let rhs = self.initial + self.refilled;
+        (lhs - rhs).abs() / lhs.abs().max(rhs.abs()).max(1.0)
+    }
+
+    /// Assert conservation against the simulation sanitizer (no-op when the
+    /// sanitizer is disabled). `what` names the bucket in the panic message.
+    pub fn assert_conserved(&self, san: &skyrise_sim::Sanitizer, what: &str) {
+        san.check(self.conservation_error() < 1e-6, || {
+            format!(
+                "token bucket `{what}` violates conservation: \
+                 tokens {} + oneoff {} + consumed {} != initial {} + refilled {}",
+                self.tokens, self.oneoff, self.consumed, self.initial, self.refilled
+            )
+        });
     }
 }
 
@@ -410,5 +470,64 @@ mod tests {
         assert!((b.baseline_rate() - mib(75.0)).abs() < 1.0);
         let c = RateLimiter::continuous(mib(10.0), mib(2.0), mib(5.0));
         assert!((c.baseline_rate() - mib(2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conservation_holds_under_mixed_workload() {
+        let mut b = lambda_bucket();
+        let mut t = SimTime::from_nanos(0);
+        // Burst, starve, idle-refill, burst again: the ledger must balance
+        // the whole way through.
+        for i in 0..5_000u64 {
+            let want = if i % 7 == 0 { f64::MAX } else { mib(0.3) };
+            b.grant(t, SLICE, want);
+            t += if i % 100 == 99 {
+                SimDuration::from_secs(3) // long enough to trip idle refill
+            } else {
+                SLICE
+            };
+            assert!(
+                b.conservation_error() < 1e-9,
+                "step {i}: rel err {}",
+                b.conservation_error()
+            );
+        }
+        assert!(b.consumed() > 0.0);
+        assert!(b.refilled() > 0.0);
+    }
+
+    #[test]
+    fn conservation_holds_for_continuous_and_pure_rate() {
+        for mut b in [
+            RateLimiter::continuous(mib(100.0), mib(10.0), mib(50.0)),
+            RateLimiter::pure_rate(mib(100.0), SLICE),
+        ] {
+            let mut t = SimTime::from_nanos(0);
+            for _ in 0..2_000 {
+                b.grant(t, SLICE, mib(0.7));
+                t += SLICE;
+            }
+            assert!(b.conservation_error() < 1e-9, "{}", b.conservation_error());
+        }
+    }
+
+    #[test]
+    fn conservation_holds_for_unlimited_bucket() {
+        // The quasi-infinite bucket sits at f64 magnitudes where absolute
+        // comparison is meaningless; the relative error must still be ~0.
+        let mut b = RateLimiter::unlimited(mib(1000.0));
+        let mut t = SimTime::from_nanos(0);
+        for _ in 0..1_000 {
+            b.grant(t, SLICE, mib(500.0));
+            t += SLICE;
+        }
+        assert!(b.conservation_error() < 1e-9, "{}", b.conservation_error());
+    }
+
+    #[test]
+    fn ledger_accessors_match_construction() {
+        let b = lambda_bucket();
+        assert!((b.initial() - (b.capacity() + b.oneoff())).abs() < 1.0);
+        assert_eq!(b.refilled(), 0.0);
     }
 }

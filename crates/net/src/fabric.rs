@@ -181,6 +181,11 @@ pub async fn transfer(
             // Commit the grant everywhere.
             src.borrow_mut().outbound.consume(now, allow);
             dst.borrow_mut().inbound.consume(now, allow);
+            let san = ctx.sanitizer();
+            if san.enabled() {
+                src.borrow().outbound.assert_conserved(&san, "src.outbound");
+                dst.borrow().inbound.assert_conserved(&san, "dst.inbound");
+            }
             if let Some(fabric) = &opts.fabric {
                 fabric.grant(now, slice, allow);
             }

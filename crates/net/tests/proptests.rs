@@ -90,6 +90,48 @@ proptest! {
         }
     }
 
+    /// The exact conservation ledger balances under arbitrary workloads:
+    /// `tokens + oneoff + consumed == initial + refilled` (relative error),
+    /// for both bucket families. This is the invariant the runtime
+    /// sanitizer asserts during every transfer (`RateLimiter::assert_conserved`).
+    #[test]
+    fn ledger_conservation_holds(
+        lambda_style in any::<bool>(),
+        demands in prop::collection::vec(0.0f64..50e6, 1..300),
+        gaps_ms in prop::collection::vec(0u64..5_000, 1..300),
+    ) {
+        let mib = 1024.0 * 1024.0;
+        let mut b = if lambda_style {
+            RateLimiter::lambda_style(
+                1200.0 * mib,
+                150.0 * mib,
+                150.0 * mib,
+                SimDuration::from_millis(100),
+                7.5 * mib,
+                IdleRefill {
+                    threshold: SimDuration::from_millis(500),
+                    fraction: 1.0,
+                },
+            )
+        } else {
+            RateLimiter::continuous(1e9, 1e8, 5e8)
+        };
+        let mut t = SimTime::ZERO;
+        for (d, gap) in demands.iter().zip(gaps_ms.iter().cycle()) {
+            b.grant(t, SLICE, *d);
+            prop_assert!(
+                b.conservation_error() < 1e-9,
+                "ledger out of balance: rel err {}",
+                b.conservation_error()
+            );
+            t += SimDuration::from_millis(*gap);
+        }
+        // The ledger's components individually make sense.
+        prop_assert!(b.initial() > 0.0);
+        prop_assert!(b.refilled() >= 0.0);
+        prop_assert!(b.consumed() >= 0.0);
+    }
+
     /// Granting is monotone in demand: asking for less never yields more.
     #[test]
     fn grant_is_monotone_in_demand(want_a in 0.0f64..1e9, want_b in 0.0f64..1e9) {

@@ -12,6 +12,7 @@
 //! accessible via [`SimCtx::with_rng`].
 
 use crate::rng::SimRng;
+use crate::sanitizer::Sanitizer;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Tracer;
 use std::cell::{Cell, RefCell};
@@ -77,6 +78,8 @@ impl Ord for TimerEntry {
 
 struct SimState {
     now: Cell<SimTime>,
+    // simlint: allow(DET005): poll order comes from the FIFO `ready` queue;
+    // this map is only ever accessed by TaskId key, never iterated.
     tasks: RefCell<HashMap<TaskId, LocalBoxFuture>>,
     ready: RefCell<VecDeque<TaskId>>,
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
@@ -90,6 +93,8 @@ struct SimState {
     seed: u64,
     /// Trace sink; disabled (no-op) unless installed via [`Sim::install_tracer`].
     tracer: RefCell<Tracer>,
+    /// Runtime determinism sanitizer; active by default in debug builds.
+    sanitizer: RefCell<Sanitizer>,
 }
 
 /// The simulation: owns the virtual clock, task set, and timer wheel.
@@ -125,6 +130,7 @@ impl Sim {
         Sim {
             state: Rc::new(SimState {
                 now: Cell::new(SimTime::ZERO),
+                // simlint: allow(DET005): keyed access only; see field decl.
                 tasks: RefCell::new(HashMap::new()),
                 ready: RefCell::new(VecDeque::new()),
                 timers: RefCell::new(BinaryHeap::new()),
@@ -135,6 +141,14 @@ impl Sim {
                 live_tasks: Cell::new(0),
                 seed,
                 tracer: RefCell::new(Tracer::disabled()),
+                // Debug builds (what `cargo test` runs) sanitize every
+                // simulation; release experiment binaries opt in via
+                // [`Sim::enable_sanitizer`].
+                sanitizer: RefCell::new(if cfg!(debug_assertions) {
+                    Sanitizer::new()
+                } else {
+                    Sanitizer::disabled()
+                }),
             }),
         }
     }
@@ -151,6 +165,28 @@ impl Sim {
     /// The tracer currently installed (disabled by default).
     pub fn tracer(&self) -> Tracer {
         self.state.tracer.borrow().clone()
+    }
+
+    /// Enable the runtime determinism sanitizer (fresh state) and return a
+    /// handle that outlives the simulation, for post-run [`report`]s and
+    /// cross-run digest comparison.
+    ///
+    /// [`report`]: Sanitizer::report
+    pub fn enable_sanitizer(&self) -> Sanitizer {
+        let san = Sanitizer::new();
+        *self.state.sanitizer.borrow_mut() = san.clone();
+        san
+    }
+
+    /// Turn the sanitizer off (e.g. for a release-mode perf run that was
+    /// built with debug assertions).
+    pub fn disable_sanitizer(&self) {
+        *self.state.sanitizer.borrow_mut() = Sanitizer::disabled();
+    }
+
+    /// The sanitizer currently installed.
+    pub fn sanitizer(&self) -> Sanitizer {
+        self.state.sanitizer.borrow().clone()
     }
 
     /// A handle for spawning and sleeping from inside tasks.
@@ -204,6 +240,10 @@ impl Sim {
             };
             match next {
                 Some(deadline) if deadline <= limit => {
+                    self.state
+                        .sanitizer
+                        .borrow()
+                        .on_advance(self.state.now.get(), deadline);
                     self.state.now.set(deadline);
                     // Fire every timer at this deadline.
                     let mut timers = self.state.timers.borrow_mut();
@@ -262,6 +302,10 @@ impl Sim {
             let Some(mut fut) = self.state.tasks.borrow_mut().remove(&id) else {
                 continue; // task already completed; stale wake
             };
+            self.state
+                .sanitizer
+                .borrow()
+                .on_poll(id, self.state.now.get());
             let waker = Waker::from(Arc::new(TaskWaker {
                 id,
                 queue: Arc::clone(&self.state.wake_queue),
@@ -270,6 +314,7 @@ impl Sim {
             match fut.as_mut().poll(&mut cx) {
                 Poll::Ready(()) => {
                     self.state.live_tasks.set(self.state.live_tasks.get() - 1);
+                    self.state.sanitizer.borrow().on_complete(id);
                 }
                 Poll::Pending => {
                     self.state.tasks.borrow_mut().insert(id, fut);
@@ -303,6 +348,16 @@ impl SimCtx {
         match self.state.upgrade() {
             Some(s) => s.tracer.borrow().clone(),
             None => Tracer::disabled(),
+        }
+    }
+
+    /// The simulation's sanitizer (no-op when disabled). Model crates use
+    /// this to assert domain invariants — token conservation, meter
+    /// cross-checks — without holding state of their own.
+    pub fn sanitizer(&self) -> Sanitizer {
+        match self.state.upgrade() {
+            Some(s) => s.sanitizer.borrow().clone(),
+            None => Sanitizer::disabled(),
         }
     }
 
@@ -546,6 +601,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::disallowed_methods)] // deliberately measures real time
     fn no_wall_clock_cost_for_long_sleeps() {
         let mut sim = Sim::new(1);
         let ctx = sim.ctx();

@@ -13,12 +13,14 @@
 //! * [`sync`] — channels, semaphores, events, wait groups
 //! * [`metrics`] — interval throughput series, latency histograms, stats
 //! * [`trace`] — virtual-time spans/events, Chrome-trace + JSONL export
+//! * [`sanitizer`] — runtime determinism checks + per-event state digest
 
 #![warn(missing_docs)]
 
 pub mod executor;
 pub mod metrics;
 pub mod rng;
+pub mod sanitizer;
 pub mod sync;
 pub mod time;
 pub mod trace;
@@ -26,6 +28,7 @@ pub mod trace;
 pub use executor::{join_all, race, Either, JoinHandle, Sim, SimCtx};
 pub use metrics::{Histogram, HistogramSummary, IntervalSeries};
 pub use rng::{LatencyDist, SimRng};
+pub use sanitizer::{DigestCheckpoint, Sanitizer, SanitizerReport};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     chrome_trace_json_multi, jsonl_multi, AttrValue, EventKind, Span, TraceEvent, Tracer,

@@ -1,0 +1,229 @@
+//! # simlint — determinism auditor for the Skyrise workspace
+//!
+//! Every number this repository reproduces from the paper is only as
+//! trustworthy as the determinism of the discrete-event substrate. This
+//! crate is the static half of the two-layer determinism auditor (the
+//! runtime half is `skyrise_sim::sanitizer`): a dependency-free lint pass
+//! that tokenizes every crate's sources and reports determinism hazards as
+//! structured diagnostics.
+//!
+//! Rules (see [`rules`] for the full contract): DET001 hash-container
+//! iteration, DET002 wall-clock/entropy/env APIs, DET003 RefCell borrows
+//! across `.await`, DET004 order-sensitive float accumulation, DET005 hash
+//! container construction, SL000 malformed suppressions.
+//!
+//! Suppress a finding with a justified comment on (or directly above) the
+//! offending line:
+//!
+//! ```text
+//! // simlint: allow(DET005): keyed access only; never iterated.
+//! ```
+//!
+//! or for a whole file: `// simlint: allow-file(DET002): <why>`.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use rules::LintOptions;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Diagnostic severity. Both levels fail CI when not suppressed; the split
+/// exists so output consumers can prioritize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Definite determinism hazard.
+    Error,
+    /// Likely hazard that may be a false positive of the heuristics.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Path of the offending file (as passed to the linter).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule identifier, e.g. `DET001`.
+    pub rule: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+    /// True when a `// simlint: allow(...)` directive covers this finding.
+    pub suppressed: bool,
+    /// The suppression's justification string, when suppressed.
+    pub justification: Option<String>,
+}
+
+impl Diagnostic {
+    /// Construct an unsuppressed diagnostic.
+    pub fn new(
+        file: &str,
+        line: u32,
+        rule: &'static str,
+        severity: Severity,
+        message: String,
+    ) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule,
+            severity,
+            message,
+            suppressed: false,
+            justification: None,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}:{}: {}",
+            self.severity, self.rule, self.file, self.line, self.message
+        )?;
+        if self.suppressed {
+            write!(
+                f,
+                " (suppressed: {})",
+                self.justification.as_deref().unwrap_or("")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Lint a single source string. `file` is used only for diagnostics.
+pub fn lint_source(file: &str, src: &str, opts: &LintOptions) -> Vec<Diagnostic> {
+    let toks = lexer::lex(src);
+    rules::check_tokens(file, &toks, opts)
+}
+
+/// Crates whose nature requires touching the host clock/env: the bench CLI
+/// shell (argument parsing, wall-clock progress) and this linter itself.
+const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["bench", "simlint"];
+
+/// Derive per-file options from its path within the workspace.
+pub fn options_for(path: &Path) -> LintOptions {
+    let mut opts = LintOptions::default();
+    let p = path.to_string_lossy().replace('\\', "/");
+    for c in WALL_CLOCK_EXEMPT_CRATES {
+        if p.contains(&format!("crates/{c}/")) {
+            opts.wall_clock = false;
+        }
+    }
+    opts
+}
+
+/// Should this path be linted at all? Test trees never feed simulation
+/// results, so only `crates/*/src/**` is in scope.
+fn in_scope(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    if !p.ends_with(".rs") {
+        return false;
+    }
+    for skip in ["/tests/", "/benches/", "/examples/", "/target/"] {
+        if p.contains(skip) {
+            return false;
+        }
+    }
+    true
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    // Deterministic traversal order — the auditor practices what it preaches.
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if in_scope(&path) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every in-scope source file under `<root>/crates`. Paths in the
+/// returned diagnostics are relative to `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let crates = root.join("crates");
+    let mut files = Vec::new();
+    walk(&crates, &mut files)?;
+    let mut diags = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let opts = options_for(path);
+        diags.extend(lint_source(&rel, &src, &opts));
+    }
+    Ok(diags)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render diagnostics as a JSON document for CI:
+/// `{"diagnostics": [...], "unsuppressed": N}`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"severity\": \"{}\", \"suppressed\": {}, \"message\": \"{}\"",
+            json_escape(&d.file),
+            d.line,
+            d.rule,
+            d.severity,
+            d.suppressed,
+            json_escape(&d.message)
+        ));
+        if let Some(j) = &d.justification {
+            out.push_str(&format!(", \"justification\": \"{}\"", json_escape(j)));
+        }
+        out.push_str("}");
+    }
+    let unsuppressed = diags.iter().filter(|d| !d.suppressed).count();
+    out.push_str(&format!("\n  ],\n  \"unsuppressed\": {unsuppressed}\n}}\n"));
+    out
+}

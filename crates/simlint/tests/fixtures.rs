@@ -1,0 +1,413 @@
+//! Fixture tests: seeded violations of every simlint rule, asserting the
+//! linter reports them, classifies them correctly, honors suppressions,
+//! and rejects suppressions without justifications.
+
+use simlint::rules::LintOptions;
+use simlint::{lint_source, Diagnostic};
+
+fn lint(src: &str) -> Vec<Diagnostic> {
+    lint_source("fixture.rs", src, &LintOptions::default())
+}
+
+fn rules_of(diags: &[Diagnostic], suppressed: bool) -> Vec<&'static str> {
+    diags
+        .iter()
+        .filter(|d| d.suppressed == suppressed)
+        .map(|d| d.rule)
+        .collect()
+}
+
+#[test]
+fn det001_for_loop_over_hashmap() {
+    let diags = lint(
+        r#"
+        use std::collections::HashMap;
+        fn f() {
+            let mut m: HashMap<u32, u32> = HashMap::new();
+            m.insert(1, 2);
+            for (k, v) in &m {
+                println!("{k} {v}");
+            }
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"DET001"), "{diags:?}");
+}
+
+#[test]
+fn det001_iter_methods() {
+    for method in ["iter", "keys", "values", "drain", "into_iter", "retain"] {
+        let src = format!(
+            r#"
+            fn f(m: std::collections::HashMap<u32, u32>) -> Vec<u32> {{
+                let mut m = m;
+                m.{method}().map(|x| x.0).collect()
+            }}
+            "#
+        );
+        let diags = lint(&src);
+        assert!(
+            rules_of(&diags, false).contains(&"DET001"),
+            "{method}: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn det001_not_fired_when_sorted() {
+    let diags = lint(
+        r#"
+        fn f(m: std::collections::HashMap<u32, u32>) -> Vec<u32> {
+            let mut ks: Vec<u32> = m.keys().copied().collect::<std::collections::BTreeSet<_>>()
+                .into_iter().collect();
+            ks
+        }
+        "#,
+    );
+    assert!(
+        !rules_of(&diags, false).contains(&"DET001"),
+        "sorted collection launders hash order: {diags:?}"
+    );
+}
+
+#[test]
+fn det001_not_fired_for_btreemap() {
+    let diags = lint(
+        r#"
+        fn f(m: &std::collections::BTreeMap<u32, u32>) -> u32 {
+            let mut acc = 0;
+            for (_, v) in m.iter() { acc += v; }
+            acc
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).is_empty(), "{diags:?}");
+}
+
+#[test]
+fn det002_wall_clock_and_entropy() {
+    let cases = [
+        "fn f() { let t = std::time::Instant::now(); }",
+        "fn f() { let t = std::time::SystemTime::now(); }",
+        "use std::time::{Duration, Instant};",
+        "fn f() { let mut r = rand::thread_rng(); }",
+        "fn f() -> u8 { rand::random() }",
+        "fn f() -> String { std::env::var(\"X\").unwrap() }",
+        "fn f() { let r = rand::rngs::OsRng; }",
+    ];
+    for src in cases {
+        let diags = lint(src);
+        assert!(
+            rules_of(&diags, false).contains(&"DET002"),
+            "{src}: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn det002_off_for_cli_shell() {
+    let opts = LintOptions { wall_clock: false };
+    let diags = lint_source(
+        "fixture.rs",
+        "fn f() { let t = std::time::Instant::now(); }",
+        &opts,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn det002_ignores_unrelated_idents() {
+    // An enum variant named `Instant` (as in skyrise_sim::trace::EventKind)
+    // is not a wall-clock read.
+    let diags = lint(
+        r#"
+        enum EventKind { Span, Instant }
+        fn f(k: &EventKind) -> bool { matches!(k, EventKind::Instant) }
+        "#,
+    );
+    assert!(rules_of(&diags, false).is_empty(), "{diags:?}");
+}
+
+#[test]
+fn det003_borrow_guard_across_await() {
+    let diags = lint(
+        r#"
+        async fn f(cell: &std::cell::RefCell<u32>, ctx: &SimCtx) {
+            let guard = cell.borrow_mut();
+            ctx.sleep(SimDuration::from_secs(1)).await;
+            drop(guard);
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"DET003"), "{diags:?}");
+}
+
+#[test]
+fn det003_temporary_across_await() {
+    let diags = lint(
+        r#"
+        async fn f(cell: &std::cell::RefCell<Inner>, ctx: &SimCtx) {
+            let x = run(cell.borrow().config).await;
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"DET003"), "{diags:?}");
+}
+
+#[test]
+fn det003_scoped_borrow_is_clean() {
+    let diags = lint(
+        r#"
+        async fn f(cell: &std::cell::RefCell<u32>, ctx: &SimCtx) {
+            let v = {
+                let g = cell.borrow();
+                *g
+            };
+            ctx.sleep(SimDuration::from_secs(v as u64)).await;
+            let w = cell.borrow_mut().take();
+            ctx.sleep(SimDuration::from_secs(w)).await;
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).is_empty(), "{diags:?}");
+}
+
+#[test]
+fn det003_dropped_borrow_is_clean() {
+    let diags = lint(
+        r#"
+        async fn f(cell: &std::cell::RefCell<u32>, ctx: &SimCtx) {
+            let guard = cell.borrow_mut();
+            drop(guard);
+            ctx.sleep(SimDuration::from_secs(1)).await;
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).is_empty(), "{diags:?}");
+}
+
+#[test]
+fn det003_match_scrutinee_across_await() {
+    let diags = lint(
+        r#"
+        async fn f(cell: &std::cell::RefCell<State>, ctx: &SimCtx) {
+            match cell.borrow().mode {
+                Mode::A => ctx.sleep(SimDuration::from_secs(1)).await,
+                Mode::B => {}
+            }
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"DET003"), "{diags:?}");
+}
+
+#[test]
+fn det004_float_accumulation_from_hash() {
+    let diags = lint(
+        r#"
+        fn f(m: &std::collections::HashMap<u32, f64>) -> f64 {
+            m.values().sum()
+        }
+        "#,
+    );
+    let unsup = rules_of(&diags, false);
+    assert!(unsup.contains(&"DET004"), "{diags:?}");
+    assert!(
+        !unsup.contains(&"DET001"),
+        "accumulation reported as DET004, not DET001: {diags:?}"
+    );
+}
+
+#[test]
+fn det004_count_is_order_insensitive() {
+    let diags = lint(
+        r#"
+        fn f(m: &std::collections::HashMap<u32, f64>) -> usize {
+            m.values().count()
+        }
+        "#,
+    );
+    let unsup = rules_of(&diags, false);
+    assert!(!unsup.contains(&"DET001"), "{diags:?}");
+    assert!(!unsup.contains(&"DET004"), "{diags:?}");
+}
+
+#[test]
+fn det005_construction() {
+    let diags = lint(
+        r#"
+        fn f() {
+            let m = std::collections::HashMap::<String, u32>::new();
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"DET005"), "{diags:?}");
+}
+
+#[test]
+fn det005_import_alone_is_clean() {
+    let diags = lint("use std::collections::HashMap;");
+    assert!(rules_of(&diags, false).is_empty(), "{diags:?}");
+}
+
+#[test]
+fn cfg_test_module_is_exempt() {
+    let diags = lint(
+        r#"
+        fn sim_facing() {}
+
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() {
+                let t0 = std::time::Instant::now();
+                let mut m = std::collections::HashMap::new();
+                m.insert(1, 2);
+                for (k, v) in &m { let _ = (k, v); }
+            }
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).is_empty(), "{diags:?}");
+}
+
+#[test]
+fn cfg_not_test_is_not_exempt() {
+    let diags = lint(
+        r#"
+        #[cfg(not(test))]
+        fn f() { let t = std::time::Instant::now(); }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"DET002"), "{diags:?}");
+}
+
+#[test]
+fn suppression_same_line_and_line_above() {
+    let diags = lint(
+        r#"
+        fn f() {
+            let m = std::collections::HashMap::<u32, u32>::new(); // simlint: allow(DET005): fixture.
+            // simlint: allow(DET005): also a fixture.
+            let n = std::collections::HashSet::<u32>::new();
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).is_empty(), "{diags:?}");
+    assert_eq!(
+        rules_of(&diags, true),
+        vec!["DET005", "DET005"],
+        "{diags:?}"
+    );
+    assert!(diags.iter().all(|d| d.justification.is_some()));
+}
+
+#[test]
+fn suppression_multiline_comment_block() {
+    let diags = lint(
+        r#"
+        fn f() {
+            // simlint: allow(DET005): this justification is long enough to
+            // wrap onto a second comment line before the statement.
+            let m = std::collections::HashMap::<u32, u32>::new();
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).is_empty(), "{diags:?}");
+}
+
+#[test]
+fn suppression_does_not_leak_to_other_lines() {
+    let diags = lint(
+        r#"
+        fn f() {
+            // simlint: allow(DET005): covers only the next line.
+            let a = std::collections::HashMap::<u32, u32>::new();
+            let b = std::collections::HashMap::<u32, u32>::new();
+        }
+        "#,
+    );
+    assert_eq!(rules_of(&diags, false), vec!["DET005"], "{diags:?}");
+}
+
+#[test]
+fn suppression_wrong_rule_does_not_apply() {
+    let diags = lint(
+        r#"
+        fn f() {
+            // simlint: allow(DET001): wrong rule id for this finding.
+            let m = std::collections::HashMap::<u32, u32>::new();
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"DET005"), "{diags:?}");
+}
+
+#[test]
+fn file_scope_suppression() {
+    let diags = lint(
+        r#"
+        // simlint: allow-file(DET005): fixture-wide waiver.
+        fn f() {
+            let a = std::collections::HashMap::<u32, u32>::new();
+        }
+        fn g() {
+            let b = std::collections::HashSet::<u32>::new();
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).is_empty(), "{diags:?}");
+    assert_eq!(rules_of(&diags, true).len(), 2, "{diags:?}");
+}
+
+#[test]
+fn suppression_without_justification_is_sl000() {
+    for bad in [
+        "// simlint: allow(DET005)",
+        "// simlint: allow(DET005):",
+        "// simlint: allow(DET005):   ",
+        "// simlint: allow(): empty rules",
+        "// simlint: deny(DET005): no such verb",
+    ] {
+        let src =
+            format!("{bad}\nfn f() {{ let m = std::collections::HashMap::<u32, u32>::new(); }}");
+        let diags = lint(&src);
+        assert!(
+            rules_of(&diags, false).contains(&"SL000"),
+            "{bad}: {diags:?}"
+        );
+        // And the malformed directive must NOT suppress the finding.
+        assert!(
+            rules_of(&diags, false).contains(&"DET005"),
+            "{bad}: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn prose_mentioning_simlint_is_not_a_directive() {
+    let diags = lint(
+        r#"
+        //! Suppress findings with `// simlint: allow(<rule>)` comments.
+        fn f() {}
+        "#,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn json_output_shape() {
+    let diags = lint("fn f() { let m = std::collections::HashMap::<u32, u32>::new(); }");
+    let json = simlint::render_json(&diags);
+    assert!(json.contains("\"rule\": \"DET005\""), "{json}");
+    assert!(json.contains("\"unsuppressed\": 1"), "{json}");
+    assert!(json.contains("\"file\": \"fixture.rs\""), "{json}");
+}
+
+#[test]
+fn diagnostics_carry_position() {
+    let diags = lint("\n\nfn f() { let m = std::collections::HashMap::<u32, u32>::new(); }");
+    let d = diags.iter().find(|d| d.rule == "DET005").unwrap();
+    assert_eq!(d.line, 3);
+    assert_eq!(d.file, "fixture.rs");
+}

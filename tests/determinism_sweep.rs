@@ -1,0 +1,103 @@
+//! Double-run determinism sweep: every experiment's simulation is executed
+//! twice with the same seed and the runtime sanitizer's state digests must
+//! be byte-identical. A divergence fails with the label of the first
+//! diverging simulation and the event index of the first diverging digest
+//! checkpoint (see `skyrise_sim::SanitizerReport::first_divergence`).
+//!
+//! Cheap experiments run in every `cargo test`; the long-running figures
+//! are `#[ignore]`d in debug builds (mirroring `experiments_smoke.rs`) and
+//! covered by release-mode CI / `cargo test --release -- --ignored`.
+
+use skyrise::micro::ExperimentResult;
+use skyrise_bench::experiments as e;
+use skyrise_bench::{capture_runs, RunSummary};
+
+/// Run `f` twice under capture (same seeds) and assert the sanitizer
+/// digest trails match simulation-by-simulation.
+fn assert_deterministic(name: &str, f: fn() -> ExperimentResult) {
+    let run = || -> RunSummary { capture_runs(false, 0, f).1 };
+    let a = run();
+    let b = run();
+    assert_eq!(a.sims, b.sims, "{name}: simulation count diverged");
+    // Every simulation must have produced a sanitizer digest (the harness
+    // enables the sanitizer unconditionally). Experiments that are pure
+    // pricing arithmetic run zero simulations and pass vacuously.
+    assert_eq!(
+        a.digests.len() as u64,
+        a.sims,
+        "{name}: a simulation ran without its sanitizer"
+    );
+    assert_eq!(
+        a.digests.len(),
+        b.digests.len(),
+        "{name}: runs executed a different number of sanitized simulations"
+    );
+    for ((label_a, rep_a), (label_b, rep_b)) in a.digests.iter().zip(&b.digests) {
+        assert_eq!(label_a, label_b, "{name}: simulation order diverged");
+        if rep_a != rep_b {
+            panic!(
+                "{name}: nondeterminism in {label_a}: digests {:#018x} vs {:#018x} \
+                 ({} vs {} events), first divergence at event {:?}",
+                rep_a.digest,
+                rep_b.digest,
+                rep_a.events,
+                rep_b.events,
+                rep_a.first_divergence(rep_b)
+            );
+        }
+    }
+}
+
+macro_rules! sweep {
+    ($($(#[$attr:meta])* $name:ident),+ $(,)?) => {
+        $(
+            $(#[$attr])*
+            #[test]
+            fn $name() {
+                assert_deterministic(stringify!($name), e::$name);
+            }
+        )+
+    };
+}
+
+sweep! {
+    // Cheap: static pricing tables + the fastest network figure.
+    table01,
+    table02,
+    table03,
+    table04,
+    table07,
+    table08,
+    fig05,
+    // Long-running simulations: skipped under debug (tier-1) builds.
+    #[cfg_attr(debug_assertions, ignore)]
+    table05,
+    #[cfg_attr(debug_assertions, ignore)]
+    table06,
+    #[cfg_attr(debug_assertions, ignore)]
+    fig06,
+    #[cfg_attr(debug_assertions, ignore)]
+    fig07,
+    #[cfg_attr(debug_assertions, ignore)]
+    fig08,
+    #[cfg_attr(debug_assertions, ignore)]
+    fig09,
+    #[cfg_attr(debug_assertions, ignore)]
+    fig10,
+    #[cfg_attr(debug_assertions, ignore)]
+    fig11,
+    #[cfg_attr(debug_assertions, ignore)]
+    fig12,
+    #[cfg_attr(debug_assertions, ignore)]
+    fig13,
+    #[cfg_attr(debug_assertions, ignore)]
+    fig14,
+    #[cfg_attr(debug_assertions, ignore)]
+    fig15,
+    #[cfg_attr(debug_assertions, ignore)]
+    ablation_combining,
+    #[cfg_attr(debug_assertions, ignore)]
+    ablation_binary_size,
+    #[cfg_attr(debug_assertions, ignore)]
+    extra_observations,
+}
