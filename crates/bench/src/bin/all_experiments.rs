@@ -50,6 +50,7 @@ fn main() {
         ("table06", e::table06),
         ("table07", e::table07),
         ("table08", e::table08),
+        ("reliability", e::reliability),
         ("ablation_combining", e::ablation_combining),
         ("ablation_binary_size", e::ablation_binary_size),
         ("extra_observations", e::extra_observations),

@@ -1,0 +1,7 @@
+//! Reliability-tax sweep: suite latency/cost vs injected fault rate. Run
+//! with `--release`; set `SKYRISE_FULL=1` for the full rate grid. Pass
+//! `--trace-out <path>` to export a Chrome-trace of every simulation.
+
+fn main() {
+    skyrise_bench::run_cli("reliability", skyrise_bench::experiments::reliability);
+}

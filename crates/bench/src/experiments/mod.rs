@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod app_figs;
 pub mod app_tables;
 pub mod net_figs;
+pub mod reliability;
 pub mod static_tables;
 pub mod storage_figs;
 
@@ -11,5 +12,6 @@ pub use ablations::{ablation_binary_size, ablation_combining, extra_observations
 pub use app_figs::{fig14, fig15};
 pub use app_tables::{table04, table05, table06};
 pub use net_figs::{fig05, fig06, fig07};
+pub use reliability::reliability;
 pub use static_tables::{table01, table02, table03, table07, table08};
 pub use storage_figs::{fig08, fig09, fig10, fig11, fig12, fig13};

@@ -186,6 +186,32 @@ pub fn in_sim<T: 'static>(
     h.try_take().expect("experiment completed")
 }
 
+/// Like [`in_sim`], but with a fault-injection plan installed: the
+/// simulation's compute and storage models draw faults from a plan seeded
+/// by the simulation seed (see `skyrise::sim::faults`). Same seed + same
+/// config → bit-identical runs, faults included.
+pub fn in_sim_faulted<T: 'static>(
+    seed: u64,
+    faults: skyrise::sim::FaultConfig,
+    f: impl FnOnce(skyrise::sim::SimCtx) -> std::pin::Pin<Box<dyn std::future::Future<Output = T>>>
+        + 'static,
+) -> T {
+    let (trace_all, offset) = CAPTURE.with(|c| {
+        let c = c.borrow();
+        (c.trace_all, c.seed_offset)
+    });
+    let seed = seed.wrapping_add(offset);
+    let mut sim = skyrise::sim::Sim::new(seed);
+    let _plan = sim.install_faults(faults);
+    let tracer = trace_all.then(|| sim.install_tracer());
+    let sanitizer = sim.enable_sanitizer();
+    let ctx = sim.ctx();
+    let h = sim.spawn(f(ctx));
+    let end = sim.run();
+    record_sim(seed, end, tracer, sanitizer.report());
+    h.try_take().expect("experiment completed")
+}
+
 /// Like [`in_sim`], but tracing is always on: the closure receives the
 /// tracer handle alongside the context (for building per-query profiles).
 /// The trace is still collected into the active capture, if any.

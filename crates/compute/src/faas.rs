@@ -21,7 +21,8 @@
 use crate::region::Region;
 use skyrise_net::{presets, SharedNic};
 use skyrise_pricing::{SharedMeter, LAMBDA_MIB_PER_VCPU};
-use skyrise_sim::{SimCtx, SimDuration, SimTime};
+use skyrise_sim::faults::INJECTED_FAILURE;
+use skyrise_sim::{race, Either, SimCtx, SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -97,6 +98,9 @@ pub enum FaasError {
     PayloadTooLarge(usize),
     /// The handler returned an error.
     HandlerFailed(String),
+    /// The sandbox died mid-run (injected by the fault plan). The partial
+    /// run is billed; the sandbox never returns to the warm pool.
+    SandboxCrashed,
 }
 
 impl fmt::Display for FaasError {
@@ -106,6 +110,7 @@ impl fmt::Display for FaasError {
             FaasError::TooManyRequests => write!(f, "concurrency quota exceeded"),
             FaasError::PayloadTooLarge(n) => write!(f, "payload of {n} B over the 6 MB limit"),
             FaasError::HandlerFailed(e) => write!(f, "handler failed: {e}"),
+            FaasError::SandboxCrashed => write!(f, "sandbox crashed mid-run"),
         }
     }
 }
@@ -270,17 +275,31 @@ impl LambdaPlatform {
             .attr("concurrent", self.concurrent.get());
 
         let (sandbox, cold) = self.acquire_sandbox(name, &config, lane).await;
+        let sandbox_id = sandbox.id;
         let env = ExecEnv {
             ctx: self.ctx.clone(),
             nic: Rc::clone(&sandbox.nic),
             cold_start: cold,
             vcpus: config.vcpus(),
             memory_mib: config.memory_mib,
-            instance_id: sandbox.id,
+            instance_id: sandbox_id,
         };
         let run_span = tracer.span(&self.ctx, "faas", lane, "run");
-        run_span.attr("sandbox", sandbox.id).attr("cold", cold);
-        let result = handler(env, payload).await;
+        run_span.attr("sandbox", sandbox_id).attr("cold", cold);
+        // Fault plan decision points, sampled up front so the draw order is
+        // independent of handler behaviour. A crash trumps a transient.
+        let faults = self.ctx.faults();
+        let crash_after = faults.sample_sandbox_crash();
+        let transient = crash_after.is_none() && faults.sample_invoke_transient();
+        // `Some(result)` = handler finished; `None` = the sandbox died first
+        // (the abandoned handler future is dropped mid-run).
+        let run = match crash_after {
+            Some(after) => match race(handler(env, payload), self.ctx.sleep(after)).await {
+                Either::Left(r) => Some(r),
+                Either::Right(()) => None,
+            },
+            None => Some(handler(env, payload).await),
+        };
         drop(run_span);
         let now = self.ctx.now();
         let duration = now.duration_since(started);
@@ -300,22 +319,43 @@ impl LambdaPlatform {
                 format!("lambda GB-seconds metered for `{name}` vs invoke span window")
             });
         }
-        self.release_sandbox(name, sandbox, lane);
+        if run.is_some() {
+            self.release_sandbox(name, sandbox, lane);
+        } else {
+            // Crashed sandboxes never return to the warm pool.
+            tracer
+                .instant(&self.ctx, "faas", lane, "fault-crash")
+                .attr("function", name)
+                .attr("sandbox", sandbox_id);
+            drop(sandbox);
+        }
         self.concurrent.set(self.concurrent.get() - 1);
 
-        match result {
-            Ok(output) => {
-                if output.len() > MAX_PAYLOAD {
-                    return Err(FaasError::PayloadTooLarge(output.len()));
+        match run {
+            None => Err(FaasError::SandboxCrashed),
+            Some(result) => {
+                if transient {
+                    tracer
+                        .instant(&self.ctx, "faas", lane, "fault-transient")
+                        .attr("function", name)
+                        .attr("sandbox", sandbox_id);
+                    return Err(FaasError::HandlerFailed(INJECTED_FAILURE.to_string()));
                 }
-                Ok(InvokeResult {
-                    output,
-                    duration,
-                    cold_start: cold,
-                    sandbox_id: 0,
-                })
+                match result {
+                    Ok(output) => {
+                        if output.len() > MAX_PAYLOAD {
+                            return Err(FaasError::PayloadTooLarge(output.len()));
+                        }
+                        Ok(InvokeResult {
+                            output,
+                            duration,
+                            cold_start: cold,
+                            sandbox_id,
+                        })
+                    }
+                    Err(e) => Err(FaasError::HandlerFailed(e)),
+                }
             }
-            Err(e) => Err(FaasError::HandlerFailed(e)),
         }
     }
 
@@ -401,9 +441,16 @@ impl LambdaPlatform {
             }
             self.ctx.sleep(SimDuration::from_millis(200)).await;
         }
-        let init = self
+        let mut init = self
             .ctx
             .with_rng(|r| self.region.sample_coldstart(r, self.ctx.now()));
+        if let Some(factor) = self.ctx.faults().sample_coldstart_spike() {
+            tracer
+                .instant(&self.ctx, "faas", lane, "fault-coldstart-spike")
+                .attr("factor", factor)
+                .attr("init_s", init.as_secs_f64());
+            init = SimDuration::from_secs_f64(init.as_secs_f64() * factor);
+        }
         let download = SimDuration::from_secs_f64(config.binary_size as f64 / ARTIFACT_BW);
         let span = tracer.span(&self.ctx, "faas", lane, "coldstart");
         span.attr("binary_size", config.binary_size)
@@ -650,6 +697,140 @@ mod tests {
             h.try_take().unwrap(),
             Some(FaasError::PayloadTooLarge(_))
         ));
+    }
+
+    #[test]
+    fn warm_reuse_returns_serving_sandbox_id() {
+        let mut sim = Sim::new(10);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let platform = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
+            platform.register(FunctionConfig::worker("other"), echo_handler());
+            platform.register(FunctionConfig::worker("f"), echo_handler());
+            // Burn sandbox id 0 on another function so "f"'s sandbox has a
+            // nonzero id — a regression to the hardcoded `sandbox_id: 0`
+            // cannot pass this test.
+            let other = platform.invoke("other", String::new()).await.unwrap();
+            let first = platform.invoke("f", String::new()).await.unwrap();
+            let second = platform.invoke("f", String::new()).await.unwrap();
+            (other, first, second)
+        });
+        sim.run();
+        let (other, first, second) = h.try_take().unwrap();
+        assert_eq!(other.sandbox_id, 0);
+        assert!(first.cold_start);
+        assert_eq!(first.sandbox_id, 1);
+        // Back-to-back invokes reuse the same warm sandbox.
+        assert!(!second.cold_start);
+        assert_eq!(second.sandbox_id, first.sandbox_id);
+    }
+
+    #[test]
+    fn concurrent_invokes_use_distinct_sandboxes() {
+        let mut sim = Sim::new(11);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let platform = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
+            platform.register(FunctionConfig::worker("f"), echo_handler());
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let p = Rc::clone(&platform);
+                    ctx.spawn(async move { p.invoke("f", String::new()).await.unwrap().sandbox_id })
+                })
+                .collect();
+            join_all(handles).await
+        });
+        sim.run();
+        let mut ids = h.try_take().unwrap();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "concurrent invokes must not share a sandbox");
+    }
+
+    #[test]
+    fn injected_transient_fails_but_bills_and_keeps_sandbox() {
+        let mut sim = Sim::new(12);
+        sim.install_faults(skyrise_sim::FaultConfig {
+            invoke_transient_prob: 1.0,
+            ..skyrise_sim::FaultConfig::default()
+        });
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let meter2 = meter.clone();
+        let h = sim.spawn(async move {
+            let platform = LambdaPlatform::new(&ctx, &meter2, Region::us_east_1());
+            platform.register(FunctionConfig::worker("f"), echo_handler());
+            let err = platform.invoke("f", String::new()).await.err();
+            (err, platform.warm_pool_size("f"))
+        });
+        sim.run();
+        let (err, warm) = h.try_take().unwrap();
+        assert!(matches!(err, Some(FaasError::HandlerFailed(e)) if e == INJECTED_FAILURE));
+        // The handler ran in full: billed and its sandbox reclaimed.
+        assert_eq!(meter.borrow().lambda.invocations, 1);
+        assert_eq!(warm, 1);
+    }
+
+    #[test]
+    fn injected_crash_destroys_sandbox_and_bills_partial_run() {
+        let mut sim = Sim::new(13);
+        sim.install_faults(skyrise_sim::FaultConfig {
+            sandbox_crash_prob: 1.0,
+            crash_horizon_secs: 0.01, // crash well inside the 50ms handler
+            ..skyrise_sim::FaultConfig::default()
+        });
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let meter2 = meter.clone();
+        let h = sim.spawn(async move {
+            let platform = LambdaPlatform::new(&ctx, &meter2, Region::us_east_1());
+            platform.register(FunctionConfig::worker("f"), echo_handler());
+            let err = platform.invoke("f", String::new()).await.err();
+            (
+                err,
+                platform.warm_pool_size("f"),
+                platform.concurrent_executions(),
+            )
+        });
+        sim.run();
+        let (err, warm, concurrent) = h.try_take().unwrap();
+        assert_eq!(err, Some(FaasError::SandboxCrashed));
+        assert_eq!(warm, 0, "crashed sandbox must not be reclaimed");
+        assert_eq!(concurrent, 0, "crash must release the concurrency slot");
+        assert_eq!(meter.borrow().lambda.invocations, 1);
+    }
+
+    #[test]
+    fn coldstart_spike_inflates_init_time() {
+        fn cold_duration(spike: bool) -> f64 {
+            let mut sim = Sim::new(14);
+            if spike {
+                sim.install_faults(skyrise_sim::FaultConfig {
+                    coldstart_spike_prob: 1.0,
+                    coldstart_spike_factor: 10.0,
+                    ..skyrise_sim::FaultConfig::default()
+                });
+            }
+            let ctx = sim.ctx();
+            let meter = shared_meter();
+            let h = sim.spawn(async move {
+                let platform = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
+                platform.register(FunctionConfig::worker("f"), echo_handler());
+                platform
+                    .invoke("f", String::new())
+                    .await
+                    .unwrap()
+                    .duration
+                    .as_secs_f64()
+            });
+            sim.run();
+            h.try_take().unwrap()
+        }
+        // Same seed, so the underlying coldstart sample is identical; the
+        // spiked run must be several times slower.
+        assert!(cold_duration(true) > 3.0 * cold_duration(false));
     }
 
     #[test]

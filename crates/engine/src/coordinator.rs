@@ -15,8 +15,8 @@ use crate::error::EngineError;
 use crate::plan::{InputSpec, PhysicalPlan};
 use crate::worker::{result_key, InputAssignment, WorkerReport, WorkerTask};
 use serde::{Deserialize, Serialize};
-use skyrise_compute::{ComputePlatform, ExecEnv};
-use skyrise_sim::SimDuration;
+use skyrise_compute::{ComputePlatform, ExecEnv, FaasError};
+use skyrise_sim::{first_completed, race, Either, SimCtx, SimDuration};
 use skyrise_storage::{RequestOpts, RetryPolicy, RetryingClient, Storage};
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -37,6 +37,9 @@ pub struct QueryConfig {
     pub max_parallelism: u32,
     /// Inline the result rows in the response when small.
     pub include_rows: bool,
+    /// Fault-tolerance policy applied to every task invocation.
+    #[serde(default)]
+    pub task_policy: TaskPolicy,
 }
 
 impl Default for QueryConfig {
@@ -45,6 +48,81 @@ impl Default for QueryConfig {
             target_bytes_per_worker: 900 << 20,
             max_parallelism: 1_000,
             include_rows: true,
+            task_policy: TaskPolicy::default(),
+        }
+    }
+}
+
+/// Fault-tolerance policy for task invocations: bounded retry with
+/// exponential backoff on transient failures, plus speculative
+/// re-execution of stragglers (a duplicate invoke after a size-based
+/// timeout; the first completion wins and the abandoned duplicate still
+/// runs — and bills — to completion).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskPolicy {
+    /// Maximum invocations per task (first + retries + speculative
+    /// duplicates) before the query fails.
+    pub max_attempts: u32,
+    /// Base straggler timeout for a zero-byte task (seconds).
+    pub straggler_base_secs: f64,
+    /// Expected effective input bandwidth for the size-based straggler
+    /// timeout (bytes/second).
+    pub straggler_bw: f64,
+    /// Multiplier on the expected task duration before re-triggering.
+    pub straggler_slack: f64,
+    /// Launch speculative duplicates for stragglers.
+    pub speculate: bool,
+    /// First retry backoff sleep (milliseconds).
+    pub backoff_base_ms: u64,
+    /// Retry backoff ceiling (milliseconds).
+    pub backoff_cap_ms: u64,
+    /// Apply full jitter to backoff sleeps.
+    pub jitter: bool,
+}
+
+impl Default for TaskPolicy {
+    fn default() -> Self {
+        TaskPolicy {
+            max_attempts: 4,
+            // Generous: healthy runs never speculate; tighten to study
+            // the straggler re-trigger.
+            straggler_base_secs: 600.0,
+            straggler_bw: 20.0 * 1024.0 * 1024.0,
+            straggler_slack: 4.0,
+            speculate: true,
+            backoff_base_ms: 200,
+            backoff_cap_ms: 10_000,
+            jitter: true,
+        }
+    }
+}
+
+impl TaskPolicy {
+    /// A policy with no retries and no speculation: the first failure
+    /// (or straggler) is terminal.
+    pub fn disabled() -> Self {
+        TaskPolicy {
+            max_attempts: 1,
+            speculate: false,
+            ..TaskPolicy::default()
+        }
+    }
+
+    /// Straggler re-trigger timeout for a task expected to read `bytes`.
+    pub fn timeout_for(&self, bytes: u64) -> SimDuration {
+        let transfer = bytes as f64 / self.straggler_bw.max(1.0) * self.straggler_slack;
+        SimDuration::from_secs_f64(self.straggler_base_secs + transfer)
+    }
+
+    /// The backoff schedule as a storage [`RetryPolicy`] (reusing its
+    /// jittered exponential backoff).
+    pub(crate) fn backoff_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            backoff_base: SimDuration::from_millis(self.backoff_base_ms),
+            backoff_cap: SimDuration::from_millis(self.backoff_cap_ms),
+            max_attempts: self.max_attempts.max(1),
+            jitter: self.jitter,
+            ..RetryPolicy::eager()
         }
     }
 }
@@ -87,6 +165,16 @@ pub struct StageStats {
     pub rows_out: u64,
     /// Workers that cold-started.
     pub cold_starts: u32,
+    /// Failure-driven re-invocations across the stage's tasks (worker and
+    /// fan-out helper tiers), excluding speculative duplicates.
+    #[serde(default)]
+    pub task_retries: u32,
+    /// Speculative duplicate invocations launched for stragglers.
+    #[serde(default)]
+    pub speculative_invokes: u32,
+    /// Wall seconds spent in attempts that ultimately failed.
+    #[serde(default)]
+    pub failed_attempt_secs: f64,
 }
 
 impl StageStats {
@@ -144,6 +232,9 @@ impl QueryResponse {
 pub struct FanoutRequest {
     /// Worker tasks this helper dispatches.
     pub tasks: Vec<WorkerTask>,
+    /// Fault-tolerance policy the helper applies per worker invocation.
+    #[serde(default)]
+    pub policy: TaskPolicy,
 }
 
 /// Run the coordinator logic inside its function environment.
@@ -227,11 +318,12 @@ pub async fn run_coordinator(
         let mut tasks = Vec::with_capacity(n as usize);
         for frag in 0..n {
             let mut assignments = Vec::with_capacity(pipeline.inputs.len());
+            let mut expected_input = 0u64;
             for (idx, input) in pipeline.inputs.iter().enumerate() {
                 assignments.push(match input {
                     InputSpec::Scan { dataset, .. } => {
                         let meta = &datasets[dataset];
-                        let partitions = if idx == 0 {
+                        let partitions: Vec<_> = if idx == 0 {
                             // Stream input: round-robin partitions.
                             meta.partitions
                                 .iter()
@@ -243,9 +335,17 @@ pub async fn run_coordinator(
                             // Build inputs are broadcast.
                             meta.partitions.clone()
                         };
+                        expected_input += partitions.iter().map(|p| p.logical_bytes).sum::<u64>();
                         InputAssignment::Scan { partitions }
                     }
                     InputSpec::Shuffle { from_pipeline } => {
+                        // Estimate this fragment's share of the upstream
+                        // stage's shuffle output (already executed).
+                        expected_input += stages
+                            .iter()
+                            .find(|s: &&StageStats| s.pipeline == *from_pipeline)
+                            .map(|s| s.logical_bytes_written / u64::from(n.max(1)))
+                            .unwrap_or(0);
                         let upstream = plan.pipeline(*from_pipeline);
                         let (partition_by, combine) = match &upstream.sink {
                             crate::plan::Sink::ShuffleWrite {
@@ -275,6 +375,7 @@ pub async fn run_coordinator(
                 n_fragments: n,
                 downstream_fragments: downstream,
                 inputs: assignments,
+                expected_input_bytes: expected_input,
             });
         }
 
@@ -290,7 +391,9 @@ pub async fn run_coordinator(
             .attr("pipeline", id)
             .attr("fragments", n);
         let stage_started = env.ctx.now();
-        let reports = invoke_fleet(env, platform, worker_fn, fanout_fn, tasks).await?;
+        let policy = &request.config.task_policy;
+        let (reports, fleet) =
+            invoke_fleet(env, platform, worker_fn, fanout_fn, tasks, policy, lane).await?;
         let duration = (env.ctx.now() - stage_started).as_secs_f64();
 
         let mut stat = StageStats {
@@ -298,6 +401,9 @@ pub async fn run_coordinator(
             fragments: n,
             downstream_fragments: downstream,
             duration_secs: duration,
+            // Helper-tier retries (two-level dispatch only).
+            task_retries: fleet.task_retries,
+            failed_attempt_secs: fleet.failed_attempt_secs,
             ..StageStats::default()
         };
         for r in &reports {
@@ -309,10 +415,15 @@ pub async fn run_coordinator(
             stat.storage_requests += r.storage_requests;
             stat.rows_out += r.rows_out;
             stat.cold_starts += r.cold_start as u32;
+            stat.task_retries += r.invoke_attempts.saturating_sub(1 + r.speculative_invokes);
+            stat.speculative_invokes += r.speculative_invokes;
+            stat.failed_attempt_secs += r.failed_attempt_secs;
         }
         stage_span
             .attr("rows_out", stat.rows_out)
-            .attr("cold_starts", stat.cold_starts);
+            .attr("cold_starts", stat.cold_starts)
+            .attr("task_retries", stat.task_retries)
+            .attr("speculative_invokes", stat.speculative_invokes);
         stage_span.end();
         cumulative += stat.cumulative_worker_secs;
         stages.push(stat);
@@ -344,80 +455,234 @@ pub async fn run_coordinator(
     })
 }
 
-/// Invoke a fleet of worker tasks, two-level beyond the threshold.
+/// Attempt accounting for one resilient task invocation.
+#[derive(Debug, Clone, Copy, Default)]
+struct TaskAttempts {
+    /// Invocations launched (first + retries + speculative duplicates).
+    launched: u32,
+    /// Speculative duplicates among `launched`.
+    speculative: u32,
+    /// Wall seconds spent in attempts that ultimately failed.
+    failed_secs: f64,
+}
+
+/// Dispatch-tier attempt statistics not attributable to a single worker
+/// report (fan-out helper retries under two-level invocation).
+#[derive(Debug, Clone, Copy, Default)]
+struct FleetStats {
+    task_retries: u32,
+    failed_attempt_secs: f64,
+}
+
+/// Stamp a worker report with the dispatcher's attempt accounting.
+fn stamp_attempts(report: &mut WorkerReport, acct: TaskAttempts) {
+    report.invoke_attempts = acct.launched.max(1);
+    report.speculative_invokes = acct.speculative;
+    report.failed_attempt_secs = acct.failed_secs;
+}
+
+/// Invoke `name` with `payload` under `policy`: bounded retry with
+/// jittered exponential backoff on transient failures (throttling, sandbox
+/// crashes, injected transients), plus a speculative duplicate invoke once
+/// the size-based straggler timeout elapses. The first completion wins;
+/// abandoned duplicates keep running (and billing) to completion. Fails
+/// with [`EngineError::TaskFailed`] after `policy.max_attempts` launches
+/// all failed.
+async fn invoke_resilient(
+    ctx: &SimCtx,
+    platform: &ComputePlatform,
+    name: &str,
+    payload: String,
+    expected_bytes: u64,
+    policy: &TaskPolicy,
+    lane: u64,
+    label: &str,
+) -> Result<(String, TaskAttempts), EngineError> {
+    let tracer = ctx.tracer();
+    let backoff = policy.backoff_policy();
+    let timeout = policy.timeout_for(expected_bytes);
+    let max_attempts = policy.max_attempts.max(1);
+    let mut acct = TaskAttempts::default();
+    let mut last_err = String::new();
+
+    let spawn_attempt = || {
+        let platform = platform.clone();
+        let name = name.to_string();
+        let payload = payload.clone();
+        let started = ctx.now();
+        ctx.spawn(async move { (started, platform.invoke(&name, payload).await) })
+    };
+
+    // The caller's dispatch loop already paid DISPATCH_LATENCY serially
+    // for this first launch; relaunches pay it inside this task,
+    // concurrently with other tasks.
+    let mut outstanding = vec![spawn_attempt()];
+    acct.launched = 1;
+    let mut last_launch = ctx.now();
+
+    loop {
+        if outstanding.is_empty() {
+            // Every launched attempt has failed: back off and relaunch,
+            // or give up once the attempt budget is spent.
+            if acct.launched >= max_attempts {
+                return Err(EngineError::TaskFailed {
+                    attempts: acct.launched,
+                    last: last_err,
+                });
+            }
+            ctx.sleep(backoff.backoff(ctx, acct.launched)).await;
+            ctx.sleep(DISPATCH_LATENCY).await;
+            tracer
+                .instant(ctx, "coordinator", lane, "task-retry")
+                .attr("task", label)
+                .attr("attempt", acct.launched + 1);
+            outstanding.push(spawn_attempt());
+            acct.launched += 1;
+            last_launch = ctx.now();
+        }
+
+        let can_speculate = policy.speculate && acct.launched < max_attempts;
+        let completion = if can_speculate {
+            let deadline = last_launch.saturating_add(timeout);
+            match race(first_completed(&mut outstanding), ctx.sleep_until(deadline)).await {
+                Either::Left(done) => Some(done),
+                Either::Right(()) => None,
+            }
+        } else {
+            Some(first_completed(&mut outstanding).await)
+        };
+
+        match completion {
+            None => {
+                // Straggler: trigger a speculative duplicate.
+                tracer
+                    .instant(ctx, "coordinator", lane, "straggler-retrigger")
+                    .attr("task", label)
+                    .attr("outstanding", outstanding.len())
+                    .attr("timeout_s", timeout.as_secs_f64());
+                ctx.sleep(DISPATCH_LATENCY).await;
+                outstanding.push(spawn_attempt());
+                acct.launched += 1;
+                acct.speculative += 1;
+                last_launch = ctx.now();
+            }
+            Some((_, (_, Ok(result)))) => return Ok((result.output, acct)),
+            Some((_, (started, Err(err)))) => match err {
+                // Misconfiguration, not an infrastructure fault.
+                FaasError::UnknownFunction(_) | FaasError::PayloadTooLarge(_) => {
+                    return Err(EngineError::Worker(err.to_string()));
+                }
+                _ => {
+                    acct.failed_secs += (ctx.now() - started).as_secs_f64();
+                    last_err = err.to_string();
+                }
+            },
+        }
+    }
+}
+
+/// Invoke a fleet of worker tasks, two-level beyond the threshold. Each
+/// report comes back stamped with its attempt accounting; helper-tier
+/// retries (not attributable to one worker) are returned in [`FleetStats`].
 async fn invoke_fleet(
     env: &ExecEnv,
     platform: &ComputePlatform,
     worker_fn: &str,
     fanout_fn: &str,
     tasks: Vec<WorkerTask>,
-) -> Result<Vec<WorkerReport>, EngineError> {
+    policy: &TaskPolicy,
+    lane: u64,
+) -> Result<(Vec<WorkerReport>, FleetStats), EngineError> {
+    let mut fleet = FleetStats::default();
     if tasks.len() >= TWO_LEVEL_THRESHOLD {
         // Two-level: dispatch fan-out helpers, each invoking a group.
+        // A helper failure would re-run its whole group, so helpers
+        // retry but never speculate.
+        let helper_policy = TaskPolicy {
+            speculate: false,
+            ..policy.clone()
+        };
         let mut handles = Vec::new();
-        for group in tasks.chunks(FANOUT_GROUP) {
+        for (g, group) in tasks.chunks(FANOUT_GROUP).enumerate() {
             env.ctx.sleep(DISPATCH_LATENCY).await;
             let payload = serde_json::to_string(&FanoutRequest {
                 tasks: group.to_vec(),
+                policy: policy.clone(),
             })?;
+            let expected: u64 = group.iter().map(|t| t.expected_input_bytes).sum();
+            let ctx = env.ctx.clone();
             let platform = platform.clone();
             let name = fanout_fn.to_string();
-            handles.push(
-                env.ctx
-                    .spawn(async move { platform.invoke(&name, payload).await }),
-            );
+            let hp = helper_policy.clone();
+            let label = format!("fanout/{g}");
+            handles.push(env.ctx.spawn(async move {
+                invoke_resilient(&ctx, &platform, &name, payload, expected, &hp, lane, &label).await
+            }));
         }
         let mut reports = Vec::with_capacity(tasks.len());
         for h in skyrise_sim::join_all(handles).await {
-            let result = h.map_err(|e| EngineError::Worker(e.to_string()))?;
-            let group: Vec<WorkerReport> = serde_json::from_str(&result.output)?;
+            let (output, acct) = h?;
+            fleet.task_retries += acct.launched.saturating_sub(1);
+            fleet.failed_attempt_secs += acct.failed_secs;
+            let group: Vec<WorkerReport> = serde_json::from_str(&output)?;
             reports.extend(group);
         }
-        Ok(reports)
+        Ok((reports, fleet))
     } else {
         let mut handles = Vec::with_capacity(tasks.len());
         for task in &tasks {
             env.ctx.sleep(DISPATCH_LATENCY).await;
             let payload = serde_json::to_string(task)?;
+            let expected = task.expected_input_bytes;
+            let ctx = env.ctx.clone();
             let platform = platform.clone();
             let name = worker_fn.to_string();
-            handles.push(
-                env.ctx
-                    .spawn(async move { platform.invoke(&name, payload).await }),
-            );
+            let tp = policy.clone();
+            let label = format!("{}/p{}/f{}", task.query_id, task.pipeline.id, task.fragment);
+            handles.push(env.ctx.spawn(async move {
+                invoke_resilient(&ctx, &platform, &name, payload, expected, &tp, lane, &label).await
+            }));
         }
         let mut reports = Vec::with_capacity(tasks.len());
         for h in skyrise_sim::join_all(handles).await {
-            let result = h.map_err(|e| EngineError::Worker(e.to_string()))?;
-            let report: WorkerReport = serde_json::from_str(&result.output)?;
+            let (output, acct) = h?;
+            let mut report: WorkerReport = serde_json::from_str(&output)?;
+            stamp_attempts(&mut report, acct);
             reports.push(report);
         }
-        Ok(reports)
+        Ok((reports, fleet))
     }
 }
 
-/// Run a fan-out helper: invoke each task in the group and gather reports.
+/// Run a fan-out helper: invoke each task in the group (under the
+/// request's fault-tolerance policy) and gather the stamped reports.
 pub async fn run_fanout(
     env: &ExecEnv,
     platform: &ComputePlatform,
     worker_fn: &str,
     request: &FanoutRequest,
 ) -> Result<Vec<WorkerReport>, EngineError> {
+    let lane = env.ctx.tracer().next_lane();
     let mut handles = Vec::with_capacity(request.tasks.len());
     for task in &request.tasks {
         env.ctx.sleep(DISPATCH_LATENCY).await;
         let payload = serde_json::to_string(task)?;
+        let expected = task.expected_input_bytes;
+        let ctx = env.ctx.clone();
         let platform = platform.clone();
         let name = worker_fn.to_string();
-        handles.push(
-            env.ctx
-                .spawn(async move { platform.invoke(&name, payload).await }),
-        );
+        let tp = request.policy.clone();
+        let label = format!("{}/p{}/f{}", task.query_id, task.pipeline.id, task.fragment);
+        handles.push(env.ctx.spawn(async move {
+            invoke_resilient(&ctx, &platform, &name, payload, expected, &tp, lane, &label).await
+        }));
     }
     let mut reports = Vec::with_capacity(request.tasks.len());
     for h in skyrise_sim::join_all(handles).await {
-        let result = h.map_err(|e| EngineError::Worker(e.to_string()))?;
-        reports.push(serde_json::from_str(&result.output)?);
+        let (output, acct) = h?;
+        let mut report: WorkerReport = serde_json::from_str(&output)?;
+        stamp_attempts(&mut report, acct);
+        reports.push(report);
     }
     Ok(reports)
 }

@@ -17,9 +17,10 @@ use crate::plan::PhysicalPlan;
 use crate::profile::QueryProfile;
 use crate::worker::{barrier_key, run_worker, WorkerTask};
 use skyrise_compute::{
-    handler, ComputePlatform, ExecEnv, FunctionConfig, LambdaPlatform, ShimCluster,
+    handler, ComputePlatform, ExecEnv, FaasError, FunctionConfig, LambdaPlatform, ShimCluster,
 };
 use skyrise_data::Batch;
+use skyrise_sim::faults::INJECTED_FAILURE;
 use skyrise_sim::SimCtx;
 use skyrise_storage::{Blob, RequestOpts, Storage};
 use std::cell::Cell;
@@ -216,6 +217,13 @@ impl Skyrise {
     }
 
     /// Submit a plan for execution; resolves to the coordinator response.
+    ///
+    /// The coordinator invocation itself retries (without speculation,
+    /// under the request's [`TaskPolicy`](crate::coordinator::TaskPolicy)
+    /// backoff) on platform-transient failures: throttling, a crashed
+    /// coordinator sandbox, or an injected transient fault. Deterministic
+    /// application errors — including a task that exhausted its own
+    /// attempt budget — are not retried.
     pub async fn run(
         &self,
         plan: &PhysicalPlan,
@@ -223,20 +231,39 @@ impl Skyrise {
     ) -> Result<QueryResponse, EngineError> {
         let id = self.next_query.get();
         self.next_query.set(id + 1);
+        let policy = config.task_policy.clone();
         let request = QueryRequest {
             query_id: format!("{}-{id}", plan.name),
             plan: plan.clone(),
             config,
         };
         let payload = serde_json::to_string(&request)?;
-        let result = match &self.platform {
-            ComputePlatform::Faas(p) => p.invoke(COORDINATOR_FN, payload).await,
-            // The IaaS coordinator runs on the head node, outside the
-            // worker slot pool.
-            ComputePlatform::Shim(c) => c.invoke_unqueued(COORDINATOR_FN, payload).await,
+        let backoff = policy.backoff_policy();
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = match &self.platform {
+                ComputePlatform::Faas(p) => p.invoke(COORDINATOR_FN, payload.clone()).await,
+                // The IaaS coordinator runs on the head node, outside the
+                // worker slot pool.
+                ComputePlatform::Shim(c) => {
+                    c.invoke_unqueued(COORDINATOR_FN, payload.clone()).await
+                }
+            };
+            match result {
+                Ok(result) => return Ok(serde_json::from_str(&result.output)?),
+                Err(err) => {
+                    let transient =
+                        matches!(err, FaasError::TooManyRequests | FaasError::SandboxCrashed)
+                            || matches!(&err, FaasError::HandlerFailed(m) if m == INJECTED_FAILURE);
+                    if !transient || attempt >= max_attempts {
+                        return Err(EngineError::Worker(err.to_string()));
+                    }
+                    self.ctx.sleep(backoff.backoff(&self.ctx, attempt)).await;
+                }
+            }
         }
-        .map_err(|e| EngineError::Worker(e.to_string()))?;
-        Ok(serde_json::from_str(&result.output)?)
     }
 
     /// Run with default per-query configuration.

@@ -20,6 +20,13 @@ pub enum EngineError {
     Json(String),
     /// A worker invocation failed.
     Worker(String),
+    /// A task exhausted its invocation attempts (retries + speculation).
+    TaskFailed {
+        /// Attempts launched, including speculative duplicates.
+        attempts: u32,
+        /// The last attempt's error.
+        last: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -31,6 +38,9 @@ impl fmt::Display for EngineError {
             EngineError::Format(e) => write!(f, "format error: {e}"),
             EngineError::Json(m) => write!(f, "json error: {m}"),
             EngineError::Worker(m) => write!(f, "worker error: {m}"),
+            EngineError::TaskFailed { attempts, last } => {
+                write!(f, "task failed after {attempts} attempts: {last}")
+            }
         }
     }
 }

@@ -26,7 +26,7 @@ pub mod reference;
 pub mod worker;
 
 pub use catalog::{load_dataset, DatasetLayout, DatasetMeta, PartitionMeta};
-pub use coordinator::{QueryConfig, QueryRequest, QueryResponse, StageStats};
+pub use coordinator::{QueryConfig, QueryRequest, QueryResponse, StageStats, TaskPolicy};
 pub use driver::{Skyrise, SkyriseConfig, COORDINATOR_FN, FANOUT_FN, WORKER_FN};
 pub use error::EngineError;
 pub use expr::{ArithOp, CmpOp, Expr, NamedExpr, UdfRegistry};

@@ -96,6 +96,19 @@ pub struct QueryProfile {
     pub storage_requests: u64,
     /// Trace events recorded inside the query window.
     pub events_traced: u64,
+    /// Failure-driven task re-invocations across stages (worker and
+    /// fan-out helper tiers).
+    pub task_retries: u32,
+    /// Speculative duplicate invocations launched for stragglers.
+    pub speculative_invokes: u32,
+    /// Worker-seconds spent in attempts that ultimately failed.
+    pub failed_attempt_secs: f64,
+    /// Failed-attempt fraction of (failed + worker) time, in `[0, 1]` —
+    /// the wasted-work share of the reliability tax.
+    pub failure_share: f64,
+    /// Fault-plan injections observed in the query's trace window
+    /// (`fault-*` instants; 0 with tracing disabled or no fault plan).
+    pub faults_injected: u64,
     /// Marginal cost, when a usage meter was reachable.
     pub cost: Option<ProfileCost>,
 }
@@ -141,6 +154,11 @@ impl QueryProfile {
                 .sum(),
             storage_requests: response.total_requests(),
             events_traced: 0,
+            task_retries: response.stages.iter().map(|s| s.task_retries).sum(),
+            speculative_invokes: response.stages.iter().map(|s| s.speculative_invokes).sum(),
+            failed_attempt_secs: response.stages.iter().map(|s| s.failed_attempt_secs).sum(),
+            failure_share: 0.0,
+            faults_injected: 0,
             cost,
         };
         tracer.with_events(|events| {
@@ -182,6 +200,9 @@ impl QueryProfile {
                         trace_cold_starts += 1;
                         profile.coldstart_secs += dur_secs;
                     }
+                    (_, name) if name.starts_with("fault-") => {
+                        profile.faults_injected += 1;
+                    }
                     _ => {}
                 }
             }
@@ -192,6 +213,10 @@ impl QueryProfile {
         let denom = profile.coldstart_secs + profile.cumulative_worker_secs;
         if denom > 0.0 {
             profile.coldstart_share = profile.coldstart_secs / denom;
+        }
+        let denom = profile.failed_attempt_secs + profile.cumulative_worker_secs;
+        if denom > 0.0 {
+            profile.failure_share = profile.failed_attempt_secs / denom;
         }
         profile
     }
@@ -230,6 +255,18 @@ impl QueryProfile {
             self.coldstart_secs,
             100.0 * self.coldstart_share
         );
+        if self.task_retries > 0 || self.speculative_invokes > 0 || self.faults_injected > 0 {
+            let _ = writeln!(
+                out,
+                "  reliability: {} faults injected, {} task retries, {} speculative invokes, \
+                 {:.1}s failed attempts ({:.1}% of worker time)",
+                self.faults_injected,
+                self.task_retries,
+                self.speculative_invokes,
+                self.failed_attempt_secs,
+                100.0 * self.failure_share
+            );
+        }
         let _ = writeln!(
             out,
             "  bytes read {:.3} GB, written {:.3} GB; {} storage requests",

@@ -67,6 +67,10 @@ pub struct WorkerTask {
     pub downstream_fragments: u32,
     /// Input assignments, parallel to `pipeline.inputs`.
     pub inputs: Vec<InputAssignment>,
+    /// Logical bytes this fragment is expected to read (coordinator's
+    /// estimate; sizes the straggler re-trigger timeout).
+    #[serde(default)]
+    pub expected_input_bytes: u64,
 }
 
 /// What a worker reports back to the coordinator.
@@ -90,6 +94,20 @@ pub struct WorkerReport {
     pub cpu_secs: f64,
     /// Whether this worker's sandbox cold-started.
     pub cold_start: bool,
+    /// Invocations launched for this fragment (first + retries +
+    /// speculative duplicates). Stamped by the dispatching tier.
+    #[serde(default = "default_attempts")]
+    pub invoke_attempts: u32,
+    /// Speculative duplicates among `invoke_attempts`.
+    #[serde(default)]
+    pub speculative_invokes: u32,
+    /// Wall seconds spent in attempts that ultimately failed.
+    #[serde(default)]
+    pub failed_attempt_secs: f64,
+}
+
+fn default_attempts() -> u32 {
+    1
 }
 
 /// Concurrent ranged chunk requests per worker.
@@ -705,6 +723,7 @@ mod tests {
                 partition_by: vec![],
                 combine: 1,
             }],
+            expected_input_bytes: 64 << 20,
         };
         let json = serde_json::to_string(&task).unwrap();
         let back: WorkerTask = serde_json::from_str(&json).unwrap();

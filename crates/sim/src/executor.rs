@@ -11,6 +11,7 @@
 //! only randomness available to tasks flows through the seeded [`SimRng`]
 //! accessible via [`SimCtx::with_rng`].
 
+use crate::faults::{FaultConfig, FaultPlan};
 use crate::rng::SimRng;
 use crate::sanitizer::Sanitizer;
 use crate::time::{SimDuration, SimTime};
@@ -95,6 +96,9 @@ struct SimState {
     tracer: RefCell<Tracer>,
     /// Runtime determinism sanitizer; active by default in debug builds.
     sanitizer: RefCell<Sanitizer>,
+    /// Fault-injection plan; disabled (injects nothing) unless installed
+    /// via [`Sim::install_faults`].
+    faults: RefCell<FaultPlan>,
 }
 
 /// The simulation: owns the virtual clock, task set, and timer wheel.
@@ -149,6 +153,7 @@ impl Sim {
                 } else {
                     Sanitizer::disabled()
                 }),
+                faults: RefCell::new(FaultPlan::disabled()),
             }),
         }
     }
@@ -187,6 +192,22 @@ impl Sim {
     /// The sanitizer currently installed.
     pub fn sanitizer(&self) -> Sanitizer {
         self.state.sanitizer.borrow().clone()
+    }
+
+    /// Install a fault-injection plan (seeded from this simulation's seed,
+    /// on a salted private RNG stream) and return a handle that outlives
+    /// the simulation for post-run [`FaultPlan::stats`]. Components reach
+    /// the plan via [`SimCtx::faults`]; without this call the plan is
+    /// disabled and injects nothing.
+    pub fn install_faults(&self, config: FaultConfig) -> FaultPlan {
+        let plan = FaultPlan::new(self.state.seed, config);
+        *self.state.faults.borrow_mut() = plan.clone();
+        plan
+    }
+
+    /// The fault plan currently installed (disabled by default).
+    pub fn faults(&self) -> FaultPlan {
+        self.state.faults.borrow().clone()
     }
 
     /// A handle for spawning and sleeping from inside tasks.
@@ -358,6 +379,16 @@ impl SimCtx {
         match self.state.upgrade() {
             Some(s) => s.sanitizer.borrow().clone(),
             None => Sanitizer::disabled(),
+        }
+    }
+
+    /// The simulation's fault-injection plan (disabled, i.e. injecting
+    /// nothing, unless installed via [`Sim::install_faults`]). Cheap to
+    /// clone and query.
+    pub fn faults(&self) -> FaultPlan {
+        match self.state.upgrade() {
+            Some(s) => s.faults.borrow().clone(),
+            None => FaultPlan::disabled(),
         }
     }
 
@@ -583,6 +614,46 @@ pub async fn join_all<T>(handles: Vec<JoinHandle<T>>) -> Vec<T> {
     out
 }
 
+/// Await the first of `handles` to complete; the winner is removed from
+/// the vector and `(index, value)` returned (index as of removal time).
+/// Ties go to the lowest index. The remaining handles are untouched — their
+/// tasks keep running. Panics when awaited with an empty vector.
+pub fn first_completed<T>(handles: &mut Vec<JoinHandle<T>>) -> FirstCompleted<'_, T> {
+    FirstCompleted { handles }
+}
+
+/// Future returned by [`first_completed`].
+pub struct FirstCompleted<'a, T> {
+    handles: &'a mut Vec<JoinHandle<T>>,
+}
+
+impl<T> Future for FirstCompleted<'_, T> {
+    type Output = (usize, T);
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<(usize, T)> {
+        // Unpin: the struct holds only a mutable reference.
+        let this = self.get_mut();
+        assert!(
+            !this.handles.is_empty(),
+            "first_completed awaited with no handles"
+        );
+        let won = (0..this.handles.len()).find(|&i| this.handles[i].slot.borrow().value.is_some());
+        if let Some(i) = won {
+            let h = this.handles.remove(i);
+            let v = h
+                .slot
+                .borrow_mut()
+                .value
+                .take()
+                .expect("winner had a value");
+            return Poll::Ready((i, v));
+        }
+        for h in this.handles.iter() {
+            h.slot.borrow_mut().waiter = Some(cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -748,6 +819,51 @@ mod tests {
         });
         let end = sim.run();
         assert!(end.as_secs_f64() < 1.0, "end {end}");
+    }
+
+    #[test]
+    fn first_completed_returns_earliest_and_leaves_rest_running() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let mut handles: Vec<_> = [30u64, 10, 20]
+                .iter()
+                .map(|&d| {
+                    let ctx = ctx.clone();
+                    ctx.clone().spawn(async move {
+                        ctx.sleep(SimDuration::from_millis(d)).await;
+                        d
+                    })
+                })
+                .collect();
+            let (idx, val) = first_completed(&mut handles).await;
+            assert_eq!((idx, val), (1, 10));
+            assert_eq!(handles.len(), 2);
+            let (idx2, val2) = first_completed(&mut handles).await;
+            assert_eq!((idx2, val2), (1, 20));
+            // The slowest task keeps running even if we drop its handle.
+            drop(handles);
+            ctx.now()
+        });
+        let end = sim.run();
+        assert_eq!(h.try_take().unwrap(), SimTime::from_nanos(20_000_000));
+        // Quiescence waits for the abandoned 30ms task.
+        assert_eq!(end, SimTime::from_nanos(30_000_000));
+    }
+
+    #[test]
+    fn faults_disabled_by_default_and_installable() {
+        let sim = Sim::new(5);
+        let ctx = sim.ctx();
+        assert!(!ctx.faults().enabled());
+        let plan = sim.install_faults(crate::faults::FaultConfig {
+            invoke_transient_prob: 1.0,
+            ..crate::faults::FaultConfig::default()
+        });
+        assert!(ctx.faults().enabled());
+        assert!(ctx.faults().sample_invoke_transient());
+        // The outliving handle shares counters with the installed plan.
+        assert_eq!(plan.stats().transients, 1);
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a per-run source of *injected* failures that
+//! infrastructure models query at well-defined decision points: should this
+//! invocation fail transiently, should this sandbox crash mid-run, should
+//! this cold start be pathologically slow, should this storage request be
+//! throttled or time out. Injected faults sit on top of the capacity-driven
+//! failures the models already produce (admission throttling, bandwidth
+//! timeouts); they exist to exercise retry, speculation, and failure
+//! accounting paths that a healthy simulation never reaches.
+//!
+//! ## Determinism contract
+//!
+//! The plan draws from its own [`SimRng`] stream, seeded from the
+//! simulation seed XOR a fixed salt. Two consequences:
+//!
+//! * Same seed + same [`FaultConfig`] ⇒ the same faults fire at the same
+//!   decision points, so sanitizer digests of faulted runs are reproducible.
+//! * A **disabled** plan (the default) draws nothing: enabling the
+//!   subsystem changes zero bytes of behavior for runs that never install
+//!   a plan, and all pre-existing tests are unaffected.
+//!
+//! Sampling order is the (deterministic) order in which components reach
+//! their decision points — there is no wall-clock or ambient entropy
+//! anywhere in this module.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Salt XORed into the simulation seed for the plan's private RNG stream,
+/// so fault sampling never perturbs the main model stream.
+const FAULT_SEED_SALT: u64 = 0x5EED_FAB7_0000_0001;
+
+/// Marker message carried by injected transient handler failures. Engine
+/// retry layers may match on it to distinguish infrastructure-transient
+/// errors (always worth retrying) from deterministic application errors.
+pub const INJECTED_FAILURE: &str = "injected transient fault";
+
+/// Probabilities and shape parameters for a fault plan. All probabilities
+/// are per-decision (per invocation, per cold start, per storage request)
+/// and clamped to `[0, 1]` at sampling time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability an invocation's handler result is replaced with a
+    /// transient failure (the handler still runs and is billed in full).
+    pub invoke_transient_prob: f64,
+    /// Probability a sandbox crash is armed for an invocation. The crash
+    /// point is drawn uniformly from `[0, crash_horizon_secs)`; it fires
+    /// only if the handler is still running at that point.
+    pub sandbox_crash_prob: f64,
+    /// Horizon (seconds into the handler's run) for sampled crash points.
+    pub crash_horizon_secs: f64,
+    /// Probability a cold start's init time is multiplied by
+    /// `coldstart_spike_factor`.
+    pub coldstart_spike_prob: f64,
+    /// Multiplier applied to a spiked cold start's sampled init time.
+    pub coldstart_spike_factor: f64,
+    /// Probability a storage request is rejected with an injected
+    /// `Throttled` before reaching the service.
+    pub storage_throttle_prob: f64,
+    /// Probability a storage request is swallowed whole — the client sees
+    /// only its own timeout.
+    pub storage_timeout_prob: f64,
+}
+
+impl Default for FaultConfig {
+    /// All probabilities zero: an installed-but-default plan injects
+    /// nothing (shape parameters keep sensible values).
+    fn default() -> Self {
+        FaultConfig {
+            invoke_transient_prob: 0.0,
+            sandbox_crash_prob: 0.0,
+            crash_horizon_secs: 2.0,
+            coldstart_spike_prob: 0.0,
+            coldstart_spike_factor: 5.0,
+            storage_throttle_prob: 0.0,
+            storage_timeout_prob: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A compute-side mix at a single `rate`: transient invoke failures at
+    /// `rate`, sandbox crashes at `rate / 2`, coldstart spikes at `rate`.
+    pub fn compute(rate: f64) -> Self {
+        FaultConfig {
+            invoke_transient_prob: rate,
+            sandbox_crash_prob: rate / 2.0,
+            coldstart_spike_prob: rate,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// Kind of fault injected into a storage request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// Reject the request as throttled (after the service's reject latency).
+    Throttle,
+    /// Swallow the request; the caller observes its own timeout.
+    Timeout,
+}
+
+/// Counters of faults sampled by a plan, for post-run reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transient invocation failures injected.
+    pub transients: u64,
+    /// Sandbox crashes armed (a crash fires only if the handler is still
+    /// running at the sampled crash point).
+    pub crashes_armed: u64,
+    /// Cold starts spiked.
+    pub coldstart_spikes: u64,
+    /// Storage requests rejected with an injected throttle.
+    pub storage_throttles: u64,
+    /// Storage requests swallowed into an injected timeout.
+    pub storage_timeouts: u64,
+}
+
+struct PlanInner {
+    config: FaultConfig,
+    rng: RefCell<SimRng>,
+    transients: Cell<u64>,
+    crashes_armed: Cell<u64>,
+    coldstart_spikes: Cell<u64>,
+    storage_throttles: Cell<u64>,
+    storage_timeouts: Cell<u64>,
+}
+
+/// A seeded, shareable fault plan. Disabled by default (all sampling
+/// methods answer "no fault" without touching any RNG); install one on a
+/// simulation via `Sim::install_faults` to activate injection.
+#[derive(Clone, Default)]
+pub struct FaultPlan {
+    inner: Option<Rc<PlanInner>>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing and draws nothing.
+    pub fn disabled() -> Self {
+        FaultPlan { inner: None }
+    }
+
+    /// Build an active plan for the given simulation seed and config.
+    /// (Called by `Sim::install_faults`; the plan's RNG stream is salted so
+    /// it never interferes with the simulation's main stream.)
+    pub fn new(sim_seed: u64, config: FaultConfig) -> Self {
+        FaultPlan {
+            inner: Some(Rc::new(PlanInner {
+                rng: RefCell::new(SimRng::new(sim_seed ^ FAULT_SEED_SALT)),
+                config,
+                transients: Cell::new(0),
+                crashes_armed: Cell::new(0),
+                coldstart_spikes: Cell::new(0),
+                storage_throttles: Cell::new(0),
+                storage_timeouts: Cell::new(0),
+            })),
+        }
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn sample(
+        &self,
+        prob: impl Fn(&FaultConfig) -> f64,
+        counter: impl Fn(&PlanInner) -> &Cell<u64>,
+    ) -> bool {
+        let Some(inner) = self.inner.as_deref() else {
+            return false;
+        };
+        let p = prob(&inner.config).clamp(0.0, 1.0);
+        if p <= 0.0 {
+            return false;
+        }
+        let hit = inner.rng.borrow_mut().gen_bool(p);
+        if hit {
+            let c = counter(inner);
+            c.set(c.get() + 1);
+        }
+        hit
+    }
+
+    /// Should this invocation's handler result be replaced with a transient
+    /// failure? (The handler still runs and is billed in full.)
+    pub fn sample_invoke_transient(&self) -> bool {
+        self.sample(|c| c.invoke_transient_prob, |i| &i.transients)
+    }
+
+    /// Arm a sandbox crash for this invocation: `Some(delay)` means the
+    /// sandbox dies `delay` into the handler's run (if still running).
+    pub fn sample_sandbox_crash(&self) -> Option<SimDuration> {
+        if !self.sample(|c| c.sandbox_crash_prob, |i| &i.crashes_armed) {
+            return None;
+        }
+        let inner = self.inner.as_ref().expect("sampled on a disabled plan");
+        let horizon = inner.config.crash_horizon_secs.max(0.0);
+        let at = inner.rng.borrow_mut().gen_range_f64(0.0, horizon.max(1e-9));
+        Some(SimDuration::from_secs_f64(at))
+    }
+
+    /// Should this cold start be spiked? Returns the multiplier to apply
+    /// to the sampled init time.
+    pub fn sample_coldstart_spike(&self) -> Option<f64> {
+        if self.sample(|c| c.coldstart_spike_prob, |i| &i.coldstart_spikes) {
+            let inner = self.inner.as_ref().expect("sampled on a disabled plan");
+            Some(inner.config.coldstart_spike_factor.max(1.0))
+        } else {
+            None
+        }
+    }
+
+    /// Should this storage request be faulted, and how? At most one kind
+    /// fires per request; throttle is sampled before timeout.
+    pub fn sample_storage_fault(&self) -> Option<StorageFault> {
+        if self.sample(|c| c.storage_throttle_prob, |i| &i.storage_throttles) {
+            return Some(StorageFault::Throttle);
+        }
+        if self.sample(|c| c.storage_timeout_prob, |i| &i.storage_timeouts) {
+            return Some(StorageFault::Timeout);
+        }
+        None
+    }
+
+    /// Counters of everything sampled so far.
+    pub fn stats(&self) -> FaultStats {
+        match &self.inner {
+            None => FaultStats::default(),
+            Some(i) => FaultStats {
+                transients: i.transients.get(),
+                crashes_armed: i.crashes_armed.get(),
+                coldstart_spikes: i.coldstart_spikes.get(),
+                storage_throttles: i.storage_throttles.get(),
+                storage_timeouts: i.storage_timeouts.get(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_injects_nothing() {
+        let plan = FaultPlan::disabled();
+        assert!(!plan.enabled());
+        for _ in 0..100 {
+            assert!(!plan.sample_invoke_transient());
+            assert!(plan.sample_sandbox_crash().is_none());
+            assert!(plan.sample_coldstart_spike().is_none());
+            assert!(plan.sample_storage_fault().is_none());
+        }
+        assert_eq!(plan.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn zero_probability_plan_draws_nothing() {
+        // A default (all-zero) config must not consume RNG draws, so its
+        // sampling sequence is independent of call counts.
+        let plan = FaultPlan::new(7, FaultConfig::default());
+        for _ in 0..50 {
+            assert!(!plan.sample_invoke_transient());
+            assert!(plan.sample_storage_fault().is_none());
+        }
+        assert_eq!(plan.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn certain_faults_always_fire_and_count() {
+        let plan = FaultPlan::new(
+            3,
+            FaultConfig {
+                invoke_transient_prob: 1.0,
+                coldstart_spike_prob: 1.0,
+                coldstart_spike_factor: 4.0,
+                storage_throttle_prob: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        for _ in 0..10 {
+            assert!(plan.sample_invoke_transient());
+            assert_eq!(plan.sample_coldstart_spike(), Some(4.0));
+            assert_eq!(plan.sample_storage_fault(), Some(StorageFault::Throttle));
+        }
+        let s = plan.stats();
+        assert_eq!(s.transients, 10);
+        assert_eq!(s.coldstart_spikes, 10);
+        assert_eq!(s.storage_throttles, 10);
+        assert_eq!(s.storage_timeouts, 0);
+    }
+
+    #[test]
+    fn crash_points_stay_within_horizon() {
+        let plan = FaultPlan::new(
+            9,
+            FaultConfig {
+                sandbox_crash_prob: 1.0,
+                crash_horizon_secs: 3.0,
+                ..FaultConfig::default()
+            },
+        );
+        for _ in 0..50 {
+            let at = plan.sample_sandbox_crash().expect("crash always armed");
+            assert!(at.as_secs_f64() < 3.0);
+        }
+        assert_eq!(plan.stats().crashes_armed, 50);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let cfg = FaultConfig {
+            invoke_transient_prob: 0.3,
+            storage_throttle_prob: 0.2,
+            storage_timeout_prob: 0.1,
+            ..FaultConfig::default()
+        };
+        let draw = |seed: u64| {
+            let plan = FaultPlan::new(seed, cfg.clone());
+            let mut seq = Vec::new();
+            for _ in 0..200 {
+                seq.push((plan.sample_invoke_transient(), plan.sample_storage_fault()));
+            }
+            seq
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn fault_stream_is_independent_of_main_rng() {
+        // The plan's stream is salted: it must differ from the main stream
+        // a model would see for the same seed.
+        let mut main = SimRng::new(11);
+        let plan = FaultPlan::new(
+            11,
+            FaultConfig {
+                invoke_transient_prob: 0.5,
+                ..FaultConfig::default()
+            },
+        );
+        let main_seq: Vec<bool> = (0..64).map(|_| main.gen_bool(0.5)).collect();
+        let plan_seq: Vec<bool> = (0..64).map(|_| plan.sample_invoke_transient()).collect();
+        assert_ne!(main_seq, plan_seq);
+    }
+}

@@ -14,10 +14,12 @@
 //! * [`metrics`] — interval throughput series, latency histograms, stats
 //! * [`trace`] — virtual-time spans/events, Chrome-trace + JSONL export
 //! * [`sanitizer`] — runtime determinism checks + per-event state digest
+//! * [`faults`] — seeded fault-injection plan queried by the models
 
 #![warn(missing_docs)]
 
 pub mod executor;
+pub mod faults;
 pub mod metrics;
 pub mod rng;
 pub mod sanitizer;
@@ -25,7 +27,8 @@ pub mod sync;
 pub mod time;
 pub mod trace;
 
-pub use executor::{join_all, race, Either, JoinHandle, Sim, SimCtx};
+pub use executor::{first_completed, join_all, race, Either, JoinHandle, Sim, SimCtx};
+pub use faults::{FaultConfig, FaultPlan, FaultStats, StorageFault};
 pub use metrics::{Histogram, HistogramSummary, IntervalSeries};
 pub use rng::{LatencyDist, SimRng};
 pub use sanitizer::{DigestCheckpoint, Sanitizer, SanitizerReport};

@@ -8,13 +8,15 @@
 //! both. Repeatedly rejected clients back off exponentially and become the
 //! stragglers responsible for the IOPS dips of Fig. 11.
 
-use crate::core::RequestOpts;
+use crate::core::{RequestOpts, REJECT_LATENCY};
 use crate::dynamodb::DynamoTable;
 use crate::efs::EfsFilesystem;
 use crate::error::{Result, StorageError};
 use crate::object::{Blob, ObjectMeta};
 use crate::s3::S3Bucket;
+use skyrise_sim::faults::StorageFault;
 use skyrise_sim::{race, Either, SimCtx, SimDuration};
+use std::future::Future;
 use std::rc::Rc;
 
 /// A handle to any of the simulated storage services, exposing one blob
@@ -195,6 +197,19 @@ pub struct RetryStats {
 }
 
 /// A storage client applying timeouts, retries and exponential backoff.
+///
+/// All operations share one retry driver ([`RetryingClient::with_retries`])
+/// and therefore one failure classification:
+///
+/// * success → return the value plus [`RetryStats`] (`attempts == 1` means
+///   the first try succeeded);
+/// * `NotFound` / `TooLarge` / `InvalidRange` → returned as-is, never
+///   retried;
+/// * `Throttled` (counted) and any other service error → backoff + retry;
+/// * an attempt outliving the size-based timeout is abandoned, counted as
+///   a timeout, and retried;
+/// * after `max_attempts` the last error is wrapped in
+///   [`StorageError::RetriesExhausted`].
 #[derive(Clone)]
 pub struct RetryingClient {
     /// The wrapped service handle.
@@ -203,33 +218,66 @@ pub struct RetryingClient {
     pub ctx: SimCtx,
     /// Timeout/backoff policy.
     pub policy: RetryPolicy,
+    /// Trace lane allocated to this client (clones share it), so concurrent
+    /// clients' retry instants land on distinct Chrome-trace rows.
+    lane: u64,
 }
 
 impl RetryingClient {
-    /// Wrap a service handle.
+    /// Wrap a service handle. Allocates this client's trace lane (0 when
+    /// tracing is disabled).
     pub fn new(storage: Storage, ctx: SimCtx, policy: RetryPolicy) -> Self {
+        let lane = ctx.tracer().next_lane();
         RetryingClient {
             storage,
             ctx,
             policy,
+            lane,
         }
     }
 
-    /// GET with retries. `expected_bytes` sizes the timeout.
-    pub async fn get(
+    /// The generic retry driver. `attempt` produces one request future per
+    /// call; injected faults from the simulation's fault plan (if any) are
+    /// applied before the real request — an injected throttle rejects after
+    /// the service's reject latency, an injected timeout swallows the
+    /// attempt until the client gives up on it.
+    async fn with_retries<T, F, Fut>(
         &self,
         key: &str,
         expected_bytes: u64,
-        opts: &RequestOpts,
-    ) -> Result<(Blob, RetryStats)> {
+        mut attempt: F,
+    ) -> Result<(T, RetryStats)>
+    where
+        F: FnMut() -> Fut,
+        Fut: Future<Output = Result<T>>,
+    {
         let mut stats = RetryStats::default();
+        let timeout = self.policy.timeout_for(expected_bytes);
+        let faults = self.ctx.faults();
         loop {
             stats.attempts += 1;
-            let timeout = self.policy.timeout_for(expected_bytes);
-            let attempt = self.storage.get(key, opts);
-            let outcome = race(attempt, self.ctx.sleep(timeout)).await;
+            let injected = faults.sample_storage_fault();
+            let outcome = match injected {
+                Some(StorageFault::Throttle) => {
+                    self.ctx
+                        .tracer()
+                        .instant(&self.ctx, "storage-client", self.lane, "fault-throttle")
+                        .attr("key", key);
+                    self.ctx.sleep(REJECT_LATENCY).await;
+                    Either::Left(Err(StorageError::Throttled))
+                }
+                Some(StorageFault::Timeout) => {
+                    self.ctx
+                        .tracer()
+                        .instant(&self.ctx, "storage-client", self.lane, "fault-timeout")
+                        .attr("key", key);
+                    self.ctx.sleep(timeout).await;
+                    Either::Right(())
+                }
+                None => race(attempt(), self.ctx.sleep(timeout)).await,
+            };
             let err = match outcome {
-                Either::Left(Ok(blob)) => return Ok((blob, stats)),
+                Either::Left(Ok(value)) => return Ok((value, stats)),
                 Either::Left(Err(
                     e @ (StorageError::NotFound { .. }
                     | StorageError::TooLarge { .. }
@@ -256,7 +304,7 @@ impl RetryingClient {
             }
             self.ctx
                 .tracer()
-                .instant(&self.ctx, "storage-client", 0, "retry")
+                .instant(&self.ctx, "storage-client", self.lane, "retry")
                 .attr("attempt", stats.attempts)
                 .attr("reason", retry_reason(&err))
                 .attr("key", key);
@@ -264,6 +312,17 @@ impl RetryingClient {
                 .sleep(self.policy.backoff(&self.ctx, stats.attempts))
                 .await;
         }
+    }
+
+    /// GET with retries. `expected_bytes` sizes the timeout.
+    pub async fn get(
+        &self,
+        key: &str,
+        expected_bytes: u64,
+        opts: &RequestOpts,
+    ) -> Result<(Blob, RetryStats)> {
+        self.with_retries(key, expected_bytes, || self.storage.get(key, opts))
+            .await
     }
 
     /// GET a range with retries. `expected_bytes` sizes the timeout — it
@@ -276,95 +335,19 @@ impl RetryingClient {
         expected_bytes: u64,
         opts: &RequestOpts,
     ) -> Result<(Blob, RetryStats)> {
-        let mut stats = RetryStats::default();
-        loop {
-            stats.attempts += 1;
-            let timeout = self.policy.timeout_for(expected_bytes);
-            let attempt = self.storage.get_range(key, offset, len, opts);
-            let outcome = race(attempt, self.ctx.sleep(timeout)).await;
-            let err = match outcome {
-                Either::Left(Ok(blob)) => return Ok((blob, stats)),
-                Either::Left(Err(
-                    e @ (StorageError::NotFound { .. }
-                    | StorageError::TooLarge { .. }
-                    | StorageError::InvalidRange { .. }),
-                )) => {
-                    return Err(e);
-                }
-                Either::Left(Err(e)) => {
-                    if e == StorageError::Throttled {
-                        stats.throttles += 1;
-                    }
-                    e
-                }
-                Either::Right(()) => {
-                    stats.timeouts += 1;
-                    StorageError::Timeout
-                }
-            };
-            if stats.attempts >= self.policy.max_attempts {
-                return Err(StorageError::RetriesExhausted {
-                    attempts: stats.attempts,
-                    last: err.to_string(),
-                });
-            }
-            self.ctx
-                .tracer()
-                .instant(&self.ctx, "storage-client", 0, "retry")
-                .attr("attempt", stats.attempts)
-                .attr("reason", retry_reason(&err))
-                .attr("key", key);
-            self.ctx
-                .sleep(self.policy.backoff(&self.ctx, stats.attempts))
-                .await;
-        }
+        self.with_retries(key, expected_bytes, || {
+            self.storage.get_range(key, offset, len, opts)
+        })
+        .await
     }
 
     /// PUT with retries.
     pub async fn put(&self, key: &str, blob: Blob, opts: &RequestOpts) -> Result<RetryStats> {
-        let mut stats = RetryStats::default();
         let expected = blob.logical_len();
-        loop {
-            stats.attempts += 1;
-            let timeout = self.policy.timeout_for(expected);
-            let attempt = self.storage.put(key, blob.clone(), opts);
-            let outcome = race(attempt, self.ctx.sleep(timeout)).await;
-            let err = match outcome {
-                Either::Left(Ok(())) => return Ok(stats),
-                Either::Left(Err(
-                    e @ (StorageError::NotFound { .. }
-                    | StorageError::TooLarge { .. }
-                    | StorageError::InvalidRange { .. }),
-                )) => {
-                    return Err(e);
-                }
-                Either::Left(Err(e)) => {
-                    if e == StorageError::Throttled {
-                        stats.throttles += 1;
-                    }
-                    e
-                }
-                Either::Right(()) => {
-                    stats.timeouts += 1;
-                    StorageError::Timeout
-                }
-            };
-            if stats.attempts >= self.policy.max_attempts {
-                return Err(StorageError::RetriesExhausted {
-                    attempts: stats.attempts,
-                    last: err.to_string(),
-                });
-            }
-            self.ctx
-                .tracer()
-                .instant(&self.ctx, "storage-client", 0, "retry")
-                .attr("attempt", stats.attempts)
-                .attr("reason", retry_reason(&err))
-                .attr("key", key);
-            self.ctx
-                .sleep(self.policy.backoff(&self.ctx, stats.attempts))
-                .await;
-        }
+        let ((), stats) = self
+            .with_retries(key, expected, || self.storage.put(key, blob.clone(), opts))
+            .await?;
+        Ok(stats)
     }
 }
 
@@ -456,6 +439,156 @@ mod tests {
             err,
             StorageError::RetriesExhausted { attempts: 3, .. }
         ));
+    }
+
+    #[test]
+    fn get_range_counts_throttles_then_succeeds() {
+        let mut sim = Sim::new(7);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let cfg = DynamoConfig {
+                read_iops: 2.0,
+                burst_seconds: 0.5,
+                ..DynamoConfig::default()
+            };
+            let table = DynamoTable::new(ctx.clone(), meter, cfg, None);
+            table.backdoor().put("k", Blob::new(vec![0u8; 64]));
+            let client = RetryingClient::new(
+                Storage::Dynamo(Rc::clone(&table)),
+                ctx.clone(),
+                RetryPolicy::default(),
+            );
+            let opts = RequestOpts::default();
+            // Drain the tiny burst so the client's first attempts throttle.
+            let _ = table.get("k", &opts).await;
+            let _ = table.get("k", &opts).await;
+            client.get_range("k", 0, 32, 64, &opts).await
+        });
+        sim.run();
+        let (blob, stats) = h.try_take().unwrap().unwrap();
+        assert_eq!(blob.len(), 32);
+        assert!(stats.attempts >= 2, "attempts {}", stats.attempts);
+        assert!(stats.throttles >= 1, "throttles {}", stats.throttles);
+    }
+
+    #[test]
+    fn put_counts_throttles_then_succeeds() {
+        let mut sim = Sim::new(8);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let cfg = DynamoConfig {
+                write_iops: 2.0,
+                burst_seconds: 0.5,
+                ..DynamoConfig::default()
+            };
+            let table = DynamoTable::new(ctx.clone(), meter, cfg, None);
+            let client = RetryingClient::new(
+                Storage::Dynamo(Rc::clone(&table)),
+                ctx.clone(),
+                RetryPolicy::default(),
+            );
+            let opts = RequestOpts::default();
+            // Drain the write burst first.
+            let _ = table.put("a", Blob::new(vec![0u8; 8]), &opts).await;
+            let _ = table.put("b", Blob::new(vec![0u8; 8]), &opts).await;
+            client.put("k", Blob::new(vec![0u8; 64]), &opts).await
+        });
+        sim.run();
+        let stats = h.try_take().unwrap().unwrap();
+        assert!(stats.attempts >= 2, "attempts {}", stats.attempts);
+        assert!(stats.throttles >= 1, "throttles {}", stats.throttles);
+    }
+
+    #[test]
+    fn get_range_timeouts_exhaust_like_get() {
+        let mut sim = Sim::new(9);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let bucket = S3Bucket::standard(&ctx, &meter);
+            let opts = RequestOpts::default();
+            bucket
+                .put("k", Blob::new(vec![0u8; 64]), &opts)
+                .await
+                .unwrap();
+            let policy = RetryPolicy {
+                base_timeout: SimDuration::from_millis(1),
+                max_attempts: 4,
+                jitter: false,
+                ..RetryPolicy::default()
+            };
+            let client = RetryingClient::new(Storage::S3(bucket), ctx.clone(), policy);
+            client.get_range("k", 0, 32, 0, &opts).await
+        });
+        sim.run();
+        let err = h.try_take().unwrap().unwrap_err();
+        assert!(
+            matches!(&err, StorageError::RetriesExhausted { attempts: 4, last } if last.contains("timed out")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn put_timeouts_exhaust_like_get() {
+        let mut sim = Sim::new(10);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let bucket = S3Bucket::standard(&ctx, &meter);
+            let policy = RetryPolicy {
+                base_timeout: SimDuration::from_millis(1),
+                max_attempts: 4,
+                jitter: false,
+                ..RetryPolicy::default()
+            };
+            let client = RetryingClient::new(Storage::S3(bucket), ctx.clone(), policy);
+            client
+                .put("k", Blob::new(vec![0u8; 64]), &RequestOpts::default())
+                .await
+        });
+        sim.run();
+        let err = h.try_take().unwrap().unwrap_err();
+        assert!(
+            matches!(&err, StorageError::RetriesExhausted { attempts: 4, last } if last.contains("timed out")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn injected_storage_throttles_are_counted_by_plan_and_stats() {
+        let mut sim = Sim::new(11);
+        let plan = sim.install_faults(skyrise_sim::FaultConfig {
+            storage_throttle_prob: 1.0,
+            ..skyrise_sim::FaultConfig::default()
+        });
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let bucket = S3Bucket::standard(&ctx, &meter);
+            let opts = RequestOpts::default();
+            bucket
+                .put("k", Blob::new(vec![0u8; 64]), &opts)
+                .await
+                .unwrap();
+            let policy = RetryPolicy {
+                max_attempts: 3,
+                jitter: false,
+                ..RetryPolicy::default()
+            };
+            let client = RetryingClient::new(Storage::S3(bucket), ctx.clone(), policy);
+            client.get("k", 64, &opts).await
+        });
+        sim.run();
+        let err = h.try_take().unwrap().unwrap_err();
+        assert!(
+            matches!(&err, StorageError::RetriesExhausted { attempts: 3, last } if last.contains("throttled")),
+            "{err:?}"
+        );
+        // Every attempt was preempted by an injected throttle; the raw
+        // bucket `put` above bypasses the client and samples nothing.
+        assert_eq!(plan.stats().storage_throttles, 3);
     }
 
     #[test]

@@ -100,4 +100,9 @@ sweep! {
     ablation_binary_size,
     #[cfg_attr(debug_assertions, ignore)]
     extra_observations,
+    // Faulted configuration: the fault plan's injections must replay
+    // byte-identically — two same-seed runs of the fault-rate sweep
+    // (retries, speculation, crashes and all) compare digest-equal.
+    #[cfg_attr(debug_assertions, ignore)]
+    reliability,
 }

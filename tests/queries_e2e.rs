@@ -60,6 +60,7 @@ fn small_config(parallel: u32) -> QueryConfig {
         target_bytes_per_worker: 64 * 1024,
         max_parallelism: parallel,
         include_rows: true,
+        ..QueryConfig::default()
     }
 }
 
@@ -320,6 +321,7 @@ fn two_level_invocation_handles_wide_fanouts() {
                     target_bytes_per_worker: 1, // one partition per worker
                     max_parallelism: 400,
                     include_rows: true,
+                    ..QueryConfig::default()
                 },
             )
             .await
