@@ -1,0 +1,268 @@
+//! Wall-clock benchmark for the vectorised data-plane kernels.
+//!
+//! Times the normalized-key kernels (`bind::execute_chain`) against the
+//! row-at-a-time `ScalarKey` oracle (`operators::execute_ops`) on TPC-H
+//! batches, plus the end-to-end paper query suite inside the simulation
+//! with the legacy kernels toggled on and off. Emits `BENCH_engine.json`.
+//!
+//! ```text
+//! cargo run --release -p skyrise-bench --bin kernel_bench -- --smoke
+//! ```
+//!
+//! Flags: `--smoke` (small inputs, few iterations — the CI profile),
+//! `--out <path>` (default `BENCH_engine.json`).
+//!
+//! Unlike everything under `experiments/`, these numbers are *real* wall
+//! time of the library itself, so they vary run to run; each measurement
+//! is the best of N iterations to damp scheduler noise.
+
+use skyrise::data::{tpch, Batch};
+use skyrise::engine::bind::{execute_chain, set_legacy_kernels};
+use skyrise::engine::expr::{Expr, UdfRegistry};
+use skyrise::engine::operators::{execute_ops, partition_batch, partition_batch_scalar};
+use skyrise::engine::plan::{AggExpr, AggFunc, AggMode, Op};
+use skyrise::engine::queries;
+use skyrise::prelude::*;
+use skyrise_bench::datasets::load_paper_datasets;
+use skyrise_bench::in_sim;
+use std::hint::black_box;
+
+/// Best-of-N wall time in milliseconds.
+///
+/// Wall clock is deliberate here: this binary measures the library's real
+/// performance and never runs inside a simulation.
+#[allow(clippy::disallowed_methods)]
+fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Split one big batch into a stream of fixed-size batches, as the worker
+/// data plane sees them.
+fn stream_of(batch: &Batch, rows_per: usize) -> Vec<Batch> {
+    let n = batch.num_rows();
+    (0..n.div_ceil(rows_per))
+        .map(|i| batch.slice(i * rows_per, ((i + 1) * rows_per).min(n)))
+        .collect()
+}
+
+struct Kernel {
+    name: &'static str,
+    rows: usize,
+    legacy_ms: f64,
+    normalized_ms: f64,
+}
+
+impl Kernel {
+    fn speedup(&self) -> f64 {
+        self.legacy_ms / self.normalized_ms
+    }
+}
+
+/// Time one op chain under both executors.
+fn bench_ops(name: &'static str, iters: usize, ops: &[Op], inputs: &[Vec<Batch>]) -> Kernel {
+    let udfs = UdfRegistry::new();
+    let rows = inputs[0].iter().map(Batch::num_rows).sum();
+    let legacy_ms = time_ms(iters, || {
+        black_box(execute_ops(ops, inputs, &udfs).expect("legacy kernel"));
+    });
+    let normalized_ms = time_ms(iters, || {
+        black_box(execute_chain(ops, inputs, &udfs).expect("normalized kernel"));
+    });
+    Kernel {
+        name,
+        rows,
+        legacy_ms,
+        normalized_ms,
+    }
+}
+
+fn kernel_suite(sf: f64, iters: usize) -> Vec<Kernel> {
+    let tables = tpch::generate(sf, 7);
+    let lineitem = stream_of(&tables.lineitem, 8192);
+    let orders = stream_of(&tables.orders, 8192);
+    let mut out = Vec::new();
+
+    // Q1-shaped aggregate: two low-cardinality string keys.
+    out.push(bench_ops(
+        "hash_aggregate_string_keys",
+        iters,
+        &[Op::HashAggregate {
+            group_by: vec!["l_returnflag".into(), "l_linestatus".into()],
+            aggregates: vec![
+                AggExpr::new(AggFunc::Sum, Expr::col("l_quantity"), "sum_qty"),
+                AggExpr::new(AggFunc::Sum, Expr::col("l_extendedprice"), "sum_price"),
+                AggExpr::new(AggFunc::Avg, Expr::col("l_discount"), "avg_disc"),
+                AggExpr::new(AggFunc::Count, Expr::lit_i64(1), "count_order"),
+            ],
+            mode: AggMode::Single,
+        }],
+        &[lineitem.clone()],
+    ));
+
+    // High-cardinality int key.
+    out.push(bench_ops(
+        "hash_aggregate_int_key",
+        iters,
+        &[Op::HashAggregate {
+            group_by: vec!["l_orderkey".into()],
+            aggregates: vec![
+                AggExpr::new(AggFunc::Sum, Expr::col("l_extendedprice"), "sum_price"),
+                AggExpr::new(AggFunc::Count, Expr::lit_i64(1), "cnt"),
+            ],
+            mode: AggMode::Single,
+        }],
+        &[lineitem.clone()],
+    ));
+
+    out.push(bench_ops(
+        "hash_join_orderkey",
+        iters,
+        &[Op::HashJoin {
+            build_input: 1,
+            build_key: "o_orderkey".into(),
+            probe_key: "l_orderkey".into(),
+            build_columns: vec!["o_totalprice".into()],
+        }],
+        &[lineitem.clone(), orders],
+    ));
+
+    out.push(bench_ops(
+        "sort_multi_key",
+        iters,
+        &[Op::Sort {
+            by: vec![
+                ("l_returnflag".into(), true),
+                ("l_shipdate".into(), false),
+                ("l_orderkey".into(), true),
+            ],
+        }],
+        &[lineitem],
+    ));
+
+    // Shuffle partitioner, string + int keys, 32 buckets.
+    let keys = ["l_returnflag".to_string(), "l_orderkey".to_string()];
+    let batch = &tables.lineitem;
+    let legacy_ms = time_ms(iters, || {
+        black_box(partition_batch_scalar(batch, &keys, 32).expect("scalar partition"));
+    });
+    let normalized_ms = time_ms(iters, || {
+        black_box(partition_batch(batch, &keys, 32).expect("vectorised partition"));
+    });
+    out.push(Kernel {
+        name: "partition_32_buckets",
+        rows: batch.num_rows(),
+        legacy_ms,
+        normalized_ms,
+    });
+    out
+}
+
+/// Wall time of the full paper query suite inside one simulation, with the
+/// data plane on either the legacy or the normalized-key kernels.
+///
+/// Wall clock by design: the virtual-time result is identical for both
+/// arms (same plans, same seed) — the *host* time differs.
+#[allow(clippy::disallowed_methods)]
+fn suite_wall_ms(legacy: bool, payload_sf: f64, fraction: f64, seed: u64) -> f64 {
+    set_legacy_kernels(legacy);
+    let t0 = std::time::Instant::now();
+    let rows = in_sim(seed, move |ctx| {
+        Box::pin(async move {
+            let meter = shared_meter();
+            let storage = Storage::S3(S3Bucket::standard(&ctx, &meter));
+            load_paper_datasets(&storage, payload_sf, fraction).expect("load datasets");
+            let lambda = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
+            let engine = Skyrise::deploy_simple(&ctx, ComputePlatform::Faas(lambda), storage);
+            let mut rows = 0usize;
+            for plan in queries::suite() {
+                let resp = engine.run_default(&plan).await.expect("suite query");
+                rows += resp.rows.map(|r| r.len()).unwrap_or(0);
+            }
+            rows
+        })
+    });
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    set_legacy_kernels(false);
+    assert!(rows > 0, "suite produced no rows");
+    ms
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_engine.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other} (expected --smoke / --out <path>)"),
+        }
+    }
+    let (sf, iters, payload_sf, fraction, e2e_iters) = if smoke {
+        (0.02, 3, 0.01, 0.02, 1)
+    } else {
+        (0.2, 7, 0.02, 0.1, 2)
+    };
+
+    println!(
+        "kernel_bench: sf={sf} iters={iters} mode={}",
+        if smoke { "smoke" } else { "full" }
+    );
+    let kernels = kernel_suite(sf, iters);
+    for k in &kernels {
+        println!(
+            "  {:28} {:>9} rows  legacy {:>9.3} ms  normalized {:>9.3} ms  {:>5.2}x",
+            k.name,
+            k.rows,
+            k.legacy_ms,
+            k.normalized_ms,
+            k.speedup()
+        );
+    }
+
+    // Interleave arms so thermal / frequency drift hits both equally.
+    let mut legacy_ms = f64::INFINITY;
+    let mut normalized_ms = f64::INFINITY;
+    for i in 0..e2e_iters {
+        legacy_ms = legacy_ms.min(suite_wall_ms(true, payload_sf, fraction, 0xBE ^ i));
+        normalized_ms = normalized_ms.min(suite_wall_ms(false, payload_sf, fraction, 0xBE ^ i));
+    }
+    let e2e_speedup = legacy_ms / normalized_ms;
+    println!(
+        "  end-to-end suite: legacy {legacy_ms:.1} ms  normalized {normalized_ms:.1} ms  {e2e_speedup:.2}x"
+    );
+
+    let json = serde_json::json!({
+        "generated_by": "kernel_bench",
+        "mode": if smoke { "smoke" } else { "full" },
+        "status": "measured",
+        "kernels": kernels.iter().map(|k| serde_json::json!({
+            "name": k.name,
+            "rows": k.rows,
+            "iters": iters,
+            "legacy_ms": k.legacy_ms,
+            "normalized_ms": k.normalized_ms,
+            "speedup": k.speedup(),
+        })).collect::<Vec<_>>(),
+        "end_to_end": {
+            "suite": ["q1", "q6", "q12", "bb_q3"],
+            "payload_sf": payload_sf,
+            "fraction": fraction,
+            "legacy_ms": legacy_ms,
+            "normalized_ms": normalized_ms,
+            "speedup": e2e_speedup,
+        },
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&json).unwrap() + "\n",
+    )
+    .expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

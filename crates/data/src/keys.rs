@@ -1,0 +1,348 @@
+//! Normalized fixed-width keys for the vectorised data plane.
+//!
+//! Grouping, joining, sorting, and shuffle partitioning all reduce to
+//! comparing composite keys drawn from a batch's columns. The engine's
+//! original path materialised one `Vec<ScalarKey>` — heap vector plus
+//! cloned values, including full `String` clones — per row per key
+//! column. A [`KeyBuffer`] instead encodes the key columns
+//! column-at-a-time into one contiguous `u64` buffer:
+//!
+//! * `Int64` (and `Date`) → `(x as u64) ^ (1 << 63)`: flipping the sign
+//!   bit makes unsigned order equal signed order.
+//! * `Bool` → `0` / `1`.
+//! * `Float64` → [`total_order_bits`]: unsigned order equals
+//!   `f64::total_cmp` order (exact-bits equality, NaN included).
+//! * `Utf8` → the value's rank in a sorted, deduplicated dictionary
+//!   built over *all* rows handed to [`KeyBuffer::encode`] (one blocking
+//!   operator invocation). Rank order is string order by construction.
+//!
+//! Within each column the `u64` order therefore equals the order of the
+//! engine's legacy `ScalarKey` wrappers, and comparing rows word-by-word
+//! equals comparing `Vec<ScalarKey>` lexicographically — so kernels
+//! rebuilt on `KeyBuffer` produce byte-identical grouped/sorted output.
+//! (Columns are homogeneously typed, so `ScalarKey`'s cross-variant enum
+//! order never arises.)
+//!
+//! Dictionary ranks are only meaningful relative to the buffer that
+//! built them: encodings from different `KeyBuffer`s must never be
+//! compared. Cross-fragment agreement (shuffle partitioning) hashes raw
+//! value bytes instead — see the engine's `partition_batch`.
+
+use crate::columnar::{Batch, Column, Value};
+
+/// Map an `f64` to bits whose unsigned order equals `total_cmp` order.
+#[inline]
+pub fn total_order_bits(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+/// Inverse of [`total_order_bits`].
+#[inline]
+pub fn bits_to_f64(key: u64) -> f64 {
+    if key >> 63 == 1 {
+        f64::from_bits(key & !(1 << 63))
+    } else {
+        f64::from_bits(!key)
+    }
+}
+
+const SIGN_FLIP: u64 = 1 << 63;
+
+/// Per-key-column decode metadata.
+#[derive(Debug, Clone)]
+enum KeyEncoding {
+    /// Sign-flipped two's complement (covers `Date`, stored as `Int64`).
+    Int64,
+    /// Total-order float bits.
+    Float64,
+    /// 0 / 1.
+    Bool,
+    /// Rank into a sorted distinct dictionary.
+    Utf8(Vec<String>),
+}
+
+/// A contiguous, row-major buffer of normalized fixed-width keys: one
+/// `u64` word per key column per row. See the module docs for the
+/// encoding and its order-preservation contract.
+#[derive(Debug, Clone)]
+pub struct KeyBuffer {
+    width: usize,
+    rows: usize,
+    words: Vec<u64>,
+    encodings: Vec<KeyEncoding>,
+}
+
+impl KeyBuffer {
+    /// Encode the given column indices of a run of batches (one blocking
+    /// operator's input, concatenated row-major). String dictionaries
+    /// span all batches so ranks are comparable across the whole run.
+    ///
+    /// Panics if a column index is out of range or batches disagree on a
+    /// key column's type — callers resolve and type-check names first.
+    pub fn encode(batches: &[&Batch], columns: &[usize]) -> KeyBuffer {
+        let rows: usize = batches.iter().map(|b| b.num_rows()).sum();
+        let width = columns.len();
+        let mut words = vec![0u64; rows * width];
+        let mut encodings = Vec::with_capacity(width);
+        for (ci, &col) in columns.iter().enumerate() {
+            let enc = encode_column(batches, col, ci, width, &mut words);
+            encodings.push(enc);
+        }
+        KeyBuffer {
+            width,
+            rows,
+            words,
+            encodings,
+        }
+    }
+
+    /// Number of encoded rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of key columns (words per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The normalized word of key column `c` in row `r`.
+    #[inline]
+    pub fn word(&self, r: usize, c: usize) -> u64 {
+        self.words[r * self.width + c]
+    }
+
+    /// The full normalized key of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.words[r * self.width..(r + 1) * self.width]
+    }
+
+    /// Row indices sorted by normalized key (ties keep row order, so the
+    /// permutation is stable). Equal slices group equal composite keys.
+    pub fn sort_indices(&self) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.rows as u32).collect();
+        idx.sort_by(|&a, &b| self.row(a as usize).cmp(self.row(b as usize)));
+        idx
+    }
+
+    /// Decode key column `c` of row `r` back to a [`Value`].
+    pub fn value(&self, r: usize, c: usize) -> Value {
+        let w = self.word(r, c);
+        match &self.encodings[c] {
+            KeyEncoding::Int64 => Value::Int64((w ^ SIGN_FLIP) as i64),
+            KeyEncoding::Float64 => Value::Float64(bits_to_f64(w)),
+            KeyEncoding::Bool => Value::Bool(w != 0),
+            KeyEncoding::Utf8(dict) => Value::Utf8(dict[w as usize].clone()),
+        }
+    }
+
+    /// Encode a probe column against key column `c`'s encoding (join
+    /// probes reuse the build side's dictionary). `None` marks a row
+    /// that cannot match any build key: a string absent from the build
+    /// dictionary, or a probe column whose type differs from the build
+    /// key's (the legacy `ScalarKey` path treats cross-type keys as
+    /// never equal).
+    pub fn encode_probe(&self, c: usize, col: &Column) -> Vec<Option<u64>> {
+        match (&self.encodings[c], col) {
+            (KeyEncoding::Int64, Column::Int64(v)) => {
+                v.iter().map(|&x| Some(x as u64 ^ SIGN_FLIP)).collect()
+            }
+            (KeyEncoding::Float64, Column::Float64(v)) => {
+                v.iter().map(|&x| Some(total_order_bits(x))).collect()
+            }
+            (KeyEncoding::Bool, Column::Bool(v)) => v.iter().map(|&b| Some(b as u64)).collect(),
+            (KeyEncoding::Utf8(dict), Column::Utf8(v)) => v
+                .iter()
+                .map(|s| dict.binary_search(s).ok().map(|r| r as u64))
+                .collect(),
+            _ => vec![None; col.len()],
+        }
+    }
+}
+
+/// Encode one key column across all batches into the interleaved word
+/// buffer, returning its decode metadata.
+fn encode_column(
+    batches: &[&Batch],
+    col: usize,
+    ci: usize,
+    width: usize,
+    words: &mut [u64],
+) -> KeyEncoding {
+    let mut base = 0usize;
+    match batches.first().map(|b| &b.columns[col]) {
+        None | Some(Column::Int64(_)) => {
+            for b in batches {
+                let Column::Int64(v) = &b.columns[col] else {
+                    panic!("key column {col} changed type across batches");
+                };
+                for (r, &x) in v.iter().enumerate() {
+                    words[(base + r) * width + ci] = x as u64 ^ SIGN_FLIP;
+                }
+                base += v.len();
+            }
+            KeyEncoding::Int64
+        }
+        Some(Column::Float64(_)) => {
+            for b in batches {
+                let Column::Float64(v) = &b.columns[col] else {
+                    panic!("key column {col} changed type across batches");
+                };
+                for (r, &x) in v.iter().enumerate() {
+                    words[(base + r) * width + ci] = total_order_bits(x);
+                }
+                base += v.len();
+            }
+            KeyEncoding::Float64
+        }
+        Some(Column::Bool(_)) => {
+            for b in batches {
+                let Column::Bool(v) = &b.columns[col] else {
+                    panic!("key column {col} changed type across batches");
+                };
+                for (r, &x) in v.iter().enumerate() {
+                    words[(base + r) * width + ci] = x as u64;
+                }
+                base += v.len();
+            }
+            KeyEncoding::Bool
+        }
+        Some(Column::Utf8(_)) => {
+            // Sorted distinct dictionary over the whole run; rank order
+            // is string order, so ranks compare like the strings.
+            let mut refs: Vec<&str> = Vec::new();
+            for b in batches {
+                let Column::Utf8(v) = &b.columns[col] else {
+                    panic!("key column {col} changed type across batches");
+                };
+                refs.extend(v.iter().map(String::as_str));
+            }
+            let mut dict: Vec<&str> = refs.clone();
+            dict.sort_unstable();
+            dict.dedup();
+            for (r, s) in refs.iter().enumerate() {
+                let rank = dict.binary_search(s).expect("dictionary covers all rows");
+                words[(base + r) * width + ci] = rank as u64;
+            }
+            KeyEncoding::Utf8(dict.into_iter().map(str::to_string).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnar::{Field, Schema};
+
+    fn batch(cols: Vec<(&str, Column)>) -> Batch {
+        let fields = cols
+            .iter()
+            .map(|(n, c)| Field::new(n, c.data_type()))
+            .collect();
+        Batch::new(
+            Schema::new(fields),
+            cols.into_iter().map(|(_, c)| c).collect(),
+        )
+    }
+
+    #[test]
+    fn float_bits_round_trip_and_order() {
+        let xs = [
+            f64::NEG_INFINITY,
+            -1.25e300,
+            -0.1,
+            -0.0,
+            0.0,
+            3.5,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for &x in &xs {
+            assert_eq!(x.to_bits(), bits_to_f64(total_order_bits(x)).to_bits());
+        }
+        let mut bits: Vec<u64> = xs.iter().map(|&x| total_order_bits(x)).collect();
+        let sorted = {
+            let mut b = bits.clone();
+            b.sort_unstable();
+            b
+        };
+        bits.sort_by(|a, b| bits_to_f64(*a).total_cmp(&bits_to_f64(*b)));
+        assert_eq!(bits, sorted);
+    }
+
+    #[test]
+    fn int_keys_order_and_decode() {
+        let b = batch(vec![(
+            "k",
+            Column::Int64(vec![3, -7, i64::MIN, i64::MAX, 0]),
+        )]);
+        let kb = KeyBuffer::encode(&[&b], &[0]);
+        let order = kb.sort_indices();
+        let sorted: Vec<i64> = order
+            .iter()
+            .map(|&r| match kb.value(r as usize, 0) {
+                Value::Int64(x) => x,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(sorted, vec![i64::MIN, -7, 0, 3, i64::MAX]);
+    }
+
+    #[test]
+    fn string_dictionary_spans_batches() {
+        let b1 = batch(vec![(
+            "s",
+            Column::Utf8(vec!["pear".into(), "apple".into()]),
+        )]);
+        let b2 = batch(vec![(
+            "s",
+            Column::Utf8(vec!["mango".into(), "apple".into()]),
+        )]);
+        let kb = KeyBuffer::encode(&[&b1, &b2], &[0]);
+        assert_eq!(kb.rows(), 4);
+        // Ranks: apple=0, mango=1, pear=2 — consistent across batches.
+        assert_eq!(kb.word(0, 0), 2);
+        assert_eq!(kb.word(1, 0), 0);
+        assert_eq!(kb.word(2, 0), 1);
+        assert_eq!(kb.word(3, 0), 0);
+        assert_eq!(kb.value(2, 0), Value::Utf8("mango".into()));
+    }
+
+    #[test]
+    fn composite_sort_is_stable_lexicographic() {
+        let b = batch(vec![
+            (
+                "s",
+                Column::Utf8(vec!["b".into(), "a".into(), "b".into(), "a".into()]),
+            ),
+            ("k", Column::Int64(vec![1, 2, 1, 2])),
+        ]);
+        let kb = KeyBuffer::encode(&[&b], &[0, 1]);
+        // Equal composite keys keep row order: (a,2) rows 1,3 then (b,1) rows 0,2.
+        assert_eq!(kb.sort_indices(), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn probe_encoding_misses_and_type_mismatches() {
+        let build = batch(vec![("s", Column::Utf8(vec!["x".into(), "z".into()]))]);
+        let kb = KeyBuffer::encode(&[&build], &[0]);
+        let probe = Column::Utf8(vec!["z".into(), "y".into(), "x".into()]);
+        assert_eq!(kb.encode_probe(0, &probe), vec![Some(1), None, Some(0)]);
+        // Cross-type probes never match (legacy ScalarKey semantics).
+        let ints = Column::Int64(vec![0, 1]);
+        assert_eq!(kb.encode_probe(0, &ints), vec![None, None]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let kb = KeyBuffer::encode(&[], &[0, 1]);
+        assert_eq!(kb.rows(), 0);
+        assert!(kb.sort_indices().is_empty());
+    }
+}

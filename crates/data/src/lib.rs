@@ -2,6 +2,8 @@
 //!
 //! * [`columnar`] — schemas, typed columns, vectorised [`Batch`]es, civil
 //!   dates.
+//! * [`keys`] — normalized fixed-width composite keys ([`KeyBuffer`])
+//!   backing the engine's grouping/join/sort kernels.
 //! * [`spf`] — the Parquet-like columnar file format with row groups,
 //!   zone maps, and range-read-friendly footers.
 //! * [`tpch`] / [`tpcxbb`] — deterministic generators for the tables the
@@ -10,8 +12,10 @@
 #![warn(missing_docs)]
 
 pub mod columnar;
+pub mod keys;
 pub mod spf;
 pub mod tpch;
 pub mod tpcxbb;
 
 pub use columnar::{date, Batch, Column, DataType, Field, Schema, Value};
+pub use keys::{bits_to_f64, total_order_bits, KeyBuffer};

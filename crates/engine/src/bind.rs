@@ -1,0 +1,1112 @@
+//! One-time operator binding and the normalized-key executor.
+//!
+//! The legacy chain in [`crate::operators`] re-resolves every column name
+//! via `Schema::index_of` linear search on every batch and funnels all
+//! key processing through per-row `Vec<ScalarKey>` allocations. This
+//! module runs the same operator chain two layers faster:
+//!
+//! 1. **Binding pass** — [`bind`-time] resolution of every `Op`/`Expr`
+//!    column name to a column index against the pipeline's input
+//!    schemas, done once per `WorkerTask`. Schema propagation needs only
+//!    field *names* (projections rename, joins append build columns,
+//!    aggregates emit group + aggregate columns), so binding never
+//!    evaluates anything.
+//! 2. **Normalized-key kernels** — grouping, joining, and sorting run on
+//!    [`skyrise_data::KeyBuffer`]'s contiguous fixed-width encoding
+//!    (order-equal to the legacy `ScalarKey` order), and `Filter` tracks
+//!    a selection vector instead of materialising a new batch per
+//!    predicate; consumers gather once.
+//!
+//! Every kernel reproduces the legacy path bit-for-bit: group output
+//! order equals the old `BTreeMap<Vec<ScalarKey>, _>` iteration order,
+//! per-group float accumulation order equals the old stream-row order,
+//! and join match lists keep build-row order. The legacy path stays
+//! available as the property-test oracle and as a benchmark baseline via
+//! [`set_legacy_kernels`].
+
+use crate::error::EngineError;
+use crate::expr::{self, ArithOp, CmpOp, Expr, ExprError, NamedExpr, ScalarUdf, UdfRegistry};
+use crate::operators::{self, column_from_values, AggState, OpChainStats};
+use crate::plan::{AggExpr, AggFunc, AggMode, Op};
+use skyrise_data::{Batch, Column, Field, KeyBuffer, Schema, Value};
+use std::cell::Cell;
+
+thread_local! {
+    static FORCE_LEGACY: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Force [`execute_chain`] through the legacy `ScalarKey` operators
+/// (used by `kernel_bench` to time the pre-optimisation baseline).
+pub fn set_legacy_kernels(on: bool) {
+    FORCE_LEGACY.with(|f| f.set(on));
+}
+
+/// Whether the legacy kernels are currently forced.
+pub fn legacy_kernels() -> bool {
+    FORCE_LEGACY.with(|f| f.get())
+}
+
+// ---------------------------------------------------------------------------
+// bound expressions
+// ---------------------------------------------------------------------------
+
+/// An expression with column references resolved to indices and UDFs
+/// resolved to their registry entries.
+enum BoundExpr {
+    Col(usize),
+    Lit(Value),
+    Cmp {
+        op: CmpOp,
+        left: Box<BoundExpr>,
+        right: Box<BoundExpr>,
+    },
+    And(Vec<BoundExpr>),
+    Or(Vec<BoundExpr>),
+    Not(Box<BoundExpr>),
+    Arith {
+        op: ArithOp,
+        left: Box<BoundExpr>,
+        right: Box<BoundExpr>,
+    },
+    InList {
+        expr: Box<BoundExpr>,
+        list: Vec<Value>,
+    },
+    Case {
+        when: Box<BoundExpr>,
+        then: Box<BoundExpr>,
+        otherwise: Box<BoundExpr>,
+    },
+    Udf {
+        udf: ScalarUdf,
+        args: Vec<BoundExpr>,
+    },
+}
+
+fn bind_expr(e: &Expr, names: &[String], udfs: &UdfRegistry) -> Result<BoundExpr, EngineError> {
+    Ok(match e {
+        Expr::Col(name) => BoundExpr::Col(
+            names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| EngineError::Expr(ExprError::UnknownColumn(name.clone())))?,
+        ),
+        Expr::Lit(v) => BoundExpr::Lit(v.clone()),
+        Expr::Cmp { op, left, right } => BoundExpr::Cmp {
+            op: *op,
+            left: Box::new(bind_expr(left, names, udfs)?),
+            right: Box::new(bind_expr(right, names, udfs)?),
+        },
+        Expr::And(parts) => BoundExpr::And(
+            parts
+                .iter()
+                .map(|p| bind_expr(p, names, udfs))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Or(parts) => BoundExpr::Or(
+            parts
+                .iter()
+                .map(|p| bind_expr(p, names, udfs))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Not(inner) => BoundExpr::Not(Box::new(bind_expr(inner, names, udfs)?)),
+        Expr::Arith { op, left, right } => BoundExpr::Arith {
+            op: *op,
+            left: Box::new(bind_expr(left, names, udfs)?),
+            right: Box::new(bind_expr(right, names, udfs)?),
+        },
+        Expr::InList { expr, list } => BoundExpr::InList {
+            expr: Box::new(bind_expr(expr, names, udfs)?),
+            list: list.clone(),
+        },
+        Expr::Case {
+            when,
+            then,
+            otherwise,
+        } => BoundExpr::Case {
+            when: Box::new(bind_expr(when, names, udfs)?),
+            then: Box::new(bind_expr(then, names, udfs)?),
+            otherwise: Box::new(bind_expr(otherwise, names, udfs)?),
+        },
+        Expr::Udf { name, args } => BoundExpr::Udf {
+            udf: udfs
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EngineError::Expr(ExprError::UnknownUdf(name.clone())))?,
+            args: args
+                .iter()
+                .map(|a| bind_expr(a, names, udfs))
+                .collect::<Result<_, _>>()?,
+        },
+    })
+}
+
+/// Evaluate a bound expression over a batch. Mirrors
+/// [`crate::expr::evaluate`] minus the per-batch name resolution.
+fn evaluate_bound(e: &BoundExpr, batch: &Batch) -> Result<Column, ExprError> {
+    let n = batch.num_rows();
+    match e {
+        BoundExpr::Col(i) => Ok(batch.columns[*i].clone()),
+        BoundExpr::Lit(v) => Ok(expr::broadcast(v, n)),
+        BoundExpr::Cmp { op, left, right } => {
+            let l = evaluate_bound(left, batch)?;
+            let r = evaluate_bound(right, batch)?;
+            expr::compare(*op, &l, &r)
+        }
+        BoundExpr::And(parts) => {
+            let mut acc = vec![true; n];
+            for p in parts {
+                let c = evaluate_bound(p, batch)?;
+                let b = expr::expect_bool(&c)?;
+                for (a, &x) in acc.iter_mut().zip(b) {
+                    *a &= x;
+                }
+            }
+            Ok(Column::Bool(acc))
+        }
+        BoundExpr::Or(parts) => {
+            let mut acc = vec![false; n];
+            for p in parts {
+                let c = evaluate_bound(p, batch)?;
+                let b = expr::expect_bool(&c)?;
+                for (a, &x) in acc.iter_mut().zip(b) {
+                    *a |= x;
+                }
+            }
+            Ok(Column::Bool(acc))
+        }
+        BoundExpr::Not(inner) => {
+            let c = evaluate_bound(inner, batch)?;
+            let b = expr::expect_bool(&c)?;
+            Ok(Column::Bool(b.iter().map(|&x| !x).collect()))
+        }
+        BoundExpr::Arith { op, left, right } => {
+            let l = evaluate_bound(left, batch)?;
+            let r = evaluate_bound(right, batch)?;
+            expr::arithmetic(*op, &l, &r)
+        }
+        BoundExpr::InList { expr: inner, list } => {
+            let c = evaluate_bound(inner, batch)?;
+            let mut out = Vec::with_capacity(n);
+            match &c {
+                Column::Utf8(v) => {
+                    let set: Vec<&str> = list
+                        .iter()
+                        .filter_map(|v| match v {
+                            Value::Utf8(s) => Some(s.as_str()),
+                            _ => None,
+                        })
+                        .collect();
+                    for s in v {
+                        out.push(set.contains(&s.as_str()));
+                    }
+                }
+                Column::Int64(v) => {
+                    let set: Vec<i64> = list
+                        .iter()
+                        .filter_map(|v| match v {
+                            Value::Int64(i) => Some(*i),
+                            _ => None,
+                        })
+                        .collect();
+                    for x in v {
+                        out.push(set.contains(x));
+                    }
+                }
+                _ => return Err(ExprError::TypeMismatch("IN on unsupported type")),
+            }
+            Ok(Column::Bool(out))
+        }
+        BoundExpr::Case {
+            when,
+            then,
+            otherwise,
+        } => {
+            let cond_col = evaluate_bound(when, batch)?;
+            let cond = expr::expect_bool(&cond_col)?;
+            let t = evaluate_bound(then, batch)?;
+            let o = evaluate_bound(otherwise, batch)?;
+            expr::select(cond, &t, &o)
+        }
+        BoundExpr::Udf { udf, args } => {
+            let cols: Vec<Column> = args
+                .iter()
+                .map(|a| evaluate_bound(a, batch))
+                .collect::<Result<_, _>>()?;
+            let mut row = Vec::with_capacity(cols.len());
+            let mut out: Option<Column> = None;
+            for i in 0..n {
+                row.clear();
+                for c in &cols {
+                    row.push(c.value(i));
+                }
+                let v = udf(&row);
+                match (&mut out, &v) {
+                    (None, Value::Int64(_)) => out = Some(Column::Int64(Vec::with_capacity(n))),
+                    (None, Value::Float64(_)) => out = Some(Column::Float64(Vec::with_capacity(n))),
+                    (None, Value::Utf8(_)) => out = Some(Column::Utf8(Vec::with_capacity(n))),
+                    (None, Value::Bool(_)) => out = Some(Column::Bool(Vec::with_capacity(n))),
+                    _ => {}
+                }
+                match (out.as_mut().expect("initialised"), v) {
+                    (Column::Int64(vs), Value::Int64(x)) => vs.push(x),
+                    (Column::Float64(vs), Value::Float64(x)) => vs.push(x),
+                    (Column::Utf8(vs), Value::Utf8(x)) => vs.push(x),
+                    (Column::Bool(vs), Value::Bool(x)) => vs.push(x),
+                    _ => return Err(ExprError::TypeMismatch("UDF changed its return type")),
+                }
+            }
+            Ok(out.unwrap_or(Column::Int64(Vec::new())))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bound operators
+// ---------------------------------------------------------------------------
+
+enum BoundAggKind {
+    /// Partial/Single: evaluate the argument per batch (`None` = Count,
+    /// which ignores its argument — the legacy path never binds it).
+    Eval(Option<BoundExpr>),
+    /// Final: merge partial-state columns located by index.
+    Merge {
+        primary: usize,
+        secondary: Option<usize>,
+    },
+}
+
+struct BoundAgg {
+    func: AggFunc,
+    name: String,
+    kind: BoundAggKind,
+}
+
+/// Column indices of the Q3 click stream used by sessionisation.
+struct SessionCols {
+    users: usize,
+    dates: usize,
+    times: usize,
+    items: usize,
+    sales: usize,
+}
+
+enum BoundOp {
+    Filter(BoundExpr),
+    Project(Vec<(String, BoundExpr)>),
+    HashAggregate {
+        group_idx: Vec<usize>,
+        group_names: Vec<String>,
+        aggs: Vec<BoundAgg>,
+        mode: AggMode,
+    },
+    HashJoin {
+        build_input: usize,
+        build_key: usize,
+        probe_key: usize,
+        build_cols: Vec<usize>,
+    },
+    Sort {
+        by: Vec<(usize, bool)>,
+    },
+    Limit(usize),
+    SessionizeQ3 {
+        category_input: usize,
+        category_col: usize,
+        cols: SessionCols,
+        window: usize,
+    },
+    Barrier,
+}
+
+fn idx_of(names: &[String], name: &str, what: &str) -> Result<usize, EngineError> {
+    names
+        .iter()
+        .position(|n| n == name)
+        .ok_or_else(|| EngineError::Plan(format!("unknown {what} column {name}")))
+}
+
+/// Resolve every column reference of an operator chain against the
+/// pipeline's input schemas (names only) — once per task, not per batch.
+fn bind_ops(
+    ops: &[Op],
+    input_names: &[Vec<String>],
+    udfs: &UdfRegistry,
+) -> Result<Vec<BoundOp>, EngineError> {
+    let mut cur: Vec<String> = input_names
+        .first()
+        .cloned()
+        .ok_or_else(|| EngineError::Plan("pipeline has no inputs".into()))?;
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        let bound = match op {
+            Op::Filter { predicate } => BoundOp::Filter(bind_expr(predicate, &cur, udfs)?),
+            Op::Project { exprs } => {
+                let bound: Vec<(String, BoundExpr)> = exprs
+                    .iter()
+                    .map(|ne: &NamedExpr| Ok((ne.name.clone(), bind_expr(&ne.expr, &cur, udfs)?)))
+                    .collect::<Result<_, EngineError>>()?;
+                cur = bound.iter().map(|(n, _)| n.clone()).collect();
+                BoundOp::Project(bound)
+            }
+            Op::HashAggregate {
+                group_by,
+                aggregates,
+                mode,
+            } => {
+                let group_idx: Vec<usize> = group_by
+                    .iter()
+                    .map(|g| idx_of(&cur, g, "key"))
+                    .collect::<Result<_, _>>()?;
+                let aggs: Vec<BoundAgg> = aggregates
+                    .iter()
+                    .map(|a: &AggExpr| {
+                        let kind = match mode {
+                            AggMode::Partial | AggMode::Single => match a.func {
+                                AggFunc::Count => BoundAggKind::Eval(None),
+                                _ => BoundAggKind::Eval(Some(bind_expr(&a.expr, &cur, udfs)?)),
+                            },
+                            AggMode::Final => {
+                                let names = operators::partial_columns(a);
+                                let missing = |n: &str| {
+                                    EngineError::Plan(format!("missing partial column {n}"))
+                                };
+                                let primary = cur
+                                    .iter()
+                                    .position(|n| n == &names[0])
+                                    .ok_or_else(|| missing(&names[0]))?;
+                                let secondary = names
+                                    .get(1)
+                                    .map(|n| {
+                                        cur.iter().position(|c| c == n).ok_or_else(|| missing(n))
+                                    })
+                                    .transpose()?;
+                                BoundAggKind::Merge { primary, secondary }
+                            }
+                        };
+                        Ok(BoundAgg {
+                            func: a.func,
+                            name: a.name.clone(),
+                            kind,
+                        })
+                    })
+                    .collect::<Result<_, EngineError>>()?;
+                let group_names = group_by.clone();
+                cur = group_names.clone();
+                for a in aggregates {
+                    if matches!(mode, AggMode::Partial) {
+                        cur.extend(operators::partial_columns(a));
+                    } else {
+                        cur.push(a.name.clone());
+                    }
+                }
+                BoundOp::HashAggregate {
+                    group_idx,
+                    group_names,
+                    aggs,
+                    mode: *mode,
+                }
+            }
+            Op::HashJoin {
+                build_input,
+                build_key,
+                probe_key,
+                build_columns,
+            } => {
+                let build_names = input_names
+                    .get(*build_input)
+                    .ok_or_else(|| EngineError::Plan(format!("no build input {build_input}")))?;
+                let bound = BoundOp::HashJoin {
+                    build_input: *build_input,
+                    build_key: idx_of(build_names, build_key, "key")?,
+                    probe_key: idx_of(&cur, probe_key, "key")?,
+                    build_cols: build_columns
+                        .iter()
+                        .map(|c| idx_of(build_names, c, "build"))
+                        .collect::<Result<_, _>>()?,
+                };
+                cur.extend(build_columns.iter().cloned());
+                bound
+            }
+            Op::Sort { by } => BoundOp::Sort {
+                by: by
+                    .iter()
+                    .map(|(name, asc)| Ok((idx_of(&cur, name, "sort")?, *asc)))
+                    .collect::<Result<_, EngineError>>()?,
+            },
+            Op::Limit { n } => BoundOp::Limit(*n as usize),
+            Op::SessionizeQ3 {
+                category_input,
+                window,
+            } => {
+                let item_names = input_names
+                    .get(*category_input)
+                    .ok_or_else(|| EngineError::Plan(format!("no input {category_input}")))?;
+                let bound = BoundOp::SessionizeQ3 {
+                    category_input: *category_input,
+                    category_col: idx_of(item_names, "i_item_sk", "key")?,
+                    cols: SessionCols {
+                        users: idx_of(&cur, "wcs_user_sk", "key")?,
+                        dates: idx_of(&cur, "wcs_click_date_sk", "key")?,
+                        times: idx_of(&cur, "wcs_click_time_sk", "key")?,
+                        items: idx_of(&cur, "wcs_item_sk", "key")?,
+                        sales: idx_of(&cur, "wcs_sales_sk", "key")?,
+                    },
+                    window: *window,
+                };
+                cur = vec!["item_sk".to_string(), "views".to_string()];
+                bound
+            }
+            Op::Barrier { .. } => BoundOp::Barrier,
+        };
+        out.push(bound);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// selection-vector stream
+// ---------------------------------------------------------------------------
+
+/// A batch plus an optional selection vector: `sel` lists the live row
+/// indices (in order). Filters refine `sel` without copying columns; the
+/// next materialising consumer gathers once.
+struct SelBatch {
+    batch: Batch,
+    sel: Option<Vec<usize>>,
+}
+
+impl SelBatch {
+    fn wrap(batch: Batch) -> SelBatch {
+        SelBatch { batch, sel: None }
+    }
+
+    fn rows(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.batch.num_rows(),
+        }
+    }
+
+    fn materialise(self) -> Batch {
+        match self.sel {
+            Some(s) => self.batch.take(&s),
+            None => self.batch,
+        }
+    }
+}
+
+fn materialise_all(stream: Vec<SelBatch>) -> Vec<Batch> {
+    stream.into_iter().map(SelBatch::materialise).collect()
+}
+
+// ---------------------------------------------------------------------------
+// the bound executor
+// ---------------------------------------------------------------------------
+
+/// Run an operator chain over materialised inputs via the binding pass
+/// and the normalized-key kernels. Produces bit-identical output to
+/// [`crate::operators::execute_ops`], which remains the oracle; falls
+/// back to it when the legacy mode is forced ([`set_legacy_kernels`]) or
+/// when an input stream carries no batches (no schema to bind against).
+pub fn execute_chain(
+    ops: &[Op],
+    inputs: &[Vec<Batch>],
+    udfs: &UdfRegistry,
+) -> Result<(Vec<Batch>, OpChainStats), EngineError> {
+    if legacy_kernels() || inputs.is_empty() || inputs.iter().any(Vec::is_empty) {
+        return operators::execute_ops(ops, inputs, udfs);
+    }
+    let input_names: Vec<Vec<String>> = inputs
+        .iter()
+        .map(|batches| {
+            batches[0]
+                .schema
+                .fields
+                .iter()
+                .map(|f| f.name.clone())
+                .collect()
+        })
+        .collect();
+    let bound = bind_ops(ops, &input_names, udfs)?;
+    let mut stream: Vec<SelBatch> = inputs[0].iter().cloned().map(SelBatch::wrap).collect();
+    let rows_in = stream.iter().map(|b| b.rows() as u64).sum();
+    for op in &bound {
+        stream = apply_bound(op, stream, inputs)?;
+    }
+    let out = materialise_all(stream);
+    let stats = OpChainStats {
+        rows_in,
+        rows_out: out.iter().map(|b| b.num_rows() as u64).sum(),
+    };
+    Ok((out, stats))
+}
+
+fn apply_bound(
+    op: &BoundOp,
+    stream: Vec<SelBatch>,
+    inputs: &[Vec<Batch>],
+) -> Result<Vec<SelBatch>, EngineError> {
+    match op {
+        BoundOp::Filter(pred) => stream
+            .into_iter()
+            .map(|sb| {
+                let mask_col = evaluate_bound(pred, &sb.batch)?;
+                let mask = expr::expect_bool(&mask_col)?;
+                let keep: Vec<usize> = match &sb.sel {
+                    None => (0..sb.batch.num_rows()).filter(|&i| mask[i]).collect(),
+                    Some(s) => s.iter().copied().filter(|&i| mask[i]).collect(),
+                };
+                Ok(SelBatch {
+                    batch: sb.batch,
+                    sel: Some(keep),
+                })
+            })
+            .collect::<Result<_, ExprError>>()
+            .map_err(EngineError::from),
+        BoundOp::Project(exprs) => stream
+            .into_iter()
+            .map(|sb| {
+                let b = sb.materialise();
+                let mut fields = Vec::with_capacity(exprs.len());
+                let mut columns = Vec::with_capacity(exprs.len());
+                for (name, e) in exprs {
+                    let col = evaluate_bound(e, &b)?;
+                    fields.push(Field::new(name, col.data_type()));
+                    columns.push(col);
+                }
+                Ok(SelBatch::wrap(Batch::new(Schema::new(fields), columns)))
+            })
+            .collect::<Result<_, ExprError>>()
+            .map_err(EngineError::from),
+        BoundOp::HashAggregate {
+            group_idx,
+            group_names,
+            aggs,
+            mode,
+        } => {
+            let batches = materialise_all(stream);
+            hash_aggregate(&batches, group_idx, group_names, aggs, *mode)
+                .map(|b| vec![SelBatch::wrap(b)])
+        }
+        BoundOp::HashJoin {
+            build_input,
+            build_key,
+            probe_key,
+            build_cols,
+        } => {
+            let probe = materialise_all(stream);
+            let build = &inputs[*build_input];
+            hash_join(&probe, build, *build_key, *probe_key, build_cols)
+                .map(|bs| bs.into_iter().map(SelBatch::wrap).collect())
+        }
+        BoundOp::Sort { by } => {
+            let batches = materialise_all(stream);
+            sort(&batches, by).map(|b| vec![SelBatch::wrap(b)])
+        }
+        BoundOp::Limit(n) => Ok(limit(stream, *n)),
+        BoundOp::SessionizeQ3 {
+            category_input,
+            category_col,
+            cols,
+            window,
+        } => {
+            let clicks = materialise_all(stream);
+            let items = &inputs[*category_input];
+            sessionize_q3(&clicks, items, *category_col, cols, *window)
+                .map(|b| vec![SelBatch::wrap(b)])
+        }
+        BoundOp::Barrier => Ok(stream),
+    }
+}
+
+/// Prefix-limit on selection vectors: slices full batches, truncates
+/// selections — no gather unless a filter already created one.
+fn limit(stream: Vec<SelBatch>, n: usize) -> Vec<SelBatch> {
+    let mut remaining = n;
+    let mut out = Vec::new();
+    for sb in stream {
+        if remaining == 0 {
+            if out.is_empty() {
+                out.push(SelBatch::wrap(sb.batch.slice(0, 0)));
+            }
+            break;
+        }
+        let take = sb.rows().min(remaining);
+        remaining -= take;
+        out.push(match sb.sel {
+            None => SelBatch::wrap(sb.batch.slice(0, take)),
+            Some(s) => SelBatch {
+                batch: sb.batch,
+                sel: Some(s[..take].to_vec()),
+            },
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// normalized-key kernels
+// ---------------------------------------------------------------------------
+
+/// Grouping of all rows of a batch run by normalized composite key.
+struct Grouping {
+    keys: KeyBuffer,
+    /// Flat row index (across non-empty batches) → group id. Group ids
+    /// are assigned in normalized-key order, which equals the legacy
+    /// `BTreeMap<Vec<ScalarKey>, _>` iteration order.
+    group_of: Vec<u32>,
+    /// Group id → one flat row holding that key.
+    rep: Vec<u32>,
+}
+
+fn group_rows(batches: &[&Batch], cols: &[usize]) -> Grouping {
+    let keys = KeyBuffer::encode(batches, cols);
+    let order = keys.sort_indices();
+    let mut group_of = vec![0u32; keys.rows()];
+    let mut rep: Vec<u32> = Vec::new();
+    let mut i = 0usize;
+    while i < order.len() {
+        let start = order[i] as usize;
+        let gid = rep.len() as u32;
+        rep.push(order[i]);
+        while i < order.len() && keys.row(order[i] as usize) == keys.row(start) {
+            group_of[order[i] as usize] = gid;
+            i += 1;
+        }
+    }
+    Grouping {
+        keys,
+        group_of,
+        rep,
+    }
+}
+
+fn hash_aggregate(
+    stream: &[Batch],
+    group_idx: &[usize],
+    group_names: &[String],
+    aggs: &[BoundAgg],
+    mode: AggMode,
+) -> Result<Batch, EngineError> {
+    let nonempty: Vec<&Batch> = stream.iter().filter(|b| b.num_rows() > 0).collect();
+    let grouping = group_rows(&nonempty, group_idx);
+    let n_groups = grouping.rep.len();
+    let mut states: Vec<Vec<AggState>> = (0..n_groups)
+        .map(|_| aggs.iter().map(|a| AggState::new(a.func)).collect())
+        .collect();
+
+    // Accumulate in original stream-row order: each group's updates hit
+    // in the same order as the legacy path, so float sums agree exactly.
+    let mut flat = 0usize;
+    for batch in &nonempty {
+        match mode {
+            AggMode::Partial | AggMode::Single => {
+                let args: Vec<Column> = aggs
+                    .iter()
+                    .map(|a| match &a.kind {
+                        BoundAggKind::Eval(None) => Ok(Column::Int64(vec![1; batch.num_rows()])),
+                        BoundAggKind::Eval(Some(e)) => {
+                            evaluate_bound(e, batch).map_err(EngineError::from)
+                        }
+                        BoundAggKind::Merge { .. } => unreachable!("bound for Final mode"),
+                    })
+                    .collect::<Result<_, _>>()?;
+                for row in 0..batch.num_rows() {
+                    let st = &mut states[grouping.group_of[flat] as usize];
+                    for (s, col) in st.iter_mut().zip(&args) {
+                        s.update(&col.value(row));
+                    }
+                    flat += 1;
+                }
+            }
+            AggMode::Final => {
+                let cols: Vec<(&Column, Option<&Column>)> = aggs
+                    .iter()
+                    .map(|a| match &a.kind {
+                        BoundAggKind::Merge { primary, secondary } => (
+                            &batch.columns[*primary],
+                            secondary.map(|i| &batch.columns[i]),
+                        ),
+                        BoundAggKind::Eval(_) => unreachable!("bound for Partial/Single mode"),
+                    })
+                    .collect();
+                for row in 0..batch.num_rows() {
+                    let st = &mut states[grouping.group_of[flat] as usize];
+                    for (s, (primary, secondary)) in st.iter_mut().zip(&cols) {
+                        s.merge(
+                            &primary.value(row),
+                            secondary.map(|c| c.value(row)).as_ref(),
+                        );
+                    }
+                    flat += 1;
+                }
+            }
+        }
+    }
+
+    // Assemble the output batch exactly as the legacy path does, with
+    // groups in normalized-key (== ScalarKey BTreeMap) order.
+    let mut fields: Vec<Field> = Vec::new();
+    let mut columns: Vec<Column> = Vec::new();
+    for (gi, gname) in group_names.iter().enumerate() {
+        let vals: Vec<Value> = grouping
+            .rep
+            .iter()
+            .map(|&r| grouping.keys.value(r as usize, gi))
+            .collect();
+        let col = column_from_values(&vals);
+        fields.push(Field::new(gname, col.data_type()));
+        columns.push(col);
+    }
+
+    let emit_final = !matches!(mode, AggMode::Partial);
+    for (ai, agg) in aggs.iter().enumerate() {
+        match (agg.func, emit_final) {
+            (AggFunc::Avg, false) => {
+                let mut sums = Vec::with_capacity(n_groups);
+                let mut counts = Vec::with_capacity(n_groups);
+                for st in &states {
+                    let AggState::Avg { sum, count } = &st[ai] else {
+                        unreachable!()
+                    };
+                    sums.push(*sum);
+                    counts.push(*count);
+                }
+                fields.push(Field::new(
+                    &format!("{}__sum", agg.name),
+                    skyrise_data::DataType::Float64,
+                ));
+                columns.push(Column::Float64(sums));
+                fields.push(Field::new(
+                    &format!("{}__cnt", agg.name),
+                    skyrise_data::DataType::Int64,
+                ));
+                columns.push(Column::Int64(counts));
+            }
+            _ => {
+                let mut vals: Vec<Value> = Vec::with_capacity(n_groups);
+                for st in &states {
+                    vals.push(match &st[ai] {
+                        AggState::Sum(s) => Value::Float64(*s),
+                        AggState::Count(c) => Value::Int64(*c),
+                        AggState::Avg { sum, count } => Value::Float64(if *count == 0 {
+                            0.0
+                        } else {
+                            sum / *count as f64
+                        }),
+                        AggState::Min(m) | AggState::Max(m) => {
+                            m.clone().unwrap_or(Value::Float64(f64::NAN))
+                        }
+                    });
+                }
+                let col = column_from_values(&vals);
+                fields.push(Field::new(&agg.name, col.data_type()));
+                columns.push(col);
+            }
+        }
+    }
+
+    if n_groups == 0 && group_names.is_empty() && emit_final {
+        // Global aggregate over zero rows still yields one row of zeros.
+        for c in columns.iter_mut() {
+            match c {
+                Column::Float64(v) => v.push(0.0),
+                Column::Int64(v) => v.push(0),
+                Column::Utf8(v) => v.push(String::new()),
+                Column::Bool(v) => v.push(false),
+            }
+        }
+    }
+
+    Ok(Batch::new(Schema::new(fields), columns))
+}
+
+fn hash_join(
+    probe: &[Batch],
+    build: &[Batch],
+    build_key: usize,
+    probe_key: usize,
+    build_cols: &[usize],
+) -> Result<Vec<Batch>, EngineError> {
+    if build.is_empty() || probe.is_empty() {
+        return Err(EngineError::Plan(
+            "hash join requires materialised build and probe inputs".into(),
+        ));
+    }
+    let build_all = Batch::concat(build);
+    // Build side: normalized keys sorted (key, row). Equal keys keep
+    // build-row order, matching the legacy table's insertion order.
+    let kb = KeyBuffer::encode(&[&build_all], &[build_key]);
+    let order = kb.sort_indices();
+    let sorted: Vec<u64> = order.iter().map(|&r| kb.word(r as usize, 0)).collect();
+    let build_col_refs: Vec<(&Field, &Column)> = build_cols
+        .iter()
+        .map(|&i| (&build_all.schema.fields[i], &build_all.columns[i]))
+        .collect();
+
+    let mut out = Vec::new();
+    for pb in probe {
+        // Probe without allocation: encode the probe column against the
+        // build dictionary, then binary-search the sorted key run.
+        let enc = kb.encode_probe(0, &pb.columns[probe_key]);
+        let mut probe_idx = Vec::new();
+        let mut build_idx = Vec::new();
+        for (prow, e) in enc.iter().enumerate() {
+            let Some(k) = e else { continue };
+            let mut j = sorted.partition_point(|&x| x < *k);
+            while j < sorted.len() && sorted[j] == *k {
+                probe_idx.push(prow);
+                build_idx.push(order[j] as usize);
+                j += 1;
+            }
+        }
+        let mut fields: Vec<Field> = pb.schema.fields.clone();
+        let mut columns: Vec<Column> = pb.take(&probe_idx).columns;
+        for (f, c) in &build_col_refs {
+            fields.push((*f).clone());
+            columns.push(c.take(&build_idx));
+        }
+        out.push(Batch::new(Schema::new(fields), columns));
+    }
+    Ok(out)
+}
+
+fn sort(stream: &[Batch], by: &[(usize, bool)]) -> Result<Batch, EngineError> {
+    if stream.is_empty() {
+        return Err(EngineError::Plan("sort over no batches".into()));
+    }
+    let all = Batch::concat(stream);
+    let cols: Vec<usize> = by.iter().map(|(i, _)| *i).collect();
+    let kb = KeyBuffer::encode(&[&all], &cols);
+    let mut idx: Vec<usize> = (0..all.num_rows()).collect();
+    idx.sort_by(|&a, &b| {
+        for (c, (_, asc)) in by.iter().enumerate() {
+            let ord = kb.word(a, c).cmp(&kb.word(b, c));
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(all.take(&idx))
+}
+
+fn sessionize_q3(
+    clicks: &[Batch],
+    items: &[Batch],
+    category_col: usize,
+    cols: &SessionCols,
+    window: usize,
+) -> Result<Batch, EngineError> {
+    use skyrise_data::DataType;
+    // Category membership as a sorted vector + binary search (same
+    // membership, same ascending iteration as the legacy BTreeSet).
+    let mut category: Vec<i64> = items
+        .iter()
+        .flat_map(|b| b.columns[category_col].as_i64().iter().copied())
+        .collect();
+    category.sort_unstable();
+    category.dedup();
+    let in_category = |x: i64| category.binary_search(&x).is_ok();
+
+    let out_schema = Schema::new(vec![
+        Field::new("item_sk", DataType::Int64),
+        Field::new("views", DataType::Int64),
+    ]);
+    if clicks.is_empty() {
+        return Ok(Batch::new(
+            out_schema,
+            vec![Column::Int64(vec![]), Column::Int64(vec![])],
+        ));
+    }
+    let all = Batch::concat(clicks);
+    let users = all.columns[cols.users].as_i64();
+    let dates = all.columns[cols.dates].as_i64();
+    let times = all.columns[cols.times].as_i64();
+    let item_sk = all.columns[cols.items].as_i64();
+    let sales = all.columns[cols.sales].as_i64();
+
+    // Order clicks per user by (date, time).
+    let mut idx: Vec<usize> = (0..all.num_rows()).collect();
+    idx.sort_by_key(|&i| (users[i], dates[i], times[i]));
+
+    let mut views: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
+    let mut start = 0usize;
+    while start < idx.len() {
+        let user = users[idx[start]];
+        let mut end = start;
+        while end < idx.len() && users[idx[end]] == user {
+            end += 1;
+        }
+        let session = &idx[start..end];
+        for (pos, &click) in session.iter().enumerate() {
+            let is_purchase = sales[click] != 0 && in_category(item_sk[click]);
+            if !is_purchase {
+                continue;
+            }
+            let from = pos.saturating_sub(window);
+            for &prior in &session[from..pos] {
+                let viewed = item_sk[prior];
+                if in_category(viewed) {
+                    *views.entry(viewed).or_insert(0) += 1;
+                }
+            }
+        }
+        start = end;
+    }
+
+    Ok(Batch::new(
+        out_schema,
+        vec![
+            Column::Int64(views.keys().copied().collect()),
+            Column::Int64(views.values().copied().collect()),
+        ],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AggExpr;
+    use skyrise_data::DataType;
+    use std::rc::Rc;
+
+    fn udfs() -> UdfRegistry {
+        UdfRegistry::with_builtins()
+    }
+
+    fn lineitems() -> Vec<Batch> {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("price", DataType::Float64),
+            Field::new("flag", DataType::Utf8),
+        ]);
+        vec![
+            Batch::new(
+                Rc::clone(&schema),
+                vec![
+                    Column::Int64(vec![1, 2, 3]),
+                    Column::Float64(vec![10.0, 20.0, 30.0]),
+                    Column::Utf8(vec!["A".into(), "B".into(), "A".into()]),
+                ],
+            ),
+            Batch::new(
+                schema,
+                vec![
+                    Column::Int64(vec![4, 5]),
+                    Column::Float64(vec![40.0, 50.0]),
+                    Column::Utf8(vec!["B".into(), "A".into()]),
+                ],
+            ),
+        ]
+    }
+
+    /// Every operator shape through both executors: identical batches.
+    fn assert_matches_oracle(ops: &[Op], inputs: &[Vec<Batch>]) {
+        let (new, new_stats) = execute_chain(ops, inputs, &udfs()).unwrap();
+        let (old, old_stats) = operators::execute_ops(ops, inputs, &udfs()).unwrap();
+        let new_all = Batch::concat(&new);
+        let old_all = Batch::concat(&old);
+        assert_eq!(new_all.schema, old_all.schema);
+        assert_eq!(new_all.columns, old_all.columns);
+        assert_eq!(new_stats, old_stats);
+    }
+
+    #[test]
+    fn filter_project_matches_oracle() {
+        let ops = vec![
+            Op::Filter {
+                predicate: Expr::col("k").cmp(CmpOp::Ge, Expr::lit_i64(2)),
+            },
+            Op::Filter {
+                predicate: Expr::col("flag").cmp(CmpOp::Eq, Expr::lit_str("A")),
+            },
+            Op::Project {
+                exprs: vec![NamedExpr::new(
+                    "double",
+                    Expr::col("price").arith(ArithOp::Mul, Expr::lit_f64(2.0)),
+                )],
+            },
+        ];
+        assert_matches_oracle(&ops, &[lineitems()]);
+    }
+
+    #[test]
+    fn aggregate_matches_oracle_all_modes() {
+        let aggs = vec![
+            AggExpr::new(AggFunc::Sum, Expr::col("price"), "total"),
+            AggExpr::new(AggFunc::Count, Expr::lit_i64(1), "cnt"),
+            AggExpr::new(AggFunc::Avg, Expr::col("price"), "avg_price"),
+            AggExpr::new(AggFunc::Min, Expr::col("k"), "min_k"),
+            AggExpr::new(AggFunc::Max, Expr::col("flag"), "max_flag"),
+        ];
+        for mode in [AggMode::Single, AggMode::Partial] {
+            let ops = vec![Op::HashAggregate {
+                group_by: vec!["flag".into()],
+                aggregates: aggs.clone(),
+                mode,
+            }];
+            assert_matches_oracle(&ops, &[lineitems()]);
+        }
+        // Global aggregate (no group keys).
+        let ops = vec![Op::HashAggregate {
+            group_by: vec![],
+            aggregates: aggs,
+            mode: AggMode::Single,
+        }];
+        assert_matches_oracle(&ops, &[lineitems()]);
+    }
+
+    #[test]
+    fn join_sort_limit_matches_oracle() {
+        let orders_schema = Schema::new(vec![
+            Field::new("o_key", DataType::Int64),
+            Field::new("prio", DataType::Utf8),
+        ]);
+        let orders = vec![Batch::new(
+            orders_schema,
+            vec![
+                Column::Int64(vec![1, 2, 4, 2]),
+                Column::Utf8(vec!["HI".into(), "LO".into(), "HI".into(), "MED".into()]),
+            ],
+        )];
+        let ops = vec![
+            Op::HashJoin {
+                build_input: 1,
+                build_key: "o_key".into(),
+                probe_key: "k".into(),
+                build_columns: vec!["prio".into()],
+            },
+            Op::Sort {
+                by: vec![("prio".into(), true), ("k".into(), false)],
+            },
+            Op::Limit { n: 3 },
+        ];
+        assert_matches_oracle(&ops, &[lineitems(), orders]);
+    }
+
+    #[test]
+    fn legacy_toggle_forces_oracle_path() {
+        set_legacy_kernels(true);
+        let ops = vec![Op::Limit { n: 2 }];
+        let (out, _) = execute_chain(&ops, &[lineitems()], &udfs()).unwrap();
+        set_legacy_kernels(false);
+        assert_eq!(Batch::concat(&out).num_rows(), 2);
+    }
+
+    #[test]
+    fn binding_errors_match_legacy_shapes() {
+        let ops = vec![Op::Sort {
+            by: vec![("zzz".into(), true)],
+        }];
+        let err = execute_chain(&ops, &[lineitems()], &udfs()).unwrap_err();
+        assert!(err.to_string().contains("unknown sort column zzz"));
+        let ops = vec![Op::Filter {
+            predicate: Expr::col("zzz").cmp(crate::expr::CmpOp::Eq, Expr::lit_i64(1)),
+        }];
+        let err = execute_chain(&ops, &[lineitems()], &udfs()).unwrap_err();
+        assert!(err.to_string().contains("unknown column zzz"));
+    }
+}

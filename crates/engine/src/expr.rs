@@ -190,7 +190,7 @@ impl UdfRegistry {
         reg
     }
 
-    fn get(&self, name: &str) -> Option<&ScalarUdf> {
+    pub(crate) fn get(&self, name: &str) -> Option<&ScalarUdf> {
         self.udfs.get(name)
     }
 }
@@ -354,7 +354,7 @@ pub fn evaluate_mask(
     expect_bool(&c).map(<[bool]>::to_vec)
 }
 
-fn broadcast(v: &Value, n: usize) -> Column {
+pub(crate) fn broadcast(v: &Value, n: usize) -> Column {
     match v {
         Value::Int64(x) => Column::Int64(vec![*x; n]),
         Value::Float64(x) => Column::Float64(vec![*x; n]),
@@ -363,14 +363,14 @@ fn broadcast(v: &Value, n: usize) -> Column {
     }
 }
 
-fn expect_bool(c: &Column) -> Result<&[bool], ExprError> {
+pub(crate) fn expect_bool(c: &Column) -> Result<&[bool], ExprError> {
     match c {
         Column::Bool(v) => Ok(v),
         _ => Err(ExprError::TypeMismatch("expected boolean")),
     }
 }
 
-fn compare(op: CmpOp, l: &Column, r: &Column) -> Result<Column, ExprError> {
+pub(crate) fn compare(op: CmpOp, l: &Column, r: &Column) -> Result<Column, ExprError> {
     fn cmp_iter<T: PartialOrd>(op: CmpOp, l: &[T], r: &[T]) -> Vec<bool> {
         l.iter()
             .zip(r)
@@ -400,7 +400,7 @@ fn compare(op: CmpOp, l: &Column, r: &Column) -> Result<Column, ExprError> {
     }))
 }
 
-fn arithmetic(op: ArithOp, l: &Column, r: &Column) -> Result<Column, ExprError> {
+pub(crate) fn arithmetic(op: ArithOp, l: &Column, r: &Column) -> Result<Column, ExprError> {
     fn f(op: ArithOp, a: f64, b: f64) -> f64 {
         match op {
             ArithOp::Add => a + b,
@@ -445,7 +445,7 @@ fn arithmetic(op: ArithOp, l: &Column, r: &Column) -> Result<Column, ExprError> 
     })
 }
 
-fn select(cond: &[bool], t: &Column, o: &Column) -> Result<Column, ExprError> {
+pub(crate) fn select(cond: &[bool], t: &Column, o: &Column) -> Result<Column, ExprError> {
     Ok(match (t, o) {
         (Column::Int64(a), Column::Int64(b)) => Column::Int64(
             cond.iter()

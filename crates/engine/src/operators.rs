@@ -7,7 +7,9 @@
 use crate::error::EngineError;
 use crate::expr::{evaluate, evaluate_mask, UdfRegistry};
 use crate::plan::{AggExpr, AggFunc, AggMode, Op};
+use skyrise_data::keys::{bits_to_f64, total_order_bits};
 use skyrise_data::{Batch, Column, DataType, Field, Schema, Value};
+use skyrise_sim::{fnv1a64_fold, FNV64_OFFSET};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -16,6 +18,11 @@ pub const BATCH_SIZE: usize = 4096;
 
 /// A hashable, totally-ordered scalar usable as a group/join/sort key.
 /// Floats participate via `f64::total_cmp` (exact-bits equality).
+///
+/// This is the engine's *legacy* key representation: the production
+/// kernels run on `skyrise_data::KeyBuffer`'s normalized fixed-width
+/// encoding (see [`crate::bind`]); `ScalarKey` is kept as the oracle the
+/// property tests compare against.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ScalarKey {
     /// Integer key.
@@ -24,37 +31,30 @@ pub enum ScalarKey {
     Str(String),
     /// Boolean key.
     Bool(bool),
-    /// Total-order key over the float's bits (see [`total_order_bits`]).
+    /// Total-order key over the float's bits (see
+    /// [`skyrise_data::total_order_bits`]).
     F64(u64),
-}
-
-/// Map an `f64` to bits whose unsigned order equals `total_cmp` order.
-fn total_order_bits(x: f64) -> u64 {
-    let bits = x.to_bits();
-    if bits >> 63 == 0 {
-        bits | (1 << 63)
-    } else {
-        !bits
-    }
-}
-
-fn bits_to_f64(key: u64) -> f64 {
-    if key >> 63 == 1 {
-        f64::from_bits(key & !(1 << 63))
-    } else {
-        f64::from_bits(!key)
-    }
 }
 
 impl ScalarKey {
     /// From a value (never fails; floats key by total order).
-    pub fn try_from_value(v: Value) -> Result<ScalarKey, EngineError> {
+    pub fn try_from_value(v: &Value) -> Result<ScalarKey, EngineError> {
         Ok(match v {
-            Value::Int64(x) => ScalarKey::I64(x),
-            Value::Utf8(s) => ScalarKey::Str(s),
-            Value::Bool(b) => ScalarKey::Bool(b),
-            Value::Float64(x) => ScalarKey::F64(total_order_bits(x)),
+            Value::Int64(x) => ScalarKey::I64(*x),
+            Value::Utf8(s) => ScalarKey::Str(s.clone()),
+            Value::Bool(b) => ScalarKey::Bool(*b),
+            Value::Float64(x) => ScalarKey::F64(total_order_bits(*x)),
         })
+    }
+
+    /// Key of one row of a column, without going through a `Value`.
+    pub fn from_column(col: &Column, row: usize) -> ScalarKey {
+        match col {
+            Column::Int64(v) => ScalarKey::I64(v[row]),
+            Column::Utf8(v) => ScalarKey::Str(v[row].clone()),
+            Column::Bool(v) => ScalarKey::Bool(v[row]),
+            Column::Float64(v) => ScalarKey::F64(total_order_bits(v[row])),
+        }
     }
 
     /// Back to a value.
@@ -68,35 +68,16 @@ impl ScalarKey {
     }
 
     /// Stable hash for shuffle partitioning (FNV-1a over a tag + bytes) —
-    /// must agree between writer and reader fragments.
+    /// must agree between writer and reader fragments. Uses the shared
+    /// FNV-1a constants from `skyrise-sim`.
     pub fn partition_hash(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x1000_0000_01b3;
-        let mut h = OFFSET;
-        let mut feed = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(PRIME);
-            }
-        };
+        let h = FNV64_OFFSET;
         match self {
-            ScalarKey::I64(x) => {
-                feed(&[1]);
-                feed(&x.to_le_bytes());
-            }
-            ScalarKey::Str(s) => {
-                feed(&[2]);
-                feed(s.as_bytes());
-            }
-            ScalarKey::Bool(b) => {
-                feed(&[3, *b as u8]);
-            }
-            ScalarKey::F64(bits) => {
-                feed(&[4]);
-                feed(&bits.to_le_bytes());
-            }
+            ScalarKey::I64(x) => fnv1a64_fold(fnv1a64_fold(h, &[1]), &x.to_le_bytes()),
+            ScalarKey::Str(s) => fnv1a64_fold(fnv1a64_fold(h, &[2]), s.as_bytes()),
+            ScalarKey::Bool(b) => fnv1a64_fold(h, &[3, *b as u8]),
+            ScalarKey::F64(bits) => fnv1a64_fold(fnv1a64_fold(h, &[4]), &bits.to_le_bytes()),
         }
-        h
     }
 }
 
@@ -108,7 +89,7 @@ mod key_tests {
     fn float_keys_order_totally() {
         let mut keys: Vec<ScalarKey> = [-5.0, f64::NEG_INFINITY, 0.0, 3.5, -0.1, f64::INFINITY]
             .iter()
-            .map(|&x| ScalarKey::try_from_value(Value::Float64(x)).unwrap())
+            .map(|&x| ScalarKey::try_from_value(&Value::Float64(x)).unwrap())
             .collect();
         keys.sort();
         let back: Vec<f64> = keys
@@ -127,12 +108,32 @@ mod key_tests {
     #[test]
     fn float_key_round_trips_bits() {
         for x in [-1.25e300, -0.0, 0.0, 1.0, 6.02e23] {
-            let k = ScalarKey::try_from_value(Value::Float64(x)).unwrap();
+            let k = ScalarKey::try_from_value(&Value::Float64(x)).unwrap();
             let Value::Float64(y) = k.into_value() else {
                 unreachable!()
             };
             assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+
+    /// Pin `partition_hash` to the shared FNV-1a implementation: the same
+    /// tag+bytes stream fed through `skyrise_sim::fnv1a64` must match, so
+    /// the engine cannot drift from the workspace constants again.
+    #[test]
+    fn partition_hash_matches_shared_fnv() {
+        use skyrise_sim::fnv1a64;
+        let mut i64_bytes = vec![1u8];
+        i64_bytes.extend_from_slice(&42i64.to_le_bytes());
+        assert_eq!(ScalarKey::I64(42).partition_hash(), fnv1a64(&i64_bytes));
+        assert_eq!(
+            ScalarKey::Str("foobar".into()).partition_hash(),
+            fnv1a64(b"\x02foobar")
+        );
+        assert_eq!(ScalarKey::Bool(true).partition_hash(), fnv1a64(&[3, 1]));
+        let bits = total_order_bits(1.5);
+        let mut f64_bytes = vec![4u8];
+        f64_bytes.extend_from_slice(&bits.to_le_bytes());
+        assert_eq!(ScalarKey::F64(bits).partition_hash(), fnv1a64(&f64_bytes));
     }
 }
 
@@ -152,8 +153,8 @@ fn row_keys(batch: &Batch, columns: &[String]) -> Result<Vec<Vec<ScalarKey>>, En
     for row in 0..batch.num_rows() {
         let key = cols
             .iter()
-            .map(|c| ScalarKey::try_from_value(c.value(row)))
-            .collect::<Result<Vec<_>, _>>()?;
+            .map(|c| ScalarKey::from_column(c, row))
+            .collect::<Vec<_>>();
         out.push(key);
     }
     Ok(out)
@@ -255,7 +256,7 @@ fn project(
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone)]
-enum AggState {
+pub(crate) enum AggState {
     Sum(f64),
     Count(i64),
     Avg { sum: f64, count: i64 },
@@ -264,7 +265,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(func: AggFunc) -> AggState {
+    pub(crate) fn new(func: AggFunc) -> AggState {
         match func {
             AggFunc::Sum => AggState::Sum(0.0),
             AggFunc::Count => AggState::Count(0),
@@ -274,7 +275,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: &Value) {
+    pub(crate) fn update(&mut self, v: &Value) {
         match self {
             AggState::Sum(s) => *s += v.as_f64(),
             AggState::Count(c) => *c += 1,
@@ -288,7 +289,7 @@ impl AggState {
     }
 
     /// Merge a partial-state row (Final mode).
-    fn merge(&mut self, primary: &Value, secondary: Option<&Value>) {
+    pub(crate) fn merge(&mut self, primary: &Value, secondary: Option<&Value>) {
         match self {
             AggState::Sum(s) => *s += primary.as_f64(),
             AggState::Count(c) => *c += primary.as_f64() as i64,
@@ -487,7 +488,7 @@ fn hash_aggregate(
     Ok(Batch::new(Schema::new(fields), columns))
 }
 
-fn column_from_values(vals: &[Value]) -> Column {
+pub(crate) fn column_from_values(vals: &[Value]) -> Column {
     match vals.first() {
         Some(Value::Int64(_)) => Column::Int64(
             vals.iter()
@@ -607,9 +608,9 @@ fn row_keys_single(batch: &Batch, name: &str) -> Result<Vec<ScalarKey>, EngineEr
         .schema
         .index_of(name)
         .ok_or_else(|| EngineError::Plan(format!("unknown sort column {name}")))?;
-    (0..batch.num_rows())
-        .map(|r| ScalarKey::try_from_value(batch.columns[i].value(r)))
-        .collect()
+    Ok((0..batch.num_rows())
+        .map(|r| ScalarKey::from_column(&batch.columns[i], r))
+        .collect())
 }
 
 fn limit(stream: Vec<Batch>, n: usize) -> Vec<Batch> {
@@ -700,6 +701,58 @@ fn sessionize_q3(clicks: &[Batch], items: &[Batch], window: usize) -> Result<Bat
     ))
 }
 
+/// Per-row shuffle hashes of the named key columns, computed
+/// column-at-a-time over the raw value bytes — no `ScalarKey`
+/// materialisation. Row `r`'s hash folds each key column's
+/// [`ScalarKey::partition_hash`] with `h * 31 + col_hash`, so writer and
+/// reader fragments agree with the scalar oracle bit-for-bit.
+pub(crate) fn partition_hashes(
+    batch: &Batch,
+    partition_by: &[String],
+) -> Result<Vec<u64>, EngineError> {
+    let mut hashes = vec![0u64; batch.num_rows()];
+    for name in partition_by {
+        let col = batch
+            .schema
+            .index_of(name)
+            .map(|i| &batch.columns[i])
+            .ok_or_else(|| EngineError::Plan(format!("unknown key column {name}")))?;
+        let tag = |tagged: &[u8]| fnv1a64_fold(FNV64_OFFSET, tagged);
+        match col {
+            Column::Int64(v) => {
+                let t = tag(&[1]);
+                for (h, x) in hashes.iter_mut().zip(v) {
+                    let kh = fnv1a64_fold(t, &x.to_le_bytes());
+                    *h = h.wrapping_mul(31).wrapping_add(kh);
+                }
+            }
+            Column::Utf8(v) => {
+                let t = tag(&[2]);
+                for (h, s) in hashes.iter_mut().zip(v) {
+                    let kh = fnv1a64_fold(t, s.as_bytes());
+                    *h = h.wrapping_mul(31).wrapping_add(kh);
+                }
+            }
+            Column::Bool(v) => {
+                // Only two possible hashes: precompute both.
+                let hf = tag(&[3, 0]);
+                let ht = tag(&[3, 1]);
+                for (h, &b) in hashes.iter_mut().zip(v) {
+                    *h = h.wrapping_mul(31).wrapping_add(if b { ht } else { hf });
+                }
+            }
+            Column::Float64(v) => {
+                let t = tag(&[4]);
+                for (h, &x) in hashes.iter_mut().zip(v) {
+                    let kh = fnv1a64_fold(t, &total_order_bits(x).to_le_bytes());
+                    *h = h.wrapping_mul(31).wrapping_add(kh);
+                }
+            }
+        }
+    }
+    Ok(hashes)
+}
+
 /// Hash-partition a batch's rows into `n` buckets by key columns — the
 /// shuffle writer. Returns one (possibly empty) batch per bucket.
 pub fn partition_batch(
@@ -710,6 +763,27 @@ pub fn partition_batch(
     assert!(n > 0);
     if partition_by.is_empty() {
         // Round-robin-free: everything to bucket 0 (single downstream).
+        let mut out = vec![Batch::empty(Rc::clone(&batch.schema)); n];
+        out[0] = batch.clone();
+        return Ok(out);
+    }
+    let hashes = partition_hashes(batch, partition_by)?;
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (row, h) in hashes.iter().enumerate() {
+        buckets[(h % n as u64) as usize].push(row);
+    }
+    Ok(buckets.into_iter().map(|rows| batch.take(&rows)).collect())
+}
+
+/// Row-at-a-time `ScalarKey` partitioner, kept as the oracle the
+/// vectorised [`partition_batch`] is property-tested against.
+pub fn partition_batch_scalar(
+    batch: &Batch,
+    partition_by: &[String],
+    n: usize,
+) -> Result<Vec<Batch>, EngineError> {
+    assert!(n > 0);
+    if partition_by.is_empty() {
         let mut out = vec![Batch::empty(Rc::clone(&batch.schema)); n];
         out[0] = batch.clone();
         return Ok(out);

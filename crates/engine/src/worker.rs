@@ -11,11 +11,12 @@
 //! predicate, column chunks are fetched as parallel ranged requests, and
 //! stragglers are retried under a size-based timeout.
 
+use crate::bind::execute_chain;
 use crate::catalog::PartitionMeta;
 use crate::cpu;
 use crate::error::EngineError;
 use crate::expr::{evaluate_mask, UdfRegistry};
-use crate::operators::{execute_ops, partition_batch};
+use crate::operators::partition_batch;
 use crate::plan::{InputSpec, Op, Pipeline, Sink};
 use serde::{Deserialize, Serialize};
 use skyrise_compute::ExecEnv;
@@ -303,7 +304,7 @@ pub async fn run_worker(
 
     // Execute the operator chain, charging virtual CPU for logical rows.
     let cpu_started = env.ctx.now();
-    let (output, stats) = execute_ops(&task.pipeline.ops, &inputs, udfs)?;
+    let (output, stats) = execute_chain(&task.pipeline.ops, &inputs, udfs)?;
     let logical_rows = stats.rows_in as f64 * stream_scale;
     env.ctx
         .sleep(cpu::chain_cost(&task.pipeline.ops, logical_rows, env.vcpus))

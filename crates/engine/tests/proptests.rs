@@ -1,9 +1,10 @@
 //! Property-based tests over the engine's core invariants.
 
 use proptest::prelude::*;
-use skyrise_data::{Batch, Column, DataType, Field, Schema, Value};
-use skyrise_engine::expr::{evaluate_mask, CmpOp, Expr, UdfRegistry};
-use skyrise_engine::operators::{execute_ops, partition_batch, ScalarKey};
+use skyrise_data::{Batch, Column, DataType, Field, KeyBuffer, Schema, Value};
+use skyrise_engine::bind::execute_chain;
+use skyrise_engine::expr::{evaluate_mask, ArithOp, CmpOp, Expr, NamedExpr, UdfRegistry};
+use skyrise_engine::operators::{execute_ops, partition_batch, partition_batch_scalar, ScalarKey};
 use skyrise_engine::plan::{AggExpr, AggFunc, AggMode, Op};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -205,10 +206,10 @@ proptest! {
     /// ScalarKey partition hashing is deterministic and value-faithful.
     #[test]
     fn scalar_keys_round_trip(x in any::<i64>(), s in "[a-z]{0,12}") {
-        let ki = ScalarKey::try_from_value(Value::Int64(x)).unwrap();
-        prop_assert_eq!(ki.partition_hash(), ScalarKey::try_from_value(Value::Int64(x)).unwrap().partition_hash());
+        let ki = ScalarKey::try_from_value(&Value::Int64(x)).unwrap();
+        prop_assert_eq!(ki.partition_hash(), ScalarKey::try_from_value(&Value::Int64(x)).unwrap().partition_hash());
         prop_assert_eq!(ki.into_value(), Value::Int64(x));
-        let ks = ScalarKey::try_from_value(Value::Utf8(s.clone())).unwrap();
+        let ks = ScalarKey::try_from_value(&Value::Utf8(s.clone())).unwrap();
         prop_assert_eq!(ks.into_value(), Value::Utf8(s));
     }
 
@@ -301,4 +302,305 @@ fn distributed_agg_through_partitioning() {
         .collect();
     assert_eq!(got, want_rows);
     let _ = Rc::new(());
+}
+
+// ---------------------------------------------------------------------------
+// Normalized-key kernels vs the row-at-a-time ScalarKey oracle.
+//
+// The bound executor (`bind::execute_chain`) must produce *byte-identical*
+// output to the legacy `operators::execute_ops` path for every operator it
+// rewrites, on batches mixing every key type (including NaN / -0.0 floats).
+// ---------------------------------------------------------------------------
+
+/// One row of mixed-type key material plus a payload value.
+type MixedRow = (i64, String, u8, bool, f64);
+
+fn mixed_rows() -> impl Strategy<Value = Vec<MixedRow>> {
+    prop::collection::vec(
+        (
+            -4i64..4,
+            "[a-c]{0,3}",
+            0u8..7,
+            any::<bool>(),
+            -100.0f64..100.0,
+        ),
+        0..60,
+    )
+}
+
+/// Float keys from a small palette so groups collide; slots 5/6 are the
+/// nasty cases (NaN and -0.0) both encodings must agree on.
+fn float_key(slot: u8) -> f64 {
+    match slot {
+        5 => f64::NAN,
+        6 => -0.0,
+        s => s as f64 * 0.5 - 1.0,
+    }
+}
+
+fn mixed_batch(rows: &[MixedRow]) -> Batch {
+    let schema = Schema::new(vec![
+        Field::new("ki", DataType::Int64),
+        Field::new("ks", DataType::Utf8),
+        Field::new("kf", DataType::Float64),
+        Field::new("kb", DataType::Bool),
+        Field::new("v", DataType::Float64),
+    ]);
+    Batch::new(
+        schema,
+        vec![
+            Column::Int64(rows.iter().map(|r| r.0).collect()),
+            Column::Utf8(rows.iter().map(|r| r.1.clone()).collect()),
+            Column::Float64(rows.iter().map(|r| float_key(r.2)).collect()),
+            Column::Bool(rows.iter().map(|r| r.3).collect()),
+            Column::Float64(rows.iter().map(|r| r.4).collect()),
+        ],
+    )
+}
+
+/// Split rows into a stream of batches at `split` (both halves non-empty
+/// batches unless the side is empty).
+fn mixed_stream(rows: &[MixedRow], split: usize) -> Vec<Batch> {
+    let split = split.min(rows.len());
+    let mut out = Vec::new();
+    if split > 0 {
+        out.push(mixed_batch(&rows[..split]));
+    }
+    if split < rows.len() {
+        out.push(mixed_batch(&rows[split..]));
+    }
+    if out.is_empty() {
+        out.push(mixed_batch(rows));
+    }
+    out
+}
+
+/// Column equality at the bit level: NaN equals NaN, and -0.0 does *not*
+/// equal 0.0 — stricter than f64's `==` in both directions, which is what
+/// a byte-identical-output contract requires.
+fn columns_bitwise_eq(a: &Column, b: &Column) -> bool {
+    match (a, b) {
+        (Column::Float64(x), Column::Float64(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+        }
+        _ => a == b,
+    }
+}
+
+/// Bound and legacy executors must agree batch-for-batch: same schemas,
+/// same columns, bit for bit.
+fn assert_chain_matches_oracle(ops: &[Op], inputs: &[Vec<Batch>]) -> Result<(), TestCaseError> {
+    let udfs = UdfRegistry::new();
+    let (got, _) = execute_chain(ops, inputs, &udfs).unwrap();
+    let (want, _) = execute_ops(ops, inputs, &udfs).unwrap();
+    prop_assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(&want) {
+        prop_assert_eq!(&g.schema.fields, &w.schema.fields);
+        prop_assert_eq!(g.columns.len(), w.columns.len());
+        for (gc, wc) in g.columns.iter().zip(&w.columns) {
+            prop_assert!(
+                columns_bitwise_eq(gc, wc),
+                "column mismatch: {:?} vs {:?}",
+                gc,
+                wc
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Normalized-key aggregation (all modes, multi-type group keys)
+    /// matches the BTreeMap-of-ScalarKey oracle bit for bit.
+    #[test]
+    fn bound_aggregate_matches_scalar_oracle(
+        rows in mixed_rows(),
+        split in 0usize..60,
+        key_mask in 1usize..16,
+    ) {
+        let keys: Vec<String> = ["ki", "ks", "kf", "kb"]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| key_mask & (1 << i) != 0)
+            .map(|(_, k)| k.to_string())
+            .collect();
+        let aggs = vec![
+            AggExpr::new(AggFunc::Sum, Expr::col("v"), "s"),
+            AggExpr::new(AggFunc::Avg, Expr::col("v"), "a"),
+            AggExpr::new(AggFunc::Count, Expr::lit_i64(1), "c"),
+            AggExpr::new(AggFunc::Min, Expr::col("v"), "mn"),
+            AggExpr::new(AggFunc::Max, Expr::col("v"), "mx"),
+        ];
+        let input = vec![mixed_stream(&rows, split)];
+        for mode in [AggMode::Single, AggMode::Partial] {
+            let op = Op::HashAggregate {
+                group_by: keys.clone(),
+                aggregates: aggs.clone(),
+                mode,
+            };
+            assert_chain_matches_oracle(std::slice::from_ref(&op), &input)?;
+        }
+        // Final mode consumes partials produced by the (oracle) partial op.
+        let partial = Op::HashAggregate {
+            group_by: keys.clone(),
+            aggregates: aggs.clone(),
+            mode: AggMode::Partial,
+        };
+        let (partials, _) =
+            execute_ops(std::slice::from_ref(&partial), &input, &UdfRegistry::new()).unwrap();
+        let final_op = Op::HashAggregate {
+            group_by: keys,
+            aggregates: aggs,
+            mode: AggMode::Final,
+        };
+        assert_chain_matches_oracle(std::slice::from_ref(&final_op), &[partials])?;
+    }
+
+    /// Dictionary-probe hash join (string and int keys, plus a cross-type
+    /// probe that must match nothing) agrees with the oracle join.
+    #[test]
+    fn bound_join_matches_scalar_oracle(
+        probe in mixed_rows(),
+        build in prop::collection::vec((-4i64..4, "[a-c]{0,3}", -100.0f64..100.0), 1..30),
+        key_is_string in any::<bool>(),
+    ) {
+        let build_schema = Schema::new(vec![
+            Field::new("bi", DataType::Int64),
+            Field::new("bs", DataType::Utf8),
+            Field::new("bv", DataType::Float64),
+        ]);
+        let build_batch = Batch::new(
+            build_schema,
+            vec![
+                Column::Int64(build.iter().map(|r| r.0).collect()),
+                Column::Utf8(build.iter().map(|r| r.1.clone()).collect()),
+                Column::Float64(build.iter().map(|r| r.2).collect()),
+            ],
+        );
+        let (build_key, probe_key) = if key_is_string {
+            ("bs", "ks")
+        } else {
+            ("bi", "ki")
+        };
+        let ops = vec![Op::HashJoin {
+            build_input: 1,
+            build_key: build_key.into(),
+            probe_key: probe_key.into(),
+            build_columns: vec!["bv".into()],
+        }];
+        let inputs = vec![mixed_stream(&probe, 17), vec![build_batch.clone()]];
+        assert_chain_matches_oracle(&ops, &inputs)?;
+        // Cross-type probe (int probe column vs string build key): both
+        // paths must yield zero matches rather than coercing.
+        let cross = vec![Op::HashJoin {
+            build_input: 1,
+            build_key: "bs".into(),
+            probe_key: "ki".into(),
+            build_columns: vec!["bv".into()],
+        }];
+        assert_chain_matches_oracle(&cross, &inputs)?;
+    }
+
+    /// Normalized-key multi-column sort (mixed asc/desc) is byte-identical
+    /// to the oracle's Vec<ScalarKey> comparator sort.
+    #[test]
+    fn bound_sort_matches_scalar_oracle(
+        rows in mixed_rows(),
+        split in 0usize..60,
+        desc_mask in 0usize..8,
+    ) {
+        let by = vec![
+            ("ks".to_string(), desc_mask & 1 == 0),
+            ("kf".to_string(), desc_mask & 2 == 0),
+            ("ki".to_string(), desc_mask & 4 == 0),
+        ];
+        let ops = vec![Op::Sort { by }];
+        assert_chain_matches_oracle(&ops, &[mixed_stream(&rows, split)])?;
+    }
+
+    /// Filter/Project through the selection-vector path match the oracle,
+    /// including stats-visible row counts downstream of a Limit.
+    #[test]
+    fn bound_filter_project_matches_scalar_oracle(
+        rows in mixed_rows(),
+        split in 0usize..60,
+        threshold in -4i64..4,
+        n in 0u64..50,
+    ) {
+        let ops = vec![
+            Op::Filter {
+                predicate: Expr::col("ki").cmp(CmpOp::Ge, Expr::lit_i64(threshold)),
+            },
+            Op::Project {
+                exprs: vec![
+                    NamedExpr::new("ks", Expr::col("ks")),
+                    NamedExpr::new(
+                        "v2",
+                        Expr::col("v").arith(ArithOp::Mul, Expr::lit_f64(2.0)),
+                    ),
+                ],
+            },
+            Op::Limit { n },
+        ];
+        assert_chain_matches_oracle(&ops, &[mixed_stream(&rows, split)])?;
+    }
+
+    /// Vectorised column-at-a-time partitioning equals the row-at-a-time
+    /// ScalarKey partitioner, bucket for bucket.
+    #[test]
+    fn vectorised_partition_matches_scalar_oracle(
+        rows in mixed_rows(),
+        n_buckets in 1usize..12,
+        key_mask in 1usize..16,
+    ) {
+        let keys: Vec<String> = ["ki", "ks", "kf", "kb"]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| key_mask & (1 << i) != 0)
+            .map(|(_, k)| k.to_string())
+            .collect();
+        let batch = mixed_batch(&rows);
+        let got = partition_batch(&batch, &keys, n_buckets).unwrap();
+        let want = partition_batch_scalar(&batch, &keys, n_buckets).unwrap();
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.columns.len(), w.columns.len());
+            for (gc, wc) in g.columns.iter().zip(&w.columns) {
+                prop_assert!(columns_bitwise_eq(gc, wc));
+            }
+        }
+    }
+
+    /// KeyBuffer's fixed-width byte order is exactly ScalarKey's Ord for
+    /// every key-type mix: sorting by normalized words equals sorting by
+    /// the legacy comparator.
+    #[test]
+    fn key_buffer_order_matches_scalar_key_ord(
+        rows in mixed_rows(),
+        key_mask in 1usize..16,
+    ) {
+        let cols: Vec<usize> = (0..4).filter(|i| key_mask & (1 << i) != 0).collect();
+        let batch = mixed_batch(&rows);
+        let kb = KeyBuffer::encode(&[&batch], &cols);
+        let got: Vec<usize> = kb.sort_indices().into_iter().map(|i| i as usize).collect();
+        let scalar_rows: Vec<Vec<ScalarKey>> = (0..batch.num_rows())
+            .map(|r| {
+                cols.iter()
+                    .map(|&c| ScalarKey::from_column(&batch.columns[c], r))
+                    .collect()
+            })
+            .collect();
+        let mut want: Vec<usize> = (0..batch.num_rows()).collect();
+        want.sort_by(|&a, &b| scalar_rows[a].cmp(&scalar_rows[b]));
+        prop_assert_eq!(got, want);
+        // Decode round-trips through the dictionary.
+        for (gi, &c) in cols.iter().enumerate() {
+            for r in 0..batch.num_rows() {
+                prop_assert_eq!(
+                    ScalarKey::try_from_value(&kb.value(r, gi)).unwrap(),
+                    scalar_rows[r][gi].clone()
+                );
+            }
+        }
+    }
 }

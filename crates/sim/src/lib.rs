@@ -43,3 +43,48 @@ pub const KIB: u64 = 1024;
 pub const MIB: u64 = 1024 * 1024;
 /// Bytes in one gibibyte.
 pub const GIB: u64 = 1024 * 1024 * 1024;
+
+/// 64-bit FNV-1a offset basis. Single source of truth for every FNV-1a
+/// hash in the workspace (the sanitizer's state digest, the engine's
+/// shuffle partition hash) so the constants cannot silently diverge.
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// 64-bit FNV-1a prime (2^40 + 2^8 + 0xb3).
+pub const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold bytes into a running 64-bit FNV-1a hash.
+#[inline]
+pub fn fnv1a64_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+/// 64-bit FNV-1a hash of a byte slice.
+#[inline]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_fold(FNV64_OFFSET, bytes)
+}
+
+#[cfg(test)]
+mod fnv_tests {
+    use super::*;
+
+    /// Pin the published FNV-1a 64 test vectors so neither constant can
+    /// regress (the engine shipped with a truncated prime once).
+    #[test]
+    fn fnv1a64_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fold_is_streaming() {
+        let whole = fnv1a64(b"foobar");
+        let split = fnv1a64_fold(fnv1a64(b"foo"), b"bar");
+        assert_eq!(whole, split);
+    }
+}

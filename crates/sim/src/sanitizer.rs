@@ -26,16 +26,11 @@ use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+use crate::{fnv1a64_fold, FNV64_OFFSET as FNV_OFFSET};
 
 /// Fold one `u64` into an FNV-1a rolling hash.
-fn fnv_fold(mut h: u64, v: u64) -> u64 {
-    for b in v.to_le_bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
+fn fnv_fold(h: u64, v: u64) -> u64 {
+    fnv1a64_fold(h, &v.to_le_bytes())
 }
 
 /// How often (in observed events) a digest checkpoint is recorded.
@@ -197,11 +192,7 @@ impl Sanitizer {
     /// same-seed runs but is invisible to the executor.
     pub fn observe(&self, label: &str, value: u64) {
         let Some(s) = &self.state else { return };
-        let mut h = FNV_OFFSET;
-        for b in label.as_bytes() {
-            h ^= *b as u64;
-            h = h.wrapping_mul(FNV_PRIME);
-        }
+        let h = fnv1a64_fold(FNV_OFFSET, label.as_bytes());
         self.fold(s, h);
         self.fold(s, value);
     }
