@@ -1,16 +1,24 @@
 //! Run the complete experiment suite: every table and figure of the
-//! paper, in order. Results land under `results/`. Each experiment
-//! prints a summary line: virtual time simulated, wall-clock elapsed,
-//! events traced, and output paths.
+//! paper. Results land under `results/`. Each experiment prints a summary
+//! line: virtual time simulated, wall-clock elapsed, events traced, and
+//! output paths.
+//!
+//! Experiments run in parallel across worker threads (`--jobs N`, default
+//! one per hardware thread; `--jobs 1` forces the serial baseline). Each
+//! experiment's simulations stay on a single thread, so parallelism never
+//! touches simulation determinism — reports and result files are
+//! byte-identical at any job count, and are printed in paper order.
 //!
 //! With `--trace-out <path>`, every experiment's Chrome-trace is written
 //! next to `<path>`, suffixed with the experiment name (e.g.
 //! `--trace-out /tmp/all.json` yields `/tmp/all-fig05.json`, ...).
 
-use skyrise_bench::{experiments as e, run_experiment};
-use std::path::PathBuf;
+// Host-side harness shell: wall-clock use is deliberate (see crate docs).
+#![allow(clippy::disallowed_methods)]
 
-type Experiment = (&'static str, fn() -> skyrise::micro::ExperimentResult);
+use skyrise_bench::experiments as e;
+use skyrise_bench::harness::{parse_suite_args, report, run_jobs, ExperimentJob};
+use std::path::PathBuf;
 
 /// Derive the per-experiment trace path: `dir/stem-name.ext`.
 fn trace_path_for(base: &PathBuf, name: &str) -> PathBuf {
@@ -26,38 +34,29 @@ fn trace_path_for(base: &PathBuf, name: &str) -> PathBuf {
 }
 
 fn main() {
-    let trace_out = skyrise_bench::parse_trace_out(std::env::args().skip(1));
-    // CLI shell only: wall time for the suite summary, never fed into a sim.
-    #[allow(clippy::disallowed_methods)]
+    let args = parse_suite_args(std::env::args().skip(1));
+    // Suite wall time for the closing summary; never fed into a sim.
     let t0 = std::time::Instant::now();
-    let all: Vec<Experiment> = vec![
-        ("table01", e::table01),
-        ("table02", e::table02),
-        ("table03", e::table03),
-        ("table04", e::table04),
-        ("fig05", e::fig05),
-        ("fig06", e::fig06),
-        ("fig07", e::fig07),
-        ("fig08", e::fig08),
-        ("fig09", e::fig09),
-        ("fig10", e::fig10),
-        ("fig11", e::fig11),
-        ("fig12", e::fig12),
-        ("fig13", e::fig13),
-        ("fig14", e::fig14),
-        ("fig15", e::fig15),
-        ("table05", e::table05),
-        ("table06", e::table06),
-        ("table07", e::table07),
-        ("table08", e::table08),
-        ("reliability", e::reliability),
-        ("ablation_combining", e::ablation_combining),
-        ("ablation_binary_size", e::ablation_binary_size),
-        ("extra_observations", e::extra_observations),
-    ];
-    for (name, run) in all {
-        let path = trace_out.as_ref().map(|base| trace_path_for(base, name));
-        run_experiment(name, run, path.as_deref());
+    let jobs: Vec<ExperimentJob> = e::ALL
+        .iter()
+        .map(|&(name, run)| ExperimentJob {
+            name,
+            run,
+            trace_out: args.trace_out.as_ref().map(|b| trace_path_for(b, name)),
+        })
+        .collect();
+    eprintln!(
+        "running {} experiments on {} worker(s)",
+        jobs.len(),
+        args.jobs
+    );
+    let done = run_jobs(jobs, args.jobs);
+    for experiment in &done {
+        report(experiment);
     }
-    eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "total wall time: {:.1}s ({} workers)",
+        t0.elapsed().as_secs_f64(),
+        args.jobs
+    );
 }

@@ -16,6 +16,9 @@
 //! time of the library itself, so they vary run to run; each measurement
 //! is the best of N iterations to damp scheduler noise.
 
+// Wall-clock benchmark binary: host time is the measurement itself.
+#![allow(clippy::disallowed_methods)]
+
 use skyrise::data::{tpch, Batch};
 use skyrise::engine::bind::{execute_chain, set_legacy_kernels};
 use skyrise::engine::expr::{Expr, UdfRegistry};
@@ -31,7 +34,6 @@ use std::hint::black_box;
 ///
 /// Wall clock is deliberate here: this binary measures the library's real
 /// performance and never runs inside a simulation.
-#[allow(clippy::disallowed_methods)]
 fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..iters {
@@ -168,7 +170,6 @@ fn kernel_suite(sf: f64, iters: usize) -> Vec<Kernel> {
 ///
 /// Wall clock by design: the virtual-time result is identical for both
 /// arms (same plans, same seed) — the *host* time differs.
-#[allow(clippy::disallowed_methods)]
 fn suite_wall_ms(legacy: bool, payload_sf: f64, fraction: f64, seed: u64) -> f64 {
     set_legacy_kernels(legacy);
     let t0 = std::time::Instant::now();

@@ -1,0 +1,332 @@
+//! Parallel experiment runner.
+//!
+//! The suite is embarrassingly parallel *between* experiments: every
+//! simulation is a self-contained single-threaded `Rc`/`RefCell` world,
+//! so nothing below the harness needs to be `Send`. The harness exploits
+//! exactly that boundary — worker OS threads steal whole experiments from
+//! a shared queue, each experiment's simulations run on the thread that
+//! stole it (trace/digest capture is thread-local), and the only values
+//! crossing threads are plain-data [`CompletedExperiment`]s.
+//!
+//! Determinism is preserved by construction:
+//! * per-experiment seeds are fixed inside the experiment functions, so a
+//!   simulation's digest cannot depend on which worker ran it;
+//! * traces are serialized to strings *on the worker* (the `Tracer`
+//!   handle is `Rc`-based and must not leave its thread);
+//! * results are collected into submission-order slots, so reporting
+//!   order — and therefore every byte of suite output — is independent
+//!   of scheduling. `tests/parallel_determinism.rs` pins the contract:
+//!   `--jobs 1` and `--jobs 4` produce byte-identical digests and JSON.
+
+use crate::{capture_runs, finish, results_dir};
+use skyrise::micro::ExperimentResult;
+use skyrise::sim::SanitizerReport;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// An experiment as submitted to the harness. The run function is a plain
+/// `fn` pointer: experiments are top-level functions, and fn pointers are
+/// `Send` — the closure-free design is what lets jobs cross threads while
+/// everything inside a job stays single-threaded.
+pub struct ExperimentJob {
+    /// Experiment name (suite table key, also used in trace file names).
+    pub name: &'static str,
+    /// The experiment body; runs entirely on one worker thread.
+    pub run: fn() -> ExperimentResult,
+    /// When set, tracing is enabled for every simulation in the job and
+    /// the merged Chrome-trace / JSONL strings are returned in the
+    /// completed job for the reporter to write at this path.
+    pub trace_out: Option<PathBuf>,
+}
+
+/// Serialized trace artifacts produced on the worker thread. `Tracer`
+/// handles are `Rc`-based and cannot leave their thread; strings can.
+pub struct TraceArtifacts {
+    /// Where the reporter should write the Chrome-trace JSON.
+    pub path: PathBuf,
+    /// Merged Chrome-trace JSON over the job's simulations.
+    pub chrome_json: String,
+    /// Flat JSONL event log over the job's simulations.
+    pub jsonl: String,
+}
+
+/// Everything a finished experiment produced, as plain `Send` data.
+pub struct CompletedExperiment {
+    /// Name the job was submitted under.
+    pub name: &'static str,
+    /// The experiment's result tables.
+    pub result: ExperimentResult,
+    /// Per-simulation sanitizer digests, in execution order. The parallel
+    /// determinism contract compares these against a serial run.
+    pub digests: Vec<(String, SanitizerReport)>,
+    /// Simulations executed.
+    pub sims: u64,
+    /// Total virtual time simulated (seconds).
+    pub virtual_secs: f64,
+    /// Trace events recorded (0 when tracing was off).
+    pub events: u64,
+    /// Serialized traces, when the job asked for them.
+    pub trace: Option<TraceArtifacts>,
+    /// Wall-clock seconds the job took on its worker.
+    pub wall_secs: f64,
+}
+
+/// Default worker count: one per available hardware thread.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run one job to completion on the current thread.
+fn run_one(job: ExperimentJob) -> CompletedExperiment {
+    // Host-side wall clock for the human-facing summary line only; never
+    // fed into a simulation.
+    let wall = std::time::Instant::now();
+    let (result, summary) = capture_runs(job.trace_out.is_some(), 0, job.run);
+    let trace = job.trace_out.map(|path| TraceArtifacts {
+        path,
+        chrome_json: summary.chrome_json(),
+        jsonl: summary.jsonl(),
+    });
+    CompletedExperiment {
+        name: job.name,
+        result,
+        events: summary.events(),
+        digests: summary.digests,
+        sims: summary.sims,
+        virtual_secs: summary.virtual_secs,
+        trace,
+        wall_secs: wall.elapsed().as_secs_f64(),
+    }
+}
+
+/// Run `jobs` across up to `workers` OS threads and return the completed
+/// experiments **in submission order**, regardless of which worker finished
+/// when. `workers <= 1` runs everything serially on the calling thread —
+/// the baseline the parallel determinism test compares against.
+///
+/// A panic inside any experiment propagates out of this call once the
+/// remaining workers drain (std scoped-thread semantics).
+pub fn run_jobs(jobs: Vec<ExperimentJob>, workers: usize) -> Vec<CompletedExperiment> {
+    let workers = workers.clamp(1, jobs.len().max(1));
+    if workers <= 1 {
+        return jobs.into_iter().map(run_one).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, ExperimentJob)>> =
+        Mutex::new(jobs.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<CompletedExperiment>>> = {
+        let n = queue.lock().expect("job queue poisoned").len();
+        (0..n).map(|_| Mutex::new(None)).collect()
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Steal the next pending experiment; holding the lock only
+                // for the pop keeps workers out of each other's way.
+                let next = queue.lock().expect("job queue poisoned").pop_front();
+                let Some((index, job)) = next else { break };
+                let done = run_one(job);
+                *slots[index].lock().expect("result slot poisoned") = Some(done);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without completing its job")
+        })
+        .collect()
+}
+
+/// Print and persist one completed experiment exactly as the serial
+/// harness would: result tables via [`finish`], traces to their requested
+/// paths, and the one-line summary. Call in submission order.
+pub fn report(done: &CompletedExperiment) {
+    finish(&done.result);
+    let mut outputs = vec![format!(
+        "{}/{}.json",
+        results_dir().display(),
+        done.result.id
+    )];
+    if let Some(trace) = &done.trace {
+        match write_trace_strings(&trace.path, &trace.chrome_json, &trace.jsonl) {
+            Ok(jsonl_path) => {
+                outputs.push(trace.path.display().to_string());
+                outputs.push(jsonl_path.display().to_string());
+            }
+            Err(e) => eprintln!("  (could not write trace to {}: {e})", trace.path.display()),
+        }
+    }
+    println!(
+        "[{}] virtual {:.1}s across {} sims, {} events traced, wall {:.1}s -> {}",
+        done.name,
+        done.virtual_secs,
+        done.sims,
+        done.events,
+        done.wall_secs,
+        outputs.join(", ")
+    );
+}
+
+/// Write pre-serialized trace strings: Chrome JSON at `path`, JSONL at
+/// `<path>.jsonl`. Returns the JSONL path.
+pub fn write_trace_strings(
+    path: &Path,
+    chrome_json: &str,
+    jsonl: &str,
+) -> std::io::Result<PathBuf> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, chrome_json)?;
+    let mut jsonl_path = path.as_os_str().to_owned();
+    jsonl_path.push(".jsonl");
+    let jsonl_path = PathBuf::from(jsonl_path);
+    std::fs::write(&jsonl_path, jsonl)?;
+    Ok(jsonl_path)
+}
+
+// ---------------------------------------------------------------------------
+// Suite CLI arguments
+// ---------------------------------------------------------------------------
+
+/// Arguments shared by the suite binaries: `--trace-out <path>` and
+/// `--jobs N` (0 or omitted → [`default_jobs`]).
+pub struct SuiteArgs {
+    /// Base path for per-experiment trace files, when tracing.
+    pub trace_out: Option<PathBuf>,
+    /// Worker thread count.
+    pub jobs: usize,
+}
+
+/// Parse suite arguments; unknown arguments abort with a usage message.
+pub fn parse_suite_args<I: IntoIterator<Item = String>>(args: I) -> SuiteArgs {
+    let mut out = SuiteArgs {
+        trace_out: None,
+        jobs: default_jobs(),
+    };
+    let mut iter = args.into_iter();
+    let usage = "usage: [--trace-out <path>] [--jobs N]";
+    let set_jobs = |v: &str| match v.parse::<usize>() {
+        Ok(0) => default_jobs(),
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("--jobs requires a non-negative integer; {usage}");
+            std::process::exit(2);
+        }
+    };
+    while let Some(arg) = iter.next() {
+        if arg == "--trace-out" {
+            match iter.next() {
+                Some(path) => out.trace_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--trace-out requires a path argument; {usage}");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--trace-out=") {
+            out.trace_out = Some(PathBuf::from(path));
+        } else if arg == "--jobs" {
+            match iter.next() {
+                Some(v) => out.jobs = set_jobs(&v),
+                None => {
+                    eprintln!("--jobs requires a count argument; {usage}");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            out.jobs = set_jobs(v);
+        } else {
+            eprintln!("unknown argument `{arg}`; {usage}");
+            std::process::exit(2);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyrise::micro::ExperimentResult;
+
+    fn tiny(id: &str, scale: u64) -> ExperimentResult {
+        let mut r = ExperimentResult::new(id, "tiny harness probe");
+        let secs = crate::in_sim(42, move |ctx| {
+            Box::pin(async move {
+                ctx.sleep(skyrise::sim::SimDuration::from_secs(scale)).await;
+                ctx.now().as_secs_f64()
+            })
+        });
+        r.scalars.insert("virtual_secs".into(), secs);
+        r
+    }
+
+    fn job_a() -> ExperimentResult {
+        tiny("harness_a", 3)
+    }
+    fn job_b() -> ExperimentResult {
+        tiny("harness_b", 5)
+    }
+    fn job_c() -> ExperimentResult {
+        tiny("harness_c", 7)
+    }
+
+    fn jobs() -> Vec<ExperimentJob> {
+        vec![
+            ExperimentJob {
+                name: "a",
+                run: job_a,
+                trace_out: None,
+            },
+            ExperimentJob {
+                name: "b",
+                run: job_b,
+                trace_out: None,
+            },
+            ExperimentJob {
+                name: "c",
+                run: job_c,
+                trace_out: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for workers in [1, 2, 8] {
+            let done = run_jobs(jobs(), workers);
+            let names: Vec<_> = done.iter().map(|d| d.name).collect();
+            assert_eq!(names, ["a", "b", "c"], "workers={workers}");
+            assert_eq!(done[1].result.scalars["virtual_secs"], 5.0);
+        }
+    }
+
+    #[test]
+    fn parallel_digests_match_serial() {
+        let serial = run_jobs(jobs(), 1);
+        let parallel = run_jobs(jobs(), 3);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.sims, p.sims);
+            assert_eq!(s.digests, p.digests, "digest diverged for {}", s.name);
+        }
+    }
+
+    #[test]
+    fn suite_args_parsing() {
+        let args = parse_suite_args(vec!["--jobs".into(), "4".into()]);
+        assert_eq!(args.jobs, 4);
+        assert_eq!(args.trace_out, None);
+        let args = parse_suite_args(vec!["--jobs=2".into(), "--trace-out=/tmp/t.json".into()]);
+        assert_eq!(args.jobs, 2);
+        assert_eq!(args.trace_out, Some(PathBuf::from("/tmp/t.json")));
+        // 0 falls back to the hardware default.
+        let args = parse_suite_args(vec!["--jobs=0".into()]);
+        assert!(args.jobs >= 1);
+    }
+}

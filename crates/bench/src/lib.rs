@@ -17,26 +17,48 @@
 //! plus a flat JSONL log at `<path>.jsonl`. Traces are byte-identical
 //! across runs with identical seeds.
 
+// Host-side harness crate: wall-clock timing and OS threads are its job
+// (summary lines, the parallel runner). The determinism rules guard the
+// simulation crates; here they are allowed crate-wide, mirroring simlint's
+// crate-level exemption for `crates/bench`.
+#![allow(clippy::disallowed_methods)]
+
 pub mod datasets;
 pub mod experiments;
+pub mod harness;
 
 use skyrise::micro::ExperimentResult;
 use skyrise::sim::{SanitizerReport, Tracer};
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+static RESULTS_DIR: OnceLock<PathBuf> = OnceLock::new();
+static FULL_PROFILE: OnceLock<bool> = OnceLock::new();
 
 /// Where results are written (`SKYRISE_RESULTS`, default `results/`).
+///
+/// Resolved from the environment exactly once per process and cached, so
+/// every harness worker thread sees the same value even if the environment
+/// is mutated mid-run.
 pub fn results_dir() -> PathBuf {
-    std::env::var("SKYRISE_RESULTS")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results"))
+    RESULTS_DIR
+        .get_or_init(|| {
+            std::env::var("SKYRISE_RESULTS")
+                .map(PathBuf::from)
+                .unwrap_or_else(|_| PathBuf::from("results"))
+        })
+        .clone()
 }
 
-/// Paper-scale mode?
+/// Paper-scale mode? (`SKYRISE_FULL=1`.) Resolved once per process, like
+/// [`results_dir`] — an experiment suite cannot change profile halfway.
 pub fn full_profile() -> bool {
-    std::env::var("SKYRISE_FULL")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    *FULL_PROFILE.get_or_init(|| {
+        std::env::var("SKYRISE_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
 }
 
 /// Print and persist an experiment result.
@@ -287,9 +309,8 @@ pub fn run_experiment(
     run: impl FnOnce() -> ExperimentResult,
     trace_out: Option<&Path>,
 ) {
-    // CLI shell only: wall time for the human-facing summary line, never
-    // fed into the simulation.
-    #[allow(clippy::disallowed_methods)]
+    // Wall time for the human-facing summary line only, never fed into
+    // the simulation.
     let wall = std::time::Instant::now();
     let (result, summary) = capture_runs(trace_out.is_some(), 0, run);
     finish(&result);

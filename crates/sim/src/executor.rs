@@ -10,15 +10,34 @@
 //! order, timers with equal deadlines fire in registration order, and the
 //! only randomness available to tasks flows through the seeded [`SimRng`]
 //! accessible via [`SimCtx::with_rng`].
+//!
+//! ## Hot-path layout
+//!
+//! The scheduler's data structures are chosen for the poll loop, which
+//! dominates the wall-clock cost of a full experiment suite (DESIGN.md §3
+//! "Simulator performance"):
+//!
+//! * tasks live in a generation-indexed [`Slab`] — a `Vec` indexed by the
+//!   low bits of the `TaskId`, so a poll is an array load, not a hash —
+//!   with free-list reuse and generation checks that make stale wakes miss;
+//! * timers live in a cancellation-aware quaternary [`TimerHeap`]: a
+//!   cancelled sleep is removed immediately instead of leaving a tombstone
+//!   that must bubble to the top of a `BinaryHeap`;
+//! * each task's [`Waker`] is created once and cached in its slab slot
+//!   (an `Arc` clone per poll instead of a fresh allocation);
+//! * the tracer, sanitizer, fault plan, and RNG sit behind a single
+//!   [`RefCell`] of scheduler hooks, borrowed once per step rather than
+//!   once per handle.
 
 use crate::faults::{FaultConfig, FaultPlan};
 use crate::rng::SimRng;
 use crate::sanitizer::Sanitizer;
+use crate::slab::Slab;
 use crate::time::{SimDuration, SimTime};
+use crate::timer_heap::{TimerHeap, TimerKey};
 use crate::trace::Tracer;
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::{Rc, Weak};
@@ -27,7 +46,9 @@ use std::task::{Context, Poll, Wake, Waker};
 
 type LocalBoxFuture = Pin<Box<dyn Future<Output = ()>>>;
 
-/// Identifier of a spawned task.
+/// Identifier of a spawned task: a generation-indexed slab key. The low 32
+/// bits index the task table; the high bits are the slot's generation, so
+/// ids of completed tasks are never resurrected by slot reuse.
 pub type TaskId = u64;
 
 /// The shared wake queue. `Waker` must be `Send + Sync`, so this small piece
@@ -53,52 +74,39 @@ impl Wake for TaskWaker {
     }
 }
 
-struct TimerEntry {
-    deadline: SimTime,
-    seq: u64,
-    waker: Waker,
-    fired: Rc<Cell<bool>>,
+/// One entry in the task slab.
+struct Task {
+    /// The future, `None` only while it is being polled.
+    fut: Option<LocalBoxFuture>,
+    /// Cached waker, created lazily on first poll and cloned thereafter.
+    waker: Option<Waker>,
 }
 
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
-    }
+/// Scheduler hooks behind one cell: everything the executor (and tasks,
+/// via [`SimCtx`]) consults per step, borrowed together instead of through
+/// four separate `RefCell`s.
+struct Hooks {
+    rng: SimRng,
+    /// Trace sink; disabled (no-op) unless installed via [`Sim::install_tracer`].
+    tracer: Tracer,
+    /// Runtime determinism sanitizer; active by default in debug builds.
+    sanitizer: Sanitizer,
+    /// Fault-injection plan; disabled (injects nothing) unless installed
+    /// via [`Sim::install_faults`].
+    faults: FaultPlan,
 }
 
 struct SimState {
     now: Cell<SimTime>,
-    // simlint: allow(DET005): poll order comes from the FIFO `ready` queue;
-    // this map is only ever accessed by TaskId key, never iterated.
-    tasks: RefCell<HashMap<TaskId, LocalBoxFuture>>,
+    tasks: RefCell<Slab<Task>>,
     ready: RefCell<VecDeque<TaskId>>,
-    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
-    next_task_id: Cell<TaskId>,
-    next_timer_seq: Cell<u64>,
-    rng: RefCell<SimRng>,
+    timers: RefCell<TimerHeap<Waker>>,
+    hooks: RefCell<Hooks>,
     wake_queue: Arc<WakeQueue>,
     /// Count of tasks that have been spawned but not yet completed.
     live_tasks: Cell<usize>,
     /// RNG seed this simulation was created with.
     seed: u64,
-    /// Trace sink; disabled (no-op) unless installed via [`Sim::install_tracer`].
-    tracer: RefCell<Tracer>,
-    /// Runtime determinism sanitizer; active by default in debug builds.
-    sanitizer: RefCell<Sanitizer>,
-    /// Fault-injection plan; disabled (injects nothing) unless installed
-    /// via [`Sim::install_faults`].
-    faults: RefCell<FaultPlan>,
 }
 
 /// The simulation: owns the virtual clock, task set, and timer wheel.
@@ -134,26 +142,25 @@ impl Sim {
         Sim {
             state: Rc::new(SimState {
                 now: Cell::new(SimTime::ZERO),
-                // simlint: allow(DET005): keyed access only; see field decl.
-                tasks: RefCell::new(HashMap::new()),
+                tasks: RefCell::new(Slab::new()),
                 ready: RefCell::new(VecDeque::new()),
-                timers: RefCell::new(BinaryHeap::new()),
-                next_task_id: Cell::new(0),
-                next_timer_seq: Cell::new(0),
-                rng: RefCell::new(SimRng::new(seed)),
+                timers: RefCell::new(TimerHeap::new()),
+                hooks: RefCell::new(Hooks {
+                    rng: SimRng::new(seed),
+                    tracer: Tracer::disabled(),
+                    // Debug builds (what `cargo test` runs) sanitize every
+                    // simulation; release experiment binaries opt in via
+                    // [`Sim::enable_sanitizer`].
+                    sanitizer: if cfg!(debug_assertions) {
+                        Sanitizer::new()
+                    } else {
+                        Sanitizer::disabled()
+                    },
+                    faults: FaultPlan::disabled(),
+                }),
                 wake_queue: Arc::new(WakeQueue::default()),
                 live_tasks: Cell::new(0),
                 seed,
-                tracer: RefCell::new(Tracer::disabled()),
-                // Debug builds (what `cargo test` runs) sanitize every
-                // simulation; release experiment binaries opt in via
-                // [`Sim::enable_sanitizer`].
-                sanitizer: RefCell::new(if cfg!(debug_assertions) {
-                    Sanitizer::new()
-                } else {
-                    Sanitizer::disabled()
-                }),
-                faults: RefCell::new(FaultPlan::disabled()),
             }),
         }
     }
@@ -163,13 +170,13 @@ impl Sim {
     /// and returns a handle that outlives the simulation for export.
     pub fn install_tracer(&self) -> Tracer {
         let tracer = Tracer::new(self.state.seed);
-        *self.state.tracer.borrow_mut() = tracer.clone();
+        self.state.hooks.borrow_mut().tracer = tracer.clone();
         tracer
     }
 
     /// The tracer currently installed (disabled by default).
     pub fn tracer(&self) -> Tracer {
-        self.state.tracer.borrow().clone()
+        self.state.hooks.borrow().tracer.clone()
     }
 
     /// Enable the runtime determinism sanitizer (fresh state) and return a
@@ -179,19 +186,19 @@ impl Sim {
     /// [`report`]: Sanitizer::report
     pub fn enable_sanitizer(&self) -> Sanitizer {
         let san = Sanitizer::new();
-        *self.state.sanitizer.borrow_mut() = san.clone();
+        self.state.hooks.borrow_mut().sanitizer = san.clone();
         san
     }
 
     /// Turn the sanitizer off (e.g. for a release-mode perf run that was
     /// built with debug assertions).
     pub fn disable_sanitizer(&self) {
-        *self.state.sanitizer.borrow_mut() = Sanitizer::disabled();
+        self.state.hooks.borrow_mut().sanitizer = Sanitizer::disabled();
     }
 
     /// The sanitizer currently installed.
     pub fn sanitizer(&self) -> Sanitizer {
-        self.state.sanitizer.borrow().clone()
+        self.state.hooks.borrow().sanitizer.clone()
     }
 
     /// Install a fault-injection plan (seeded from this simulation's seed,
@@ -201,13 +208,13 @@ impl Sim {
     /// disabled and injects nothing.
     pub fn install_faults(&self, config: FaultConfig) -> FaultPlan {
         let plan = FaultPlan::new(self.state.seed, config);
-        *self.state.faults.borrow_mut() = plan.clone();
+        self.state.hooks.borrow_mut().faults = plan.clone();
         plan
     }
 
     /// The fault plan currently installed (disabled by default).
     pub fn faults(&self) -> FaultPlan {
-        self.state.faults.borrow().clone()
+        self.state.hooks.borrow().faults.clone()
     }
 
     /// A handle for spawning and sleeping from inside tasks.
@@ -243,39 +250,24 @@ impl Sim {
     /// Run until quiescence or until the clock would pass `limit`,
     /// whichever comes first. Timers beyond `limit` stay pending.
     pub fn run_until(&mut self, limit: SimTime) -> SimTime {
+        // The sanitizer handle shares its state with the installed one, so
+        // one clone up front covers the whole run — the hooks cell is not
+        // re-borrowed per step.
+        let sanitizer = self.state.hooks.borrow().sanitizer.clone();
         loop {
-            self.drain_ready();
-            // No runnable tasks: advance to the next timer.
-            let next = {
-                let mut timers = self.state.timers.borrow_mut();
-                loop {
-                    match timers.peek() {
-                        Some(Reverse(e)) if e.fired.get() => {
-                            // Stale duplicate entry from a re-registered sleep.
-                            timers.pop();
-                        }
-                        Some(Reverse(e)) => break Some(e.deadline),
-                        None => break None,
-                    }
-                }
-            };
+            self.drain_ready(&sanitizer);
+            // No runnable tasks: advance to the next timer. Cancelled
+            // timers were removed eagerly, so the head is always live.
+            let next = self.state.timers.borrow().peek_deadline();
             match next {
                 Some(deadline) if deadline <= limit => {
-                    self.state
-                        .sanitizer
-                        .borrow()
-                        .on_advance(self.state.now.get(), deadline);
+                    sanitizer.on_advance(self.state.now.get(), deadline);
                     self.state.now.set(deadline);
-                    // Fire every timer at this deadline.
+                    // Fire every timer at this deadline, in registration
+                    // order (the heap breaks deadline ties by insertion seq).
                     let mut timers = self.state.timers.borrow_mut();
-                    while let Some(Reverse(e)) = timers.peek() {
-                        if e.deadline > deadline {
-                            break;
-                        }
-                        let e = timers.pop().expect("peeked entry").0;
-                        if !e.fired.replace(true) {
-                            e.waker.wake();
-                        }
+                    while let Some(waker) = timers.pop_due(deadline) {
+                        waker.wake();
                     }
                 }
                 Some(_) => return self.state.now.get(), // next event beyond limit
@@ -292,7 +284,7 @@ impl Sim {
     }
 
     /// Poll every woken task until the ready queue is empty.
-    fn drain_ready(&mut self) {
+    fn drain_ready(&mut self, sanitizer: &Sanitizer) {
         loop {
             // Pull wakes accumulated since the last pass.
             {
@@ -320,25 +312,40 @@ impl Sim {
                 }
                 continue;
             };
-            let Some(mut fut) = self.state.tasks.borrow_mut().remove(&id) else {
-                continue; // task already completed; stale wake
+            // Take the future out of its slot for the poll (a task may
+            // spawn siblings mid-poll, which re-borrows the slab). The
+            // generation check makes wakes for completed tasks miss.
+            let (mut fut, waker) = {
+                let mut tasks = self.state.tasks.borrow_mut();
+                let Some(task) = tasks.get_mut(id) else {
+                    continue; // task already completed; stale wake
+                };
+                let Some(fut) = task.fut.take() else {
+                    continue; // duplicate wake already being handled
+                };
+                let waker = task
+                    .waker
+                    .get_or_insert_with(|| {
+                        Waker::from(Arc::new(TaskWaker {
+                            id,
+                            queue: Arc::clone(&self.state.wake_queue),
+                        }))
+                    })
+                    .clone();
+                (fut, waker)
             };
-            self.state
-                .sanitizer
-                .borrow()
-                .on_poll(id, self.state.now.get());
-            let waker = Waker::from(Arc::new(TaskWaker {
-                id,
-                queue: Arc::clone(&self.state.wake_queue),
-            }));
+            sanitizer.on_poll(id, self.state.now.get());
             let mut cx = Context::from_waker(&waker);
             match fut.as_mut().poll(&mut cx) {
                 Poll::Ready(()) => {
+                    self.state.tasks.borrow_mut().remove(id);
                     self.state.live_tasks.set(self.state.live_tasks.get() - 1);
-                    self.state.sanitizer.borrow().on_complete(id);
+                    sanitizer.on_complete(id);
                 }
                 Poll::Pending => {
-                    self.state.tasks.borrow_mut().insert(id, fut);
+                    if let Some(task) = self.state.tasks.borrow_mut().get_mut(id) {
+                        task.fut = Some(fut);
+                    }
                 }
             }
         }
@@ -367,7 +374,7 @@ impl SimCtx {
     /// installed via [`Sim::install_tracer`]). Cheap to clone and call.
     pub fn tracer(&self) -> Tracer {
         match self.state.upgrade() {
-            Some(s) => s.tracer.borrow().clone(),
+            Some(s) => s.hooks.borrow().tracer.clone(),
             None => Tracer::disabled(),
         }
     }
@@ -377,7 +384,7 @@ impl SimCtx {
     /// cross-checks — without holding state of their own.
     pub fn sanitizer(&self) -> Sanitizer {
         match self.state.upgrade() {
-            Some(s) => s.sanitizer.borrow().clone(),
+            Some(s) => s.hooks.borrow().sanitizer.clone(),
             None => Sanitizer::disabled(),
         }
     }
@@ -387,7 +394,7 @@ impl SimCtx {
     /// clone and query.
     pub fn faults(&self) -> FaultPlan {
         match self.state.upgrade() {
-            Some(s) => s.faults.borrow().clone(),
+            Some(s) => s.hooks.borrow().faults.clone(),
             None => FaultPlan::disabled(),
         }
     }
@@ -400,8 +407,6 @@ impl SimCtx {
         F::Output: 'static,
     {
         let state = self.state();
-        let id = state.next_task_id.get();
-        state.next_task_id.set(id + 1);
         state.live_tasks.set(state.live_tasks.get() + 1);
 
         let slot: Rc<RefCell<JoinSlot<F::Output>>> = Rc::new(RefCell::new(JoinSlot::default()));
@@ -414,7 +419,10 @@ impl SimCtx {
                 w.wake();
             }
         });
-        state.tasks.borrow_mut().insert(id, wrapped);
+        let id = state.tasks.borrow_mut().insert(Task {
+            fut: Some(wrapped),
+            waker: None,
+        });
         state.ready.borrow_mut().push_back(id);
         JoinHandle { slot }
     }
@@ -424,7 +432,7 @@ impl SimCtx {
         Sleep {
             ctx: self.clone(),
             deadline: self.now().saturating_add(d),
-            fired: None,
+            timer: None,
         }
     }
 
@@ -433,7 +441,7 @@ impl SimCtx {
         Sleep {
             ctx: self.clone(),
             deadline,
-            fired: None,
+            timer: None,
         }
     }
 
@@ -446,22 +454,26 @@ impl SimCtx {
     /// here to preserve determinism.
     pub fn with_rng<T>(&self, f: impl FnOnce(&mut SimRng) -> T) -> T {
         let state = self.state();
-        let mut rng = state.rng.borrow_mut();
-        f(&mut rng)
+        let mut hooks = state.hooks.borrow_mut();
+        f(&mut hooks.rng)
     }
 
-    fn register_timer(&self, deadline: SimTime, waker: Waker) -> Rc<Cell<bool>> {
-        let state = self.state();
-        let fired = Rc::new(Cell::new(false));
-        let seq = state.next_timer_seq.get();
-        state.next_timer_seq.set(seq + 1);
-        state.timers.borrow_mut().push(Reverse(TimerEntry {
-            deadline,
-            seq,
-            waker,
-            fired: Rc::clone(&fired),
-        }));
-        fired
+    fn register_timer(&self, deadline: SimTime, waker: Waker) -> TimerKey {
+        self.state().timers.borrow_mut().insert(deadline, waker)
+    }
+
+    /// Refresh the waker of a pending timer; false when the timer already
+    /// fired or was cancelled (its key went stale).
+    fn refresh_timer(&self, key: TimerKey, waker: Waker) -> bool {
+        self.state().timers.borrow_mut().update_payload(key, waker)
+    }
+
+    /// Cancel a pending timer. Tolerates stale keys and a dropped
+    /// simulation — [`Sleep`] calls this from `Drop`.
+    fn cancel_timer(&self, key: TimerKey) {
+        if let Some(state) = self.state.upgrade() {
+            state.timers.borrow_mut().cancel(key);
+        }
     }
 }
 
@@ -511,39 +523,47 @@ impl<T> Future for JoinHandle<T> {
 }
 
 /// Future returned by [`SimCtx::sleep`].
+///
+/// Holds a [`TimerKey`] into the cancellation-aware timer heap: dropping
+/// or completing the sleep removes the entry immediately, so abandoned
+/// sleeps (the losing arm of a [`race`], a speculative re-execution that
+/// was beaten) cost the scheduler nothing.
 pub struct Sleep {
     ctx: SimCtx,
     deadline: SimTime,
-    fired: Option<Rc<Cell<bool>>>,
+    timer: Option<TimerKey>,
 }
 
 impl Future for Sleep {
     type Output = ();
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.ctx.now() >= self.deadline {
-            if let Some(f) = &self.fired {
-                f.set(true); // cancel pending timer entry
+            if let Some(key) = self.timer.take() {
+                self.ctx.cancel_timer(key); // no-op if it just fired
             }
             return Poll::Ready(());
         }
-        // (Re-)register on every pending poll: spurious wakes or waker
-        // migration across combinators both stay correct this way. The
-        // previous entry (if any) is cancelled so it cannot keep the
-        // simulation alive after this future is dropped or re-polled.
-        if let Some(old) = self.fired.take() {
-            old.set(true);
+        // Spurious wakes and waker migration across combinators both stay
+        // correct: refresh the pending entry's waker in place, or register
+        // anew when the entry is gone (first poll, or fired while the task
+        // was woken by something else).
+        if let Some(key) = self.timer {
+            if self.ctx.refresh_timer(key, cx.waker().clone()) {
+                return Poll::Pending;
+            }
+            self.timer = None;
         }
         let deadline = self.deadline;
-        let fired = self.ctx.register_timer(deadline, cx.waker().clone());
-        self.fired = Some(fired);
+        let key = self.ctx.register_timer(deadline, cx.waker().clone());
+        self.timer = Some(key);
         Poll::Pending
     }
 }
 
 impl Drop for Sleep {
     fn drop(&mut self) {
-        if let Some(f) = &self.fired {
-            f.set(true);
+        if let Some(key) = self.timer.take() {
+            self.ctx.cancel_timer(key);
         }
     }
 }
@@ -819,6 +839,44 @@ mod tests {
         });
         let end = sim.run();
         assert!(end.as_secs_f64() < 1.0, "end {end}");
+    }
+
+    #[test]
+    fn cancelled_sleep_leaves_no_timer_entry() {
+        // The loser of a race is removed from the timer heap immediately —
+        // not tombstoned until its deadline would have arrived.
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            let _ = race(
+                ctx.sleep(SimDuration::from_secs(100)),
+                ctx.sleep(SimDuration::from_millis(1)),
+            )
+            .await;
+        });
+        sim.run();
+        assert!(
+            sim.state.timers.borrow().is_empty(),
+            "cancelled sleep left an entry in the timer heap"
+        );
+    }
+
+    #[test]
+    fn task_ids_are_not_resurrected_by_slot_reuse() {
+        // A completed task's slot is reused by a later spawn; the stale
+        // wake for the finished task must miss (generation check), and the
+        // new task must still run.
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let first = ctx.spawn(async { 1u32 });
+            let v1 = first.await;
+            // The first task's slot is free now; this spawn reuses it.
+            let second = ctx.spawn(async { 2u32 });
+            v1 + second.await
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(3));
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`trace`] — virtual-time spans/events, Chrome-trace + JSONL export
 //! * [`sanitizer`] — runtime determinism checks + per-event state digest
 //! * [`faults`] — seeded fault-injection plan queried by the models
+//! * [`slab`] / [`timer_heap`] — the executor's generation-indexed task
+//!   table and cancellation-aware timer queue (exposed for oracle tests
+//!   and the `sim_bench` microbenchmark)
 
 #![warn(missing_docs)]
 
@@ -23,8 +26,10 @@ pub mod faults;
 pub mod metrics;
 pub mod rng;
 pub mod sanitizer;
+pub mod slab;
 pub mod sync;
 pub mod time;
+pub mod timer_heap;
 pub mod trace;
 
 pub use executor::{first_completed, join_all, race, Either, JoinHandle, Sim, SimCtx};
@@ -32,7 +37,9 @@ pub use faults::{FaultConfig, FaultPlan, FaultStats, StorageFault};
 pub use metrics::{Histogram, HistogramSummary, IntervalSeries};
 pub use rng::{LatencyDist, SimRng};
 pub use sanitizer::{DigestCheckpoint, Sanitizer, SanitizerReport};
+pub use slab::{Slab, SlabKey};
 pub use time::{SimDuration, SimTime};
+pub use timer_heap::{TimerHeap, TimerKey};
 pub use trace::{
     chrome_trace_json_multi, jsonl_multi, AttrValue, EventKind, Span, TraceEvent, Tracer,
 };

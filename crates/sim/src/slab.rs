@@ -1,0 +1,184 @@
+//! Generation-indexed slab: the executor's task table.
+//!
+//! A `HashMap<TaskId, _>` puts a hash + probe on every poll of every task.
+//! The slab replaces that with a plain `Vec` indexed by the low 32 bits of
+//! the key; freed slots go on a free list and are reused for later
+//! insertions. The high 32 bits carry a per-slot *generation*, bumped on
+//! every removal, so a stale key (a wake for a completed task whose slot
+//! was since reused) misses instead of resolving to the wrong task.
+//!
+//! Keys are handed out deterministically: the free list is LIFO, so the
+//! same insert/remove sequence always yields the same key sequence —
+//! a property the determinism sweep relies on (task ids are folded into
+//! the sanitizer digest).
+
+/// A slab key: `generation << 32 | index`. Also the executor's `TaskId`.
+pub type SlabKey = u64;
+
+const INDEX_BITS: u32 = 32;
+const INDEX_MASK: u64 = (1 << INDEX_BITS) - 1;
+
+/// Split a key into `(index, generation)`.
+#[inline]
+fn split(key: SlabKey) -> (usize, u32) {
+    ((key & INDEX_MASK) as usize, (key >> INDEX_BITS) as u32)
+}
+
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// Vec-backed storage with generation-checked keys and free-list reuse.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a value, reusing a freed slot when one is available.
+    pub fn insert(&mut self, value: T) -> SlabKey {
+        self.len += 1;
+        match self.free.pop() {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                debug_assert!(slot.value.is_none(), "free-list slot was occupied");
+                slot.value = Some(value);
+                ((slot.generation as u64) << INDEX_BITS) | index as u64
+            }
+            None => {
+                let index = self.slots.len();
+                assert!(index <= INDEX_MASK as usize, "slab index overflow");
+                self.slots.push(Slot {
+                    generation: 0,
+                    value: Some(value),
+                });
+                index as u64
+            }
+        }
+    }
+
+    /// Remove and return the value at `key`, or `None` when the key is
+    /// stale (slot freed, possibly reused under a newer generation).
+    pub fn remove(&mut self, key: SlabKey) -> Option<T> {
+        let (index, generation) = split(key);
+        let slot = self.slots.get_mut(index)?;
+        if slot.generation != generation || slot.value.is_none() {
+            return None;
+        }
+        let value = slot.value.take();
+        // Bump the generation on removal so every stale key misses.
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(index as u32);
+        self.len -= 1;
+        value
+    }
+
+    /// Shared access to the value at `key`, if it is live.
+    pub fn get(&self, key: SlabKey) -> Option<&T> {
+        let (index, generation) = split(key);
+        let slot = self.slots.get(index)?;
+        if slot.generation != generation {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    /// Exclusive access to the value at `key`, if it is live.
+    pub fn get_mut(&mut self, key: SlabKey) -> Option<&mut T> {
+        let (index, generation) = split(key);
+        let slot = self.slots.get_mut(index)?;
+        if slot.generation != generation {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// True when `key` resolves to a live value.
+    pub fn contains(&self, key: SlabKey) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.remove(a), None, "double remove misses");
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn reuse_bumps_generation() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1u32);
+        slab.remove(a);
+        let b = slab.insert(2u32);
+        // Same index, different generation → distinct keys, stale key misses.
+        assert_eq!(a & INDEX_MASK, b & INDEX_MASK);
+        assert_ne!(a, b);
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.get(b), Some(&2));
+    }
+
+    #[test]
+    fn key_sequence_is_deterministic() {
+        let run = || {
+            let mut slab = Slab::new();
+            let mut keys = Vec::new();
+            let k0 = slab.insert(0);
+            let k1 = slab.insert(1);
+            keys.push(k0);
+            keys.push(k1);
+            slab.remove(k0);
+            keys.push(slab.insert(2));
+            slab.remove(k1);
+            keys.push(slab.insert(3));
+            keys
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut slab = Slab::new();
+        let k = slab.insert(10u64);
+        *slab.get_mut(k).unwrap() += 5;
+        assert_eq!(slab.get(k), Some(&15));
+    }
+}

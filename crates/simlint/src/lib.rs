@@ -10,7 +10,8 @@
 //! Rules (see [`rules`] for the full contract): DET001 hash-container
 //! iteration, DET002 wall-clock/entropy/env APIs, DET003 RefCell borrows
 //! across `.await`, DET004 order-sensitive float accumulation, DET005 hash
-//! container construction, SL000 malformed suppressions.
+//! container construction, DET006 host thread APIs, SL000 malformed
+//! suppressions.
 //!
 //! Suppress a finding with a justified comment on (or directly above) the
 //! offending line:
@@ -113,17 +114,21 @@ pub fn lint_source(file: &str, src: &str, opts: &LintOptions) -> Vec<Diagnostic>
     rules::check_tokens(file, &toks, opts)
 }
 
-/// Crates whose nature requires touching the host clock/env: the bench CLI
-/// shell (argument parsing, wall-clock progress) and this linter itself.
-const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["bench", "simlint"];
+/// Crates whose nature requires touching the host clock/env/threads: the
+/// bench harness shell (argument parsing, wall-clock progress, the parallel
+/// experiment runner) and this linter itself. DET002 and DET006 are scoped
+/// off for them as a crate-level allowance — everything sim-facing keeps
+/// both rules on.
+const HOST_SIDE_CRATES: &[&str] = &["bench", "simlint"];
 
 /// Derive per-file options from its path within the workspace.
 pub fn options_for(path: &Path) -> LintOptions {
     let mut opts = LintOptions::default();
     let p = path.to_string_lossy().replace('\\', "/");
-    for c in WALL_CLOCK_EXEMPT_CRATES {
+    for c in HOST_SIDE_CRATES {
         if p.contains(&format!("crates/{c}/")) {
             opts.wall_clock = false;
+            opts.threads = false;
         }
     }
     opts

@@ -20,6 +20,9 @@
 //! * **DET005** — `HashMap`/`HashSet` construction or type annotation in
 //!   sim-facing code. Even keyed-only maps are one `for` loop away from a
 //!   DET001; prefer `BTreeMap`/`BTreeSet`, or suppress with a justification.
+//! * **DET006** — host thread APIs (`std::thread::spawn`/`scope`/...) in
+//!   sim-facing code. Every simulation is single-threaded by construction;
+//!   only the bench harness shell may fan work out across OS threads.
 //! * **SL000** — malformed suppression: `// simlint: allow(...)` without the
 //!   mandatory `: <justification>` tail (or unparseable rule list).
 
@@ -32,11 +35,18 @@ pub struct LintOptions {
     /// Enable DET002 (wall-clock / entropy / env). Off for the bench CLI
     /// shell and for simlint itself, which legitimately touch the host.
     pub wall_clock: bool,
+    /// Enable DET006 (host thread APIs). Off for the same host-side crates:
+    /// the parallel harness runs whole experiments on worker threads, but
+    /// each simulation inside stays single-threaded.
+    pub threads: bool,
 }
 
 impl Default for LintOptions {
     fn default() -> Self {
-        LintOptions { wall_clock: true }
+        LintOptions {
+            wall_clock: true,
+            threads: true,
+        }
     }
 }
 
@@ -94,6 +104,9 @@ pub fn check_tokens(file: &str, toks: &[Token], opts: &LintOptions) -> Vec<Diagn
 
     if opts.wall_clock {
         rule_det002(file, &code, &exempt, &in_use, &mut diags);
+    }
+    if opts.threads {
+        rule_det006(file, &code, &exempt, &in_use, &mut diags);
     }
     rule_hash(file, &code, &exempt, &in_use, &mut diags);
     rule_det003(file, &code, &exempt, &mut diags);
@@ -406,6 +419,80 @@ fn rule_det002(
                     format!("importing `std::time::{name}`; use virtual `SimTime` instead"),
                 );
             }
+        }
+    }
+}
+
+/// Thread APIs whose *call* makes execution multi-threaded or scheduler
+/// dependent. `JoinHandle` alone is not flagged: it only exists downstream
+/// of one of these.
+const THREAD_FNS: &[&str] = &[
+    "spawn",
+    "scope",
+    "Builder",
+    "sleep",
+    "park",
+    "yield_now",
+    "available_parallelism",
+];
+
+/// DET006: host thread APIs in sim-facing code.
+fn rule_det006(
+    file: &str,
+    code: &[&Token],
+    exempt: &[bool],
+    in_use: &[bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let path_sep = |i: usize| -> bool {
+        i + 1 < code.len() && code[i].is_punct(':') && code[i + 1].is_punct(':')
+    };
+    for i in 0..code.len() {
+        if exempt[i] {
+            continue;
+        }
+        let t = code[i];
+        if !(t.kind == TokKind::Ident && t.text == "thread") {
+            continue;
+        }
+        // Imports: any `use` statement reaching into `std::thread`.
+        if in_use[i] {
+            let mut lo = i;
+            while lo > 0 && in_use[lo - 1] {
+                lo -= 1;
+            }
+            let stmt_has_std = (lo..i).any(|j| code[j].is_ident("std"));
+            if stmt_has_std {
+                diag(
+                    diags,
+                    file,
+                    t.line,
+                    "DET006",
+                    "importing `std::thread` in sim-facing code; simulations are \
+                     single-threaded — only the bench harness may use host threads"
+                        .to_string(),
+                );
+            }
+            continue;
+        }
+        // Calls: `thread::spawn(..)`, `std::thread::scope(..)`, ...
+        if path_sep(i + 1)
+            && i + 3 < code.len()
+            && code[i + 3].kind == TokKind::Ident
+            && THREAD_FNS.contains(&code[i + 3].text.as_str())
+        {
+            diag(
+                diags,
+                file,
+                t.line,
+                "DET006",
+                format!(
+                    "`thread::{}` makes execution depend on the host scheduler; \
+                     keep simulations single-threaded (harness-level fan-out \
+                     belongs in `crates/bench`)",
+                    code[i + 3].text
+                ),
+            );
         }
     }
 }

@@ -106,7 +106,10 @@ fn det002_wall_clock_and_entropy() {
 
 #[test]
 fn det002_off_for_cli_shell() {
-    let opts = LintOptions { wall_clock: false };
+    let opts = LintOptions {
+        wall_clock: false,
+        ..LintOptions::default()
+    };
     let diags = lint_source(
         "fixture.rs",
         "fn f() { let t = std::time::Instant::now(); }",
@@ -410,4 +413,52 @@ fn diagnostics_carry_position() {
     let d = diags.iter().find(|d| d.rule == "DET005").unwrap();
     assert_eq!(d.line, 3);
     assert_eq!(d.file, "fixture.rs");
+}
+
+#[test]
+fn det006_thread_apis() {
+    for src in [
+        "fn f() { std::thread::spawn(|| {}); }",
+        "fn f() { let n = std::thread::available_parallelism(); }",
+        "fn f() { thread::scope(|s| { s.spawn(|| {}); }); }",
+        "use std::thread;\nfn f() {}",
+        "use std::thread::spawn;\nfn f() {}",
+    ] {
+        let diags = lint(src);
+        assert!(
+            rules_of(&diags, false).contains(&"DET006"),
+            "{src}: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn det006_off_for_harness_crates() {
+    let opts = LintOptions {
+        threads: false,
+        ..LintOptions::default()
+    };
+    let diags = lint_source("fixture.rs", "fn f() { std::thread::spawn(|| {}); }", &opts);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn det006_ignores_unrelated_thread_idents() {
+    // A local named `thread` or a non-std `thread` module must not fire.
+    let diags = lint(
+        r#"
+        fn f(pool: &WorkerPool) { let thread = pool.current(); thread.run(); }
+        "#,
+    );
+    assert!(!rules_of(&diags, false).contains(&"DET006"), "{diags:?}");
+}
+
+#[test]
+fn det006_suppressible_with_justification() {
+    let diags = lint(
+        "// simlint: allow(DET006): host-side worker fan-out, not sim code.\n\
+         fn f() { std::thread::spawn(|| {}); }",
+    );
+    assert!(rules_of(&diags, true).contains(&"DET006"), "{diags:?}");
+    assert!(!rules_of(&diags, false).contains(&"DET006"), "{diags:?}");
 }

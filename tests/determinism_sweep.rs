@@ -10,14 +10,28 @@
 
 use skyrise::micro::ExperimentResult;
 use skyrise_bench::experiments as e;
-use skyrise_bench::{capture_runs, RunSummary};
+use skyrise_bench::harness::{run_jobs, ExperimentJob};
 
-/// Run `f` twice under capture (same seeds) and assert the sanitizer
-/// digest trails match simulation-by-simulation.
-fn assert_deterministic(name: &str, f: fn() -> ExperimentResult) {
-    let run = || -> RunSummary { capture_runs(false, 0, f).1 };
-    let a = run();
-    let b = run();
+/// Run `f` twice with the same seeds — as two jobs on two parallel harness
+/// workers — and assert the sanitizer digest trails match
+/// simulation-by-simulation. Going through the harness makes every sweep
+/// entry double as a check that worker threads don't perturb a run.
+fn assert_deterministic(name: &'static str, f: fn() -> ExperimentResult) {
+    let jobs = vec![
+        ExperimentJob {
+            name,
+            run: f,
+            trace_out: None,
+        },
+        ExperimentJob {
+            name,
+            run: f,
+            trace_out: None,
+        },
+    ];
+    let mut done = run_jobs(jobs, 2);
+    let b = done.pop().expect("two completed jobs");
+    let a = done.pop().expect("two completed jobs");
     assert_eq!(a.sims, b.sims, "{name}: simulation count diverged");
     // Every simulation must have produced a sanitizer digest (the harness
     // enables the sanitizer unconditionally). Experiments that are pure

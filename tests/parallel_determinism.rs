@@ -1,0 +1,216 @@
+//! Parallel-vs-serial determinism contract plus property tests for the
+//! scheduler's slab and timer heap.
+//!
+//! The acceptance bar of the parallel harness: running the experiment
+//! suite with `--jobs 4` must be *indistinguishable* from `--jobs 1` —
+//! identical per-simulation sanitizer digests in identical order, and
+//! byte-identical `ExperimentResult` JSON. Worker threads may only change
+//! wall-clock time, never a single simulated byte.
+//!
+//! The cheap experiments run in every `cargo test`; the full-suite
+//! comparison mirrors `determinism_sweep.rs` and is `#[ignore]`d under
+//! debug builds (release-mode CI runs it via `-- --ignored`).
+
+use skyrise_bench::experiments as e;
+use skyrise_bench::harness::{run_jobs, ExperimentJob};
+
+/// Run the named experiments through the harness with 1 worker and with
+/// `workers` workers, and assert the two runs are indistinguishable.
+fn assert_parallel_matches_serial(names: &[&str], workers: usize) {
+    let jobs = || -> Vec<ExperimentJob> {
+        e::ALL
+            .iter()
+            .filter(|(name, _)| names.contains(name))
+            .map(|&(name, run)| ExperimentJob {
+                name,
+                run,
+                trace_out: None,
+            })
+            .collect()
+    };
+    let submitted = jobs().len();
+    assert_eq!(submitted, names.len(), "unknown experiment name in filter");
+    let serial = run_jobs(jobs(), 1);
+    let parallel = run_jobs(jobs(), workers);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        // Submission order is preserved regardless of completion order.
+        assert_eq!(s.name, p.name, "result order diverged");
+        assert_eq!(s.sims, p.sims, "{}: simulation count diverged", s.name);
+        assert_eq!(
+            s.digests, p.digests,
+            "{}: sanitizer digests diverged between --jobs 1 and --jobs {workers}",
+            s.name
+        );
+        let sj = serde_json::to_string(&s.result).expect("results serialise");
+        let pj = serde_json::to_string(&p.result).expect("results serialise");
+        assert_eq!(sj, pj, "{}: ExperimentResult JSON diverged", s.name);
+    }
+}
+
+/// Cheap subset (static pricing tables + the fastest figure): always on.
+#[test]
+fn cheap_experiments_identical_across_jobs() {
+    assert_parallel_matches_serial(
+        &[
+            "table01", "table02", "table03", "table04", "table07", "table08", "fig05",
+        ],
+        4,
+    );
+}
+
+/// The full suite, serial vs 4 workers. Long: release-mode CI only.
+#[test]
+#[cfg_attr(debug_assertions, ignore)]
+fn full_suite_identical_across_jobs() {
+    let all: Vec<&str> = e::ALL.iter().map(|&(name, _)| name).collect();
+    assert_parallel_matches_serial(&all, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler data structure properties: slab and timer heap vs naive oracles
+// ---------------------------------------------------------------------------
+
+mod scheduler_props {
+    use proptest::prelude::*;
+    use skyrise::sim::{SimTime, Slab, TimerHeap};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    use std::collections::HashMap;
+
+    /// A random interleaving of timer operations.
+    #[derive(Debug, Clone)]
+    enum TimerOp {
+        /// Insert a timer at `now + delta`.
+        Insert(u64),
+        /// Cancel the i-th live key (modulo the live set), if any.
+        Cancel(usize),
+        /// Advance `now` by `delta` and drain everything due.
+        Fire(u64),
+    }
+
+    fn timer_ops() -> impl Strategy<Value = Vec<TimerOp>> {
+        prop::collection::vec(
+            prop_oneof![
+                3 => (0u64..1_000).prop_map(TimerOp::Insert),
+                1 => (0usize..64).prop_map(TimerOp::Cancel),
+                2 => (0u64..500).prop_map(TimerOp::Fire),
+            ],
+            1..80,
+        )
+    }
+
+    proptest! {
+        /// The quaternary heap pops the same payloads at the same virtual
+        /// times as a `BinaryHeap<Reverse<(deadline, seq)>>` oracle with
+        /// tombstone cancellation — including ties, which must fire in
+        /// insertion order.
+        #[test]
+        fn timer_heap_matches_binary_heap_oracle(ops in timer_ops()) {
+            let mut heap: TimerHeap<u64> = TimerHeap::new();
+            let mut oracle: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut cancelled: std::collections::HashSet<u64> = Default::default();
+            // seq -> heap key, insertion-ordered; payload is the seq itself.
+            let mut live: Vec<(u64, skyrise::sim::TimerKey)> = Vec::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            for op in ops {
+                match op {
+                    TimerOp::Insert(delta) => {
+                        let deadline = now + delta;
+                        let key = heap.insert(SimTime::from_nanos(deadline), seq);
+                        oracle.push(Reverse((deadline, seq)));
+                        live.push((seq, key));
+                        seq += 1;
+                    }
+                    TimerOp::Cancel(i) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let (s, key) = live.remove(i % live.len());
+                        prop_assert_eq!(heap.cancel(key), Some(s));
+                        // Double-cancel must be a no-op.
+                        prop_assert_eq!(heap.cancel(key), None);
+                        cancelled.insert(s);
+                    }
+                    TimerOp::Fire(delta) => {
+                        now += delta;
+                        let t = SimTime::from_nanos(now);
+                        loop {
+                            // Drain the oracle's tombstones first.
+                            let due = oracle
+                                .peek()
+                                .map(|Reverse((d, _))| *d <= now)
+                                .unwrap_or(false);
+                            if !due {
+                                break;
+                            }
+                            let Reverse((_, s)) = oracle.pop().expect("peeked");
+                            if cancelled.contains(&s) {
+                                continue;
+                            }
+                            prop_assert_eq!(
+                                heap.pop_due(t),
+                                Some(s),
+                                "heap fired out of order at t={}",
+                                now
+                            );
+                            live.retain(|&(ls, _)| ls != s);
+                        }
+                        prop_assert_eq!(heap.pop_due(t), None, "heap fired extra timer");
+                    }
+                }
+            }
+            prop_assert_eq!(heap.len(), live.len());
+        }
+
+        /// Slab insert/remove/lookup behaves like a `HashMap` keyed by the
+        /// returned `SlabKey`, and stale keys (freed slots, reused slots)
+        /// never resolve.
+        #[test]
+        fn slab_matches_hashmap_oracle(ops in prop::collection::vec(
+            prop_oneof![
+                2 => (0u32..1_000).prop_map(|v| (0u8, v as usize)),  // insert v
+                1 => (0usize..64).prop_map(|i| (1u8, i)),            // remove i-th live
+                1 => (0usize..64).prop_map(|i| (2u8, i)),            // lookup i-th live
+            ],
+            1..120,
+        )) {
+            let mut slab: Slab<usize> = Slab::new();
+            let mut oracle: HashMap<u64, usize> = HashMap::new();
+            // `SlabKey` is a plain `u64` (`generation << 32 | index`).
+            let mut live: Vec<skyrise::sim::SlabKey> = Vec::new();
+            let mut dead: Vec<skyrise::sim::SlabKey> = Vec::new();
+            for (kind, v) in ops {
+                match kind {
+                    0 => {
+                        let key = slab.insert(v);
+                        prop_assert!(oracle.insert(key, v).is_none(),
+                            "slab handed out a live key twice");
+                        live.push(key);
+                    }
+                    1 => {
+                        if live.is_empty() { continue; }
+                        let key = live.remove(v % live.len());
+                        let expect = oracle.remove(&key);
+                        prop_assert_eq!(slab.remove(key), expect);
+                        prop_assert_eq!(slab.remove(key), None, "double-remove resolved");
+                        dead.push(key);
+                    }
+                    _ => {
+                        if live.is_empty() { continue; }
+                        let key = live[v % live.len()];
+                        prop_assert_eq!(slab.get(key).copied(), oracle.get(&key).copied());
+                    }
+                }
+            }
+            prop_assert_eq!(slab.len(), oracle.len());
+            for key in live {
+                prop_assert!(slab.contains(key));
+            }
+            for key in dead {
+                prop_assert!(!slab.contains(key), "stale key still resolves");
+            }
+        }
+    }
+}
