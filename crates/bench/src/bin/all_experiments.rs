@@ -12,12 +12,20 @@
 //! With `--trace-out <path>`, every experiment's Chrome-trace is written
 //! next to `<path>`, suffixed with the experiment name (e.g.
 //! `--trace-out /tmp/all.json` yields `/tmp/all-fig05.json`, ...).
+//!
+//! With `--metrics-out <path>`, every simulation runs with a telemetry
+//! registry installed and the suite-wide merged snapshot is written as
+//! JSONL at `<path>` plus Prometheus text exposition at `<path>.prom`.
+//!
+//! With `--shard i/n`, only every n-th experiment (offset i) runs —
+//! composes with `--jobs` for fleet-style CI splits.
 
 // Host-side harness shell: wall-clock use is deliberate (see crate docs).
 #![allow(clippy::disallowed_methods)]
 
 use skyrise_bench::experiments as e;
-use skyrise_bench::harness::{parse_suite_args, report, run_jobs, ExperimentJob};
+use skyrise_bench::harness::{apply_shard, parse_suite_args, report, run_jobs, ExperimentJob};
+use skyrise_bench::write_metrics;
 use std::path::PathBuf;
 
 /// Derive the per-experiment trace path: `dir/stem-name.ext`.
@@ -43,16 +51,32 @@ fn main() {
             name,
             run,
             trace_out: args.trace_out.as_ref().map(|b| trace_path_for(b, name)),
+            metrics: args.metrics_out.is_some(),
         })
         .collect();
+    let jobs = apply_shard(jobs, args.shard);
     eprintln!(
         "running {} experiments on {} worker(s)",
         jobs.len(),
         args.jobs
     );
     let done = run_jobs(jobs, args.jobs);
+    // Merge in submission (paper) order, so the suite snapshot is
+    // byte-identical at any job count.
+    let mut suite_metrics = skyrise::sim::MetricsSnapshot::default();
     for experiment in &done {
         report(experiment);
+        suite_metrics.merge(&experiment.metrics);
+    }
+    if let Some(path) = &args.metrics_out {
+        match write_metrics(path, &suite_metrics) {
+            Ok(prom_path) => eprintln!(
+                "suite metrics -> {}, {}",
+                path.display(),
+                prom_path.display()
+            ),
+            Err(e) => eprintln!("(could not write metrics to {}: {e})", path.display()),
+        }
     }
     eprintln!(
         "total wall time: {:.1}s ({} workers)",

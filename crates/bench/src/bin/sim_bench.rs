@@ -461,6 +461,32 @@ macro_rules! workload_impls {
 workload_impls!(current, skyrise::sim::Sim);
 workload_impls!(baseline, legacy::Sim);
 
+/// `sleep_chain` on the current executor with a metric registry installed:
+/// the telemetry-overhead probe. With metrics live the executor keeps its
+/// always-on `Cell` stats and flushes them once at exit, so the acceptance
+/// bar is an events/sec ratio ≥ 0.95 against the registry-free run (and no
+/// measurable difference when no registry is installed — that path is the
+/// plain `current::sleep_chain` measured above).
+fn sleep_chain_with_metrics(tasks: u64, rounds: u64) -> u64 {
+    let mut sim = skyrise::sim::Sim::new(1);
+    let registry = sim.install_metrics();
+    for t in 0..tasks {
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            for r in 0..rounds {
+                let us = 1 + (t * 31 + r * 7) % 97;
+                ctx.sleep(SimDuration::from_micros(us)).await;
+            }
+        });
+    }
+    sim.run();
+    assert!(
+        registry.snapshot().counters["sim.executor.polls"] > 0,
+        "telemetry probe ran without executor self-profiling"
+    );
+    tasks * (rounds + 1)
+}
+
 /// Best-of-N wall time in seconds.
 fn time_best(iters: usize, mut f: impl FnMut() -> u64) -> (u64, f64) {
     let mut best = f64::INFINITY;
@@ -567,6 +593,17 @@ fn main() {
     let geomean = (log_sum / workloads.len() as f64).exp();
     println!("  geomean speedup: {geomean:.2}x");
 
+    // Telemetry overhead: the same sleep_chain hot path with a registry
+    // installed, against the registry-free measurement already taken.
+    let (_, telemetry_secs) = time_best(iters, || sleep_chain_with_metrics(chain.0, chain.1));
+    let telemetry_eps = workloads[0].events as f64 / telemetry_secs;
+    let telemetry_ratio = telemetry_eps / workloads[0].current_eps;
+    println!(
+        "  telemetry on:  {:>12.0} ev/s ({:.1}% of registry-free throughput)",
+        telemetry_eps,
+        100.0 * telemetry_ratio
+    );
+
     // Flat structure, hand-formatted: this binary must not drag a JSON
     // dependency into release experiment builds.
     let mut json = String::from("{\n");
@@ -595,6 +632,13 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"telemetry_overhead\": {{\"workload\": \"sleep_chain\", \
+         \"events_per_sec_enabled\": {telemetry_eps:.0}, \
+         \"events_per_sec_disabled\": {:.0}, \
+         \"throughput_ratio\": {telemetry_ratio:.3}}},\n",
+        workloads[0].current_eps
+    ));
     json.push_str(&format!("  \"geomean_speedup\": {geomean:.3}\n"));
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_sim.json");

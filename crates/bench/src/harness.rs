@@ -20,7 +20,7 @@
 
 use crate::{capture_runs, finish, results_dir};
 use skyrise::micro::ExperimentResult;
-use skyrise::sim::SanitizerReport;
+use skyrise::sim::{MetricsSnapshot, SanitizerReport};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -38,6 +38,10 @@ pub struct ExperimentJob {
     /// the merged Chrome-trace / JSONL strings are returned in the
     /// completed job for the reporter to write at this path.
     pub trace_out: Option<PathBuf>,
+    /// When set, a metric registry is installed in every simulation and
+    /// the merged snapshot is returned in the completed job (the suite
+    /// binaries merge further across experiments for `--metrics-out`).
+    pub metrics: bool,
 }
 
 /// Serialized trace artifacts produced on the worker thread. `Tracer`
@@ -68,6 +72,9 @@ pub struct CompletedExperiment {
     pub events: u64,
     /// Serialized traces, when the job asked for them.
     pub trace: Option<TraceArtifacts>,
+    /// Merged telemetry snapshot (empty when the job ran without
+    /// metrics). Plain data, so it crosses the worker-thread boundary.
+    pub metrics: MetricsSnapshot,
     /// Wall-clock seconds the job took on its worker.
     pub wall_secs: f64,
 }
@@ -84,7 +91,7 @@ fn run_one(job: ExperimentJob) -> CompletedExperiment {
     // Host-side wall clock for the human-facing summary line only; never
     // fed into a simulation.
     let wall = std::time::Instant::now();
-    let (result, summary) = capture_runs(job.trace_out.is_some(), 0, job.run);
+    let (result, summary) = capture_runs(job.trace_out.is_some(), job.metrics, 0, job.run);
     let trace = job.trace_out.map(|path| TraceArtifacts {
         path,
         chrome_json: summary.chrome_json(),
@@ -98,6 +105,7 @@ fn run_one(job: ExperimentJob) -> CompletedExperiment {
         sims: summary.sims,
         virtual_secs: summary.virtual_secs,
         trace,
+        metrics: summary.metrics,
         wall_secs: wall.elapsed().as_secs_f64(),
     }
 }
@@ -161,12 +169,17 @@ pub fn report(done: &CompletedExperiment) {
             Err(e) => eprintln!("  (could not write trace to {}: {e})", trace.path.display()),
         }
     }
+    let n_metrics = done.metrics.counters.len()
+        + done.metrics.gauges.len()
+        + done.metrics.histograms.len()
+        + done.metrics.timelines.len();
     println!(
-        "[{}] virtual {:.1}s across {} sims, {} events traced, wall {:.1}s -> {}",
+        "[{}] virtual {:.1}s across {} sims, {} events traced, {} metrics, wall {:.1}s -> {}",
         done.name,
         done.virtual_secs,
         done.sims,
         done.events,
+        n_metrics,
         done.wall_secs,
         outputs.join(", ")
     );
@@ -196,23 +209,53 @@ pub fn write_trace_strings(
 // Suite CLI arguments
 // ---------------------------------------------------------------------------
 
-/// Arguments shared by the suite binaries: `--trace-out <path>` and
-/// `--jobs N` (0 or omitted → [`default_jobs`]).
+/// Arguments shared by the suite binaries: `--trace-out <path>`,
+/// `--metrics-out <path>`, `--jobs N` (0 or omitted → [`default_jobs`]),
+/// and `--shard i/n` (run only every n-th experiment, offset i).
 pub struct SuiteArgs {
     /// Base path for per-experiment trace files, when tracing.
     pub trace_out: Option<PathBuf>,
+    /// Path for the suite-merged telemetry JSONL (+ `.prom` sidecar).
+    pub metrics_out: Option<PathBuf>,
     /// Worker thread count.
     pub jobs: usize,
+    /// `(index, count)` shard selector; `None` runs everything.
+    pub shard: Option<(usize, usize)>,
+}
+
+/// Parse an `i/n` shard spec: `i < n`, `n >= 1`.
+fn parse_shard(v: &str) -> Option<(usize, usize)> {
+    let (i, n) = v.split_once('/')?;
+    let (i, n) = (i.parse::<usize>().ok()?, n.parse::<usize>().ok()?);
+    (n >= 1 && i < n).then_some((i, n))
+}
+
+/// Keep only this shard's experiments: job `k` runs on shard `k % n == i`.
+/// The modulo layout balances long- and short-running experiments across
+/// shards better than contiguous slices (neighbours in `ALL` tend to have
+/// similar cost). `None` keeps everything.
+pub fn apply_shard(jobs: Vec<ExperimentJob>, shard: Option<(usize, usize)>) -> Vec<ExperimentJob> {
+    match shard {
+        None => jobs,
+        Some((index, count)) => jobs
+            .into_iter()
+            .enumerate()
+            .filter(|(k, _)| k % count == index)
+            .map(|(_, job)| job)
+            .collect(),
+    }
 }
 
 /// Parse suite arguments; unknown arguments abort with a usage message.
 pub fn parse_suite_args<I: IntoIterator<Item = String>>(args: I) -> SuiteArgs {
     let mut out = SuiteArgs {
         trace_out: None,
+        metrics_out: None,
         jobs: default_jobs(),
+        shard: None,
     };
     let mut iter = args.into_iter();
-    let usage = "usage: [--trace-out <path>] [--jobs N]";
+    let usage = "usage: [--trace-out <path>] [--metrics-out <path>] [--jobs N] [--shard i/n]";
     let set_jobs = |v: &str| match v.parse::<usize>() {
         Ok(0) => default_jobs(),
         Ok(n) => n,
@@ -221,27 +264,37 @@ pub fn parse_suite_args<I: IntoIterator<Item = String>>(args: I) -> SuiteArgs {
             std::process::exit(2);
         }
     };
+    let set_shard = |v: &str| match parse_shard(v) {
+        Some(shard) => shard,
+        None => {
+            eprintln!("--shard requires `i/n` with i < n; {usage}");
+            std::process::exit(2);
+        }
+    };
     while let Some(arg) = iter.next() {
-        if arg == "--trace-out" {
-            match iter.next() {
-                Some(path) => out.trace_out = Some(PathBuf::from(path)),
-                None => {
-                    eprintln!("--trace-out requires a path argument; {usage}");
-                    std::process::exit(2);
+        let mut take = |flag: &str| -> Option<String> {
+            if arg == flag {
+                match iter.next() {
+                    Some(v) => Some(v),
+                    None => {
+                        eprintln!("{flag} requires an argument; {usage}");
+                        std::process::exit(2);
+                    }
                 }
+            } else {
+                arg.strip_prefix(flag)
+                    .and_then(|rest| rest.strip_prefix('='))
+                    .map(str::to_string)
             }
-        } else if let Some(path) = arg.strip_prefix("--trace-out=") {
+        };
+        if let Some(path) = take("--trace-out") {
             out.trace_out = Some(PathBuf::from(path));
-        } else if arg == "--jobs" {
-            match iter.next() {
-                Some(v) => out.jobs = set_jobs(&v),
-                None => {
-                    eprintln!("--jobs requires a count argument; {usage}");
-                    std::process::exit(2);
-                }
-            }
-        } else if let Some(v) = arg.strip_prefix("--jobs=") {
-            out.jobs = set_jobs(v);
+        } else if let Some(path) = take("--metrics-out") {
+            out.metrics_out = Some(PathBuf::from(path));
+        } else if let Some(v) = take("--jobs") {
+            out.jobs = set_jobs(&v);
+        } else if let Some(v) = take("--shard") {
+            out.shard = set_shard(&v);
         } else {
             eprintln!("unknown argument `{arg}`; {usage}");
             std::process::exit(2);
@@ -283,16 +336,19 @@ mod tests {
                 name: "a",
                 run: job_a,
                 trace_out: None,
+                metrics: false,
             },
             ExperimentJob {
                 name: "b",
                 run: job_b,
                 trace_out: None,
+                metrics: false,
             },
             ExperimentJob {
                 name: "c",
                 run: job_c,
                 trace_out: None,
+                metrics: false,
             },
         ]
     }
@@ -322,11 +378,80 @@ mod tests {
         let args = parse_suite_args(vec!["--jobs".into(), "4".into()]);
         assert_eq!(args.jobs, 4);
         assert_eq!(args.trace_out, None);
+        assert_eq!(args.metrics_out, None);
+        assert_eq!(args.shard, None);
         let args = parse_suite_args(vec!["--jobs=2".into(), "--trace-out=/tmp/t.json".into()]);
         assert_eq!(args.jobs, 2);
         assert_eq!(args.trace_out, Some(PathBuf::from("/tmp/t.json")));
         // 0 falls back to the hardware default.
         let args = parse_suite_args(vec!["--jobs=0".into()]);
         assert!(args.jobs >= 1);
+        let args = parse_suite_args(vec![
+            "--metrics-out=/tmp/m.jsonl".into(),
+            "--shard".into(),
+            "1/3".into(),
+        ]);
+        assert_eq!(args.metrics_out, Some(PathBuf::from("/tmp/m.jsonl")));
+        assert_eq!(args.shard, Some((1, 3)));
+    }
+
+    #[test]
+    fn shard_spec_validation() {
+        assert_eq!(parse_shard("0/1"), Some((0, 1)));
+        assert_eq!(parse_shard("2/3"), Some((2, 3)));
+        assert_eq!(parse_shard("3/3"), None, "index out of range");
+        assert_eq!(parse_shard("1/0"), None, "zero shards");
+        assert_eq!(parse_shard("1"), None);
+        assert_eq!(parse_shard("a/b"), None);
+    }
+
+    #[test]
+    fn sharding_partitions_jobs_without_overlap() {
+        let all: Vec<&str> = jobs().iter().map(|j| j.name).collect();
+        let mut seen = Vec::new();
+        for i in 0..2 {
+            for job in apply_shard(jobs(), Some((i, 2))) {
+                seen.push(job.name);
+            }
+        }
+        seen.sort_unstable();
+        let mut expect = all.clone();
+        expect.sort_unstable();
+        assert_eq!(seen, expect, "shards cover every job exactly once");
+        assert_eq!(apply_shard(jobs(), None).len(), all.len());
+    }
+
+    #[test]
+    fn jobs_carry_metrics_snapshots() {
+        fn probe() -> ExperimentResult {
+            let r = ExperimentResult::new("harness_metrics", "metrics probe");
+            crate::in_sim(50, |ctx| {
+                Box::pin(async move {
+                    ctx.metrics().counter("test.harness.probe").inc();
+                    ctx.sleep(skyrise::sim::SimDuration::from_secs(1)).await;
+                })
+            });
+            r
+        }
+        let done = run_jobs(
+            vec![ExperimentJob {
+                name: "m",
+                run: probe,
+                trace_out: None,
+                metrics: true,
+            }],
+            1,
+        );
+        assert_eq!(done[0].metrics.counters["test.harness.probe"], 1);
+        let off = run_jobs(
+            vec![ExperimentJob {
+                name: "m",
+                run: probe,
+                trace_out: None,
+                metrics: false,
+            }],
+            1,
+        );
+        assert!(off[0].metrics.is_empty());
     }
 }

@@ -28,7 +28,7 @@ pub mod experiments;
 pub mod harness;
 
 use skyrise::micro::ExperimentResult;
-use skyrise::sim::{SanitizerReport, Tracer};
+use skyrise::sim::{MetricsSnapshot, SanitizerReport, Tracer};
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
@@ -91,11 +91,15 @@ pub fn finish(result: &ExperimentResult) {
 struct CaptureState {
     /// Install a tracer in every simulation (set by `--trace-out`).
     trace_all: bool,
+    /// Install a metric registry in every simulation (set by
+    /// `--metrics-out`); snapshots merge into one per experiment.
+    metrics_all: bool,
     /// Added to every `in_sim` seed (the determinism test's lever for
     /// "different seed → different trace").
     seed_offset: u64,
     runs: Vec<(String, Tracer)>,
     digests: Vec<(String, SanitizerReport)>,
+    metrics: MetricsSnapshot,
     sims: u64,
     virtual_secs: f64,
 }
@@ -112,6 +116,10 @@ pub struct RunSummary {
     /// Two same-seed executions of the same experiment must produce
     /// identical digest sequences; see `tests/determinism_sweep.rs`.
     pub digests: Vec<(String, SanitizerReport)>,
+    /// Telemetry registry snapshots merged across every simulation of the
+    /// run (empty unless metrics capture was on). Canonical and bit-stable:
+    /// same seeds → byte-identical `canonical_json()`.
+    pub metrics: MetricsSnapshot,
     /// Simulations executed.
     pub sims: u64,
     /// Total virtual time simulated (seconds).
@@ -143,13 +151,20 @@ impl RunSummary {
 }
 
 /// Run `f` with capture active: every [`in_sim`] inside it records its
-/// virtual time, and — when `trace` is set — installs a tracer whose
-/// events are collected into the returned [`RunSummary`]. `seed_offset`
-/// shifts every simulation seed (0 for normal runs).
-pub fn capture_runs<T>(trace: bool, seed_offset: u64, f: impl FnOnce() -> T) -> (T, RunSummary) {
+/// virtual time, and — when `trace` (resp. `metrics`) is set — installs a
+/// tracer (resp. metric registry) whose events are collected into the
+/// returned [`RunSummary`]. `seed_offset` shifts every simulation seed
+/// (0 for normal runs).
+pub fn capture_runs<T>(
+    trace: bool,
+    metrics: bool,
+    seed_offset: u64,
+    f: impl FnOnce() -> T,
+) -> (T, RunSummary) {
     CAPTURE.with(|c| {
         *c.borrow_mut() = CaptureState {
             trace_all: trace,
+            metrics_all: metrics,
             seed_offset,
             ..CaptureState::default()
         }
@@ -161,6 +176,7 @@ pub fn capture_runs<T>(trace: bool, seed_offset: u64, f: impl FnOnce() -> T) -> 
         RunSummary {
             runs: state.runs,
             digests: state.digests,
+            metrics: state.metrics,
             sims: state.sims,
             virtual_secs: state.virtual_secs,
         },
@@ -172,6 +188,7 @@ fn record_sim(
     end: skyrise::sim::SimTime,
     tracer: Option<Tracer>,
     report: Option<SanitizerReport>,
+    metrics: Option<MetricsSnapshot>,
 ) {
     CAPTURE.with(|c| {
         let mut c = c.borrow_mut();
@@ -184,7 +201,28 @@ fn record_sim(
         if let Some(r) = report {
             c.digests.push((label, r));
         }
+        if let Some(m) = metrics {
+            c.metrics.merge(&m);
+        }
     });
+}
+
+/// Shared tail of the `in_sim` family: snapshot the registry (when one was
+/// installed), fold its digest into the sanitizer — so nondeterministic
+/// telemetry fails the sweep like any other divergent state — and record
+/// the simulation into the active capture.
+fn finish_sim(
+    seed: u64,
+    end: skyrise::sim::SimTime,
+    tracer: Option<Tracer>,
+    sanitizer: &skyrise::sim::Sanitizer,
+    registry: Option<skyrise::sim::MetricRegistry>,
+) {
+    let snapshot = registry.map(|r| r.snapshot());
+    if let Some(snap) = &snapshot {
+        sanitizer.observe("telemetry", snap.digest());
+    }
+    record_sim(seed, end, tracer, sanitizer.report(), snapshot);
 }
 
 /// Run a closure inside a fresh simulation and return its output.
@@ -193,18 +231,19 @@ pub fn in_sim<T: 'static>(
     f: impl FnOnce(skyrise::sim::SimCtx) -> std::pin::Pin<Box<dyn std::future::Future<Output = T>>>
         + 'static,
 ) -> T {
-    let (trace_all, offset) = CAPTURE.with(|c| {
+    let (trace_all, metrics_all, offset) = CAPTURE.with(|c| {
         let c = c.borrow();
-        (c.trace_all, c.seed_offset)
+        (c.trace_all, c.metrics_all, c.seed_offset)
     });
     let seed = seed.wrapping_add(offset);
     let mut sim = skyrise::sim::Sim::new(seed);
     let tracer = trace_all.then(|| sim.install_tracer());
+    let registry = metrics_all.then(|| sim.install_metrics());
     let sanitizer = sim.enable_sanitizer();
     let ctx = sim.ctx();
     let h = sim.spawn(f(ctx));
     let end = sim.run();
-    record_sim(seed, end, tracer, sanitizer.report());
+    finish_sim(seed, end, tracer, &sanitizer, registry);
     h.try_take().expect("experiment completed")
 }
 
@@ -218,19 +257,20 @@ pub fn in_sim_faulted<T: 'static>(
     f: impl FnOnce(skyrise::sim::SimCtx) -> std::pin::Pin<Box<dyn std::future::Future<Output = T>>>
         + 'static,
 ) -> T {
-    let (trace_all, offset) = CAPTURE.with(|c| {
+    let (trace_all, metrics_all, offset) = CAPTURE.with(|c| {
         let c = c.borrow();
-        (c.trace_all, c.seed_offset)
+        (c.trace_all, c.metrics_all, c.seed_offset)
     });
     let seed = seed.wrapping_add(offset);
     let mut sim = skyrise::sim::Sim::new(seed);
     let _plan = sim.install_faults(faults);
     let tracer = trace_all.then(|| sim.install_tracer());
+    let registry = metrics_all.then(|| sim.install_metrics());
     let sanitizer = sim.enable_sanitizer();
     let ctx = sim.ctx();
     let h = sim.spawn(f(ctx));
     let end = sim.run();
-    record_sim(seed, end, tracer, sanitizer.report());
+    finish_sim(seed, end, tracer, &sanitizer, registry);
     h.try_take().expect("experiment completed")
 }
 
@@ -245,21 +285,64 @@ pub fn in_sim_traced<T: 'static>(
         ) -> std::pin::Pin<Box<dyn std::future::Future<Output = T>>>
         + 'static,
 ) -> T {
-    let offset = CAPTURE.with(|c| c.borrow().seed_offset);
+    let (metrics_all, offset) = CAPTURE.with(|c| {
+        let c = c.borrow();
+        (c.metrics_all, c.seed_offset)
+    });
     let seed = seed.wrapping_add(offset);
     let mut sim = skyrise::sim::Sim::new(seed);
     let tracer = sim.install_tracer();
+    let registry = metrics_all.then(|| sim.install_metrics());
     let sanitizer = sim.enable_sanitizer();
     let ctx = sim.ctx();
     let h = sim.spawn(f(ctx, tracer.clone()));
     let end = sim.run();
-    record_sim(seed, end, Some(tracer), sanitizer.report());
+    finish_sim(seed, end, Some(tracer), &sanitizer, registry);
     h.try_take().expect("experiment completed")
 }
 
 // ---------------------------------------------------------------------------
 // CLI entry points
 // ---------------------------------------------------------------------------
+
+/// Output options shared by every experiment binary.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RunOpts {
+    /// `--trace-out <path>`: Chrome-trace JSON (+ `.jsonl` sidecar).
+    pub trace_out: Option<PathBuf>,
+    /// `--metrics-out <path>`: telemetry JSONL (+ `.prom` sidecar).
+    pub metrics_out: Option<PathBuf>,
+}
+
+/// Parse `--trace-out` / `--metrics-out` (space- or `=`-separated) from an
+/// argument list. Unknown arguments abort with a usage message.
+pub fn parse_run_opts<I: IntoIterator<Item = String>>(args: I) -> RunOpts {
+    let mut opts = RunOpts::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let slot = if arg == "--trace-out" || arg.starts_with("--trace-out=") {
+            &mut opts.trace_out
+        } else if arg == "--metrics-out" || arg.starts_with("--metrics-out=") {
+            &mut opts.metrics_out
+        } else {
+            eprintln!(
+                "unknown argument `{arg}`; usage: [--trace-out <path>] [--metrics-out <path>]"
+            );
+            std::process::exit(2);
+        };
+        *slot = match arg.split_once('=') {
+            Some((_, path)) => Some(PathBuf::from(path)),
+            None => match iter.next() {
+                Some(path) => Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("{arg} requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+        };
+    }
+    opts
+}
 
 /// Parse `--trace-out <path>` / `--trace-out=<path>` from an argument list.
 /// Unknown arguments abort with a usage message.
@@ -301,18 +384,35 @@ pub fn write_traces(path: &Path, summary: &RunSummary) -> std::io::Result<PathBu
     Ok(jsonl_path)
 }
 
-/// Run one experiment with optional tracing and print its summary line:
-/// virtual time simulated, wall-clock elapsed, events traced, and where
-/// the outputs went.
+/// Write a telemetry snapshot: JSONL at `path`, Prometheus text exposition
+/// alongside at `<path>.prom`. Returns the Prometheus path.
+pub fn write_metrics(path: &Path, snapshot: &MetricsSnapshot) -> std::io::Result<PathBuf> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, snapshot.to_jsonl())?;
+    let mut prom_path = path.as_os_str().to_owned();
+    prom_path.push(".prom");
+    let prom_path = PathBuf::from(prom_path);
+    std::fs::write(&prom_path, snapshot.to_prometheus())?;
+    Ok(prom_path)
+}
+
+/// Run one experiment with optional tracing/telemetry and print its
+/// summary line: virtual time simulated, wall-clock elapsed, events
+/// traced, metrics registered, and where the outputs went.
 pub fn run_experiment(
     name: &str,
     run: impl FnOnce() -> ExperimentResult,
     trace_out: Option<&Path>,
+    metrics_out: Option<&Path>,
 ) {
     // Wall time for the human-facing summary line only, never fed into
     // the simulation.
     let wall = std::time::Instant::now();
-    let (result, summary) = capture_runs(trace_out.is_some(), 0, run);
+    let (result, summary) = capture_runs(trace_out.is_some(), metrics_out.is_some(), 0, run);
     finish(&result);
     let mut outputs = vec![format!("{}/{}.json", results_dir().display(), result.id)];
     if let Some(path) = trace_out {
@@ -324,21 +424,35 @@ pub fn run_experiment(
             Err(e) => eprintln!("  (could not write trace to {}: {e})", path.display()),
         }
     }
+    if let Some(path) = metrics_out {
+        match write_metrics(path, &summary.metrics) {
+            Ok(prom_path) => {
+                outputs.push(path.display().to_string());
+                outputs.push(prom_path.display().to_string());
+            }
+            Err(e) => eprintln!("  (could not write metrics to {}: {e})", path.display()),
+        }
+    }
     println!(
-        "[{name}] virtual {:.1}s across {} sims, {} events traced, wall {:.1}s -> {}",
+        "[{name}] virtual {:.1}s across {} sims, {} events traced, {} metrics, wall {:.1}s -> {}",
         summary.virtual_secs,
         summary.sims,
         summary.events(),
+        summary.metrics.counters.len()
+            + summary.metrics.gauges.len()
+            + summary.metrics.histograms.len()
+            + summary.metrics.timelines.len(),
         wall.elapsed().as_secs_f64(),
         outputs.join(", ")
     );
 }
 
 /// Standard `main` body for the single-experiment binaries: parses
-/// `--trace-out` and runs the experiment with a summary line.
+/// `--trace-out` / `--metrics-out` and runs the experiment with a
+/// summary line.
 pub fn run_cli(name: &str, run: impl FnOnce() -> ExperimentResult) {
-    let trace_out = parse_trace_out(std::env::args().skip(1));
-    run_experiment(name, run, trace_out.as_deref());
+    let opts = parse_run_opts(std::env::args().skip(1));
+    run_experiment(name, run, opts.trace_out.as_deref(), opts.metrics_out.as_deref());
 }
 
 #[cfg(test)]
@@ -366,7 +480,7 @@ mod tests {
 
     #[test]
     fn capture_collects_traces_and_virtual_time() {
-        let (out, summary) = capture_runs(true, 0, || {
+        let (out, summary) = capture_runs(true, false, 0, || {
             in_sim(7, |ctx| {
                 Box::pin(async move {
                     let tracer = ctx.tracer();
@@ -387,7 +501,7 @@ mod tests {
 
     #[test]
     fn capture_disabled_still_counts_sims() {
-        let ((), summary) = capture_runs(false, 0, || {
+        let ((), summary) = capture_runs(false, false, 0, || {
             in_sim(8, |ctx| {
                 Box::pin(async move {
                     ctx.sleep(skyrise::sim::SimDuration::from_secs(1)).await;
@@ -402,7 +516,7 @@ mod tests {
     #[test]
     fn seed_offset_shifts_sim_seeds() {
         fn seed_of(offset: u64) -> u64 {
-            let ((), summary) = capture_runs(true, offset, || {
+            let ((), summary) = capture_runs(true, false, offset, || {
                 in_sim(100, |ctx| {
                     Box::pin(async move {
                         let tracer = ctx.tracer();
@@ -419,7 +533,7 @@ mod tests {
     #[test]
     fn sanitizer_digests_recorded_and_reproducible() {
         fn one(seed: u64) -> RunSummary {
-            capture_runs(false, 0, || {
+            capture_runs(false, false, 0, || {
                 in_sim(seed, |ctx| {
                     Box::pin(async move {
                         ctx.sleep(skyrise::sim::SimDuration::from_secs(2)).await;
@@ -447,5 +561,56 @@ mod tests {
             parse_trace_out(vec!["--trace-out=/tmp/t.json".into()]),
             Some(PathBuf::from("/tmp/t.json"))
         );
+    }
+
+    #[test]
+    fn run_opts_parsing() {
+        assert_eq!(parse_run_opts(Vec::<String>::new()), RunOpts::default());
+        let opts = parse_run_opts(vec![
+            "--trace-out".into(),
+            "/tmp/t.json".into(),
+            "--metrics-out=/tmp/m.jsonl".into(),
+        ]);
+        assert_eq!(opts.trace_out, Some(PathBuf::from("/tmp/t.json")));
+        assert_eq!(opts.metrics_out, Some(PathBuf::from("/tmp/m.jsonl")));
+    }
+
+    #[test]
+    fn metrics_capture_merges_across_sims() {
+        let ((), summary) = capture_runs(false, true, 0, || {
+            for seed in [21, 22] {
+                in_sim(seed, |ctx| {
+                    Box::pin(async move {
+                        let c = ctx.metrics().counter("test.capture.runs");
+                        c.inc();
+                        ctx.sleep(skyrise::sim::SimDuration::from_secs(1)).await;
+                    })
+                });
+            }
+        });
+        assert_eq!(summary.sims, 2);
+        assert_eq!(summary.metrics.counters["test.capture.runs"], 2);
+        // Executor self-profiling rides along once a registry is live.
+        assert!(summary.metrics.counters["sim.executor.polls"] > 0);
+    }
+
+    #[test]
+    fn telemetry_digest_feeds_the_sanitizer() {
+        fn digest_of(metrics: bool, extra: u64) -> u64 {
+            let ((), summary) = capture_runs(false, metrics, 0, || {
+                in_sim(31, |ctx| {
+                    Box::pin(async move {
+                        ctx.metrics().counter("test.sanitizer.value").add(extra);
+                        ctx.sleep(skyrise::sim::SimDuration::from_secs(1)).await;
+                    })
+                })
+            });
+            summary.digests[0].1.digest
+        }
+        // Same telemetry, same digest; different telemetry, different
+        // digest; telemetry off leaves the baseline digest untouched.
+        assert_eq!(digest_of(true, 1), digest_of(true, 1));
+        assert_ne!(digest_of(true, 1), digest_of(true, 2));
+        assert_eq!(digest_of(false, 1), digest_of(false, 2));
     }
 }

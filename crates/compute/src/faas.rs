@@ -22,6 +22,7 @@ use crate::region::Region;
 use skyrise_net::{presets, SharedNic};
 use skyrise_pricing::{SharedMeter, LAMBDA_MIB_PER_VCPU};
 use skyrise_sim::faults::INJECTED_FAILURE;
+use skyrise_sim::telemetry::{Counter, Gauge, HistogramHandle, MetricRegistry};
 use skyrise_sim::{race, Either, SimCtx, SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, VecDeque};
@@ -152,6 +153,43 @@ struct Registered {
     warm: VecDeque<Sandbox>,
 }
 
+/// Cached telemetry handles (DESIGN.md §10), resolved once at platform
+/// construction so the invoke hot path never touches the registry's name
+/// maps. Every handle is a no-op when the simulation has no registry.
+struct FaasMetrics {
+    cold_starts: Counter,
+    warm_starts: Counter,
+    expired: Counter,
+    crashes: Counter,
+    invokes: Counter,
+    throttles: Counter,
+    token_waits: Counter,
+    coldstart_secs: HistogramHandle,
+    warmstart_secs: HistogramHandle,
+    invoke_secs: HistogramHandle,
+    warm_pool: Gauge,
+    in_flight: Gauge,
+}
+
+impl FaasMetrics {
+    fn new(reg: &MetricRegistry) -> Self {
+        FaasMetrics {
+            cold_starts: reg.counter("faas.sandbox.cold_starts"),
+            warm_starts: reg.counter("faas.sandbox.warm_starts"),
+            expired: reg.counter("faas.sandbox.expired"),
+            crashes: reg.counter("faas.sandbox.crashes"),
+            invokes: reg.counter("faas.invoke.count"),
+            throttles: reg.counter("faas.invoke.throttles"),
+            token_waits: reg.counter("faas.scaling.token_waits"),
+            coldstart_secs: reg.histogram("faas.coldstart.secs"),
+            warmstart_secs: reg.histogram("faas.warmstart.secs"),
+            invoke_secs: reg.histogram("faas.invoke.latency_secs"),
+            warm_pool: reg.gauge("faas.pool.warm_size"),
+            in_flight: reg.gauge("faas.invoke.in_flight"),
+        }
+    }
+}
+
 /// The FaaS platform. Cheap to clone via `Rc`.
 pub struct LambdaPlatform {
     ctx: SimCtx,
@@ -166,12 +204,14 @@ pub struct LambdaPlatform {
     /// Statistics: coldstarts and warmstarts served.
     cold_starts: Cell<u64>,
     warm_starts: Cell<u64>,
+    metrics: FaasMetrics,
 }
 
 impl LambdaPlatform {
     /// Platform in a region with the paper's raised 10K concurrency quota.
     pub fn new(ctx: &SimCtx, meter: &SharedMeter, region: Region) -> Rc<Self> {
         let rate = 500.0 / 60.0 * region.scaling_rate_factor;
+        let metrics = FaasMetrics::new(&ctx.metrics());
         Rc::new(LambdaPlatform {
             ctx: ctx.clone(),
             meter: Rc::clone(meter),
@@ -186,6 +226,7 @@ impl LambdaPlatform {
             next_sandbox: Cell::new(0),
             cold_starts: Cell::new(0),
             warm_starts: Cell::new(0),
+            metrics,
         })
     }
 
@@ -265,9 +306,11 @@ impl LambdaPlatform {
                 .instant(&self.ctx, "faas", lane, "throttle-429")
                 .attr("function", name)
                 .attr("concurrent", self.concurrent.get());
+            self.metrics.throttles.inc();
             return Err(FaasError::TooManyRequests);
         }
         self.concurrent.set(self.concurrent.get() + 1);
+        self.metrics.in_flight.set(self.concurrent.get() as f64);
         let started = self.ctx.now();
         let span = tracer.span(&self.ctx, "faas", lane, "invoke");
         span.attr("function", name)
@@ -303,6 +346,8 @@ impl LambdaPlatform {
         drop(run_span);
         let now = self.ctx.now();
         let duration = now.duration_since(started);
+        self.metrics.invokes.inc();
+        self.metrics.invoke_secs.record_duration(duration);
 
         // Bill, return the sandbox, release concurrency — also on failure.
         let gb_s_before = self.meter.borrow().lambda.gb_seconds;
@@ -327,9 +372,11 @@ impl LambdaPlatform {
                 .instant(&self.ctx, "faas", lane, "fault-crash")
                 .attr("function", name)
                 .attr("sandbox", sandbox_id);
+            self.metrics.crashes.inc();
             drop(sandbox);
         }
         self.concurrent.set(self.concurrent.get() - 1);
+        self.metrics.in_flight.set(self.concurrent.get() as f64);
 
         match run {
             None => Err(FaasError::SandboxCrashed),
@@ -392,21 +439,26 @@ impl LambdaPlatform {
     ) -> (Sandbox, bool) {
         // Warm path: pop a live sandbox, lazily expiring dead ones.
         let now = self.ctx.now();
-        let popped = {
+        let (popped, pool_len) = {
             let mut fns = self.functions.borrow_mut();
             let reg = fns.get_mut(name).expect("registered");
-            loop {
+            let mut expired = 0u64;
+            let popped = loop {
                 match reg.warm.pop_front() {
                     Some(sb) => {
                         if now.duration_since(sb.last_used) <= sb.idle_lifetime {
                             break Some(sb);
                         }
                         // expired: drop and keep looking
+                        expired += 1;
                     }
                     None => break None,
                 }
-            }
+            };
+            self.metrics.expired.add(expired);
+            (popped, reg.warm.len())
         };
+        self.metrics.warm_pool.set(pool_len as f64);
         let tracer = self.ctx.tracer();
         if let Some(sb) = popped {
             let span = tracer.span(&self.ctx, "faas", lane, "warmstart");
@@ -414,6 +466,8 @@ impl LambdaPlatform {
             let lat = self.ctx.with_rng(|r| self.region.sample_warmstart(r));
             self.ctx.sleep(lat).await;
             self.warm_starts.set(self.warm_starts.get() + 1);
+            self.metrics.warm_starts.inc();
+            self.metrics.warmstart_secs.record_duration(lat);
             return (sb, false);
         }
 
@@ -437,6 +491,7 @@ impl LambdaPlatform {
                 tracer
                     .instant(&self.ctx, "faas", lane, "scaling-token-wait")
                     .attr("burst_tokens", available);
+                self.metrics.token_waits.inc();
                 token_waited = true;
             }
             self.ctx.sleep(SimDuration::from_millis(200)).await;
@@ -458,6 +513,8 @@ impl LambdaPlatform {
             .attr("download_s", download.as_secs_f64());
         self.ctx.sleep(init + download).await;
         self.cold_starts.set(self.cold_starts.get() + 1);
+        self.metrics.cold_starts.inc();
+        self.metrics.coldstart_secs.record_duration(init + download);
         span.end();
 
         let id = self.next_sandbox.get();
@@ -488,6 +545,7 @@ impl LambdaPlatform {
             .attr("sandbox", sandbox.id);
         if let Some(reg) = self.functions.borrow_mut().get_mut(name) {
             reg.warm.push_back(sandbox);
+            self.metrics.warm_pool.set(reg.warm.len() as f64);
         }
     }
 
@@ -831,6 +889,29 @@ mod tests {
         // Same seed, so the underlying coldstart sample is identical; the
         // spiked run must be several times slower.
         assert!(cold_duration(true) > 3.0 * cold_duration(false));
+    }
+
+    #[test]
+    fn telemetry_records_starts_and_latencies() {
+        let mut sim = Sim::new(15);
+        let reg = sim.install_metrics();
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        sim.spawn(async move {
+            let platform = LambdaPlatform::new(&ctx, &meter, Region::us_east_1());
+            platform.register(FunctionConfig::worker("f"), echo_handler());
+            platform.invoke("f", String::new()).await.unwrap();
+            platform.invoke("f", String::new()).await.unwrap();
+        });
+        sim.run();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["faas.sandbox.cold_starts"], 1);
+        assert_eq!(snap.counters["faas.sandbox.warm_starts"], 1);
+        assert_eq!(snap.counters["faas.invoke.count"], 2);
+        assert_eq!(snap.histograms["faas.invoke.latency_secs"].count(), 2);
+        assert_eq!(snap.histograms["faas.coldstart.secs"].count(), 1);
+        assert_eq!(snap.gauges["faas.invoke.in_flight"], 1.0);
+        assert!(snap.gauges["faas.pool.warm_size"] >= 1.0);
     }
 
     #[test]

@@ -499,6 +499,7 @@ async fn invoke_resilient(
     label: &str,
 ) -> Result<(String, TaskAttempts), EngineError> {
     let tracer = ctx.tracer();
+    let metrics = ctx.metrics();
     let backoff = policy.backoff_policy();
     let timeout = policy.timeout_for(expected_bytes);
     let max_attempts = policy.max_attempts.max(1);
@@ -525,6 +526,7 @@ async fn invoke_resilient(
             // Every launched attempt has failed: back off and relaunch,
             // or give up once the attempt budget is spent.
             if acct.launched >= max_attempts {
+                metrics.counter("engine.task.exhausted").inc();
                 return Err(EngineError::TaskFailed {
                     attempts: acct.launched,
                     last: last_err,
@@ -532,6 +534,7 @@ async fn invoke_resilient(
             }
             ctx.sleep(backoff.backoff(ctx, acct.launched)).await;
             ctx.sleep(DISPATCH_LATENCY).await;
+            metrics.counter("engine.task.retries").inc();
             tracer
                 .instant(ctx, "coordinator", lane, "task-retry")
                 .attr("task", label)
@@ -555,6 +558,7 @@ async fn invoke_resilient(
         match completion {
             None => {
                 // Straggler: trigger a speculative duplicate.
+                metrics.counter("engine.task.speculative_invokes").inc();
                 tracer
                     .instant(ctx, "coordinator", lane, "straggler-retrigger")
                     .attr("task", label)
@@ -573,6 +577,7 @@ async fn invoke_resilient(
                     return Err(EngineError::Worker(err.to_string()));
                 }
                 _ => {
+                    metrics.counter("engine.task.attempt_failures").inc();
                     acct.failed_secs += (ctx.now() - started).as_secs_f64();
                     last_err = err.to_string();
                 }

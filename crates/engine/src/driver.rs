@@ -260,6 +260,7 @@ impl Skyrise {
                     if !transient || attempt >= max_attempts {
                         return Err(EngineError::Worker(err.to_string()));
                     }
+                    self.ctx.metrics().counter("engine.coordinator.retries").inc();
                     self.ctx.sleep(backoff.backoff(&self.ctx, attempt)).await;
                 }
             }
@@ -282,12 +283,22 @@ impl Skyrise {
     ) -> Result<(QueryResponse, QueryProfile), EngineError> {
         let meter = self.platform.meter();
         let before = meter.as_ref().map(|m| m.borrow().report());
+        let metrics = self.ctx.metrics();
+        let counters_before = metrics.enabled().then(|| metrics.snapshot().counters);
         let response = self.run(plan, config).await?;
         let cost = meter
             .as_ref()
             .zip(before.as_ref())
             .map(|(m, before)| crate::profile::ProfileCost::delta(before, &m.borrow().report()));
-        let profile = QueryProfile::from_trace(&response, &self.ctx.tracer(), cost);
+        let mut profile = QueryProfile::from_trace(&response, &self.ctx.tracer(), cost);
+        if let Some(before) = counters_before {
+            for (name, after) in metrics.snapshot().counters {
+                let delta = after - before.get(&name).copied().unwrap_or(0);
+                if delta > 0 {
+                    profile.metric_counters.insert(name, delta);
+                }
+            }
+        }
         Ok((response, profile))
     }
 

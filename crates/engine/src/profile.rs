@@ -109,6 +109,10 @@ pub struct QueryProfile {
     /// Fault-plan injections observed in the query's trace window
     /// (`fault-*` instants; 0 with tracing disabled or no fault plan).
     pub faults_injected: u64,
+    /// Telemetry counter deltas across the execution — how far each
+    /// registry counter advanced while this query ran. Empty without an
+    /// installed [`skyrise_sim::MetricRegistry`] (DESIGN.md §10).
+    pub metric_counters: BTreeMap<String, u64>,
     /// Marginal cost, when a usage meter was reachable.
     pub cost: Option<ProfileCost>,
 }
@@ -159,6 +163,7 @@ impl QueryProfile {
             failed_attempt_secs: response.stages.iter().map(|s| s.failed_attempt_secs).sum(),
             failure_share: 0.0,
             faults_injected: 0,
+            metric_counters: BTreeMap::new(),
             cost,
         };
         tracer.with_events(|events| {
@@ -267,6 +272,16 @@ impl QueryProfile {
                 100.0 * self.failure_share
             );
         }
+        if !self.metric_counters.is_empty() {
+            let _ = writeln!(
+                out,
+                "  telemetry ({} counters advanced):",
+                self.metric_counters.len()
+            );
+            for (name, delta) in &self.metric_counters {
+                let _ = writeln!(out, "    {name:<40} {delta:>12}");
+            }
+        }
         let _ = writeln!(
             out,
             "  bytes read {:.3} GB, written {:.3} GB; {} storage requests",
@@ -320,6 +335,7 @@ mod tests {
         assert_eq!(profile.cold_starts, 4);
         assert!(profile.critical_path.is_empty());
         assert!(profile.operator_secs.is_empty());
+        assert!(profile.metric_counters.is_empty());
         assert_eq!(profile.events_traced, 0);
         assert!(!profile.render().is_empty());
     }

@@ -413,6 +413,37 @@ pub async fn run_worker(
         }
     }
 
+    // Per-operator and per-fragment telemetry (DESIGN.md §10). Resolved
+    // here rather than cached: a worker fragment runs once per invocation.
+    let metrics = env.ctx.metrics();
+    if metrics.enabled() {
+        metrics.counter("engine.worker.fragments").inc();
+        metrics.counter("engine.worker.rows_in").add(report.rows_in);
+        metrics.counter("engine.worker.rows_out").add(report.rows_out);
+        metrics
+            .counter("engine.worker.bytes_read")
+            .add(report.logical_bytes_read);
+        metrics
+            .counter("engine.worker.bytes_written")
+            .add(report.logical_bytes_written);
+        metrics
+            .counter("engine.worker.storage_requests")
+            .add(report.storage_requests);
+        metrics.histogram("engine.worker.io_secs").record(report.io_secs);
+        metrics
+            .histogram("engine.worker.cpu_secs")
+            .record(report.cpu_secs);
+        for op in &task.pipeline.ops {
+            let label = op_label(op);
+            metrics
+                .counter(&format!("engine.op.{label}.invocations"))
+                .inc();
+            metrics
+                .counter(&format!("engine.op.{label}.rows"))
+                .add(logical_rows as u64);
+        }
+    }
+
     worker_span
         .attr("rows_in", report.rows_in)
         .attr("rows_out", report.rows_out)

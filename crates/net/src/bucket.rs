@@ -255,6 +255,19 @@ impl RateLimiter {
         self.refilled
     }
 
+    /// Fraction of one full-burst slice currently *unavailable*, in
+    /// `[0, 1]`: 0 when a whole `slice` at burst rate could be granted
+    /// right now, 1 when the bucket is empty. This is the telemetry
+    /// layer's bucket-saturation ratio; call [`RateLimiter::advance`]
+    /// first so the reading reflects `now`.
+    pub fn saturation(&self, slice: SimDuration) -> f64 {
+        let budget = self.burst_rate * slice.as_secs_f64();
+        if budget <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.peek(slice) / budget).clamp(0.0, 1.0)
+    }
+
     /// Relative error of the token-conservation law
     ///
     /// ```text
@@ -522,6 +535,23 @@ mod tests {
             t += SLICE;
         }
         assert!(b.conservation_error() < 1e-9, "{}", b.conservation_error());
+    }
+
+    #[test]
+    fn saturation_tracks_token_depletion() {
+        let mut b = lambda_bucket();
+        b.advance(SimTime::ZERO);
+        // Full bucket: a whole burst slice is available.
+        assert_eq!(b.saturation(SLICE), 0.0);
+        // Drain everything: nothing grantable, fully saturated.
+        b.consume(SimTime::ZERO, b.available());
+        assert_eq!(b.saturation(SLICE), 1.0);
+        // Partial budget: strictly between.
+        let mut c = RateLimiter::continuous(mib(100.0), mib(10.0), mib(50.0));
+        c.advance(SimTime::ZERO);
+        c.consume(SimTime::ZERO, mib(50.0) - mib(100.0) * 0.01 / 2.0);
+        let s = c.saturation(SLICE);
+        assert!(s > 0.4 && s < 0.6, "saturation {s}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::bucket::RateLimiter;
 use serde::{Deserialize, Serialize};
+use skyrise_sim::telemetry::{Counter, TimelineHandle};
 use skyrise_sim::{IntervalSeries, SimCtx, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -151,17 +152,44 @@ pub async fn transfer(
     let mut stalled_slices: u64 = 0;
     let mut flowing = true;
 
+    // Telemetry (DESIGN.md §10): handles resolved once per transfer; the
+    // per-lane pair is keyed by the endpoint label so suite exports break
+    // bytes out by storage service. All of it is a no-op without a registry.
+    let metrics = ctx.metrics();
+    let telem = metrics.enabled();
+    let m_transfers = metrics.counter("net.transfer.count");
+    let m_throttles = metrics.counter("net.fabric.throttle_onsets");
+    let m_stalls = metrics.counter("net.transfer.stalled_slices");
+    let m_secs = metrics.histogram("net.transfer.secs");
+    let m_src_sat = metrics.gauge("net.bucket.src_saturation");
+    let m_dst_sat = metrics.gauge("net.bucket.dst_saturation");
+    let (m_lane_bytes, m_lane_tl) = if telem {
+        let lane_name = opts.label.unwrap_or("unlabeled");
+        (
+            metrics.counter(&format!("net.lane.{lane_name}.bytes")),
+            metrics.timeline(&format!("net.lane.{lane_name}"), SimDuration::from_secs(1)),
+        )
+    } else {
+        (Counter::disabled(), TimelineHandle::disabled())
+    };
+
     while remaining > 0.0 {
         let now = ctx.now();
         // Peek every constraint before consuming from any.
         let allow_src = {
             let mut n = src.borrow_mut();
             n.outbound.advance(now);
+            if telem {
+                m_src_sat.set(n.outbound.saturation(slice));
+            }
             n.outbound.peek(slice)
         };
         let allow_dst = {
             let mut n = dst.borrow_mut();
             n.inbound.advance(now);
+            if telem {
+                m_dst_sat.set(n.inbound.saturation(slice));
+            }
             n.inbound.peek(slice)
         };
         let mut allow = allow_src.min(allow_dst).min(remaining);
@@ -204,6 +232,8 @@ pub async fn transfer(
             if let Some(rec) = &opts.recorder {
                 rec.borrow_mut().record_span(now, now + dur, allow);
             }
+            m_lane_bytes.add(allow as u64);
+            m_lane_tl.record_span(now, now + dur, allow);
             if remaining <= 0.5 {
                 ctx.sleep(dur).await;
                 break;
@@ -219,6 +249,7 @@ pub async fn transfer(
                 if let Some(label) = opts.label {
                     onset.attr("endpoint", label);
                 }
+                m_throttles.inc();
                 flowing = false;
             }
             stalled_slices += 1;
@@ -226,12 +257,12 @@ pub async fn transfer(
         }
     }
     span.attr("stalled_slices", stalled_slices);
+    let end = ctx.now();
+    m_transfers.inc();
+    m_stalls.add(stalled_slices);
+    m_secs.record_duration(end.duration_since(start));
 
-    TransferStats {
-        bytes,
-        start,
-        end: ctx.now(),
-    }
+    TransferStats { bytes, start, end }
 }
 
 #[cfg(test)]
@@ -401,6 +432,33 @@ mod tests {
         sim.run();
         let total = rec.borrow().total();
         assert!((total - (50 * MIB) as f64).abs() < 1.0, "total {total}");
+    }
+
+    #[test]
+    fn telemetry_counts_bytes_and_throttles() {
+        let mut sim = Sim::new(2);
+        let reg = sim.install_metrics();
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            let client = lambda_nic();
+            let server = Nic::unlimited();
+            let opts = TransferOpts {
+                label: Some("s3"),
+                ..Default::default()
+            };
+            // 400 MiB is beyond the 300 MiB burst: the transfer must hit
+            // the spiky slotted-refill regime and stall between slots.
+            transfer(&ctx, &server, &client, 400 * MIB, &opts).await;
+        });
+        sim.run();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["net.transfer.count"], 1);
+        assert!(snap.counters["net.lane.s3.bytes"] >= 399 * MIB);
+        assert!(snap.counters["net.fabric.throttle_onsets"] >= 1);
+        assert!(snap.counters["net.transfer.stalled_slices"] >= 1);
+        assert_eq!(snap.histograms["net.transfer.secs"].count(), 1);
+        assert!(snap.gauges["net.bucket.dst_saturation"] > 0.9);
+        assert!(snap.timelines.contains_key("net.lane.s3"));
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::faults::{FaultConfig, FaultPlan};
 use crate::rng::SimRng;
 use crate::sanitizer::Sanitizer;
 use crate::slab::Slab;
+use crate::telemetry::MetricRegistry;
 use crate::time::{SimDuration, SimTime};
 use crate::timer_heap::{TimerHeap, TimerKey};
 use crate::trace::Tracer;
@@ -94,6 +95,33 @@ struct Hooks {
     /// Fault-injection plan; disabled (injects nothing) unless installed
     /// via [`Sim::install_faults`].
     faults: FaultPlan,
+    /// Metric registry; disabled (all handles no-op) unless installed via
+    /// [`Sim::install_metrics`].
+    metrics: MetricRegistry,
+}
+
+/// The executor's own always-on event counters. Plain `Cell`s — an
+/// increment costs less than the poll it annotates — flushed into the
+/// metric registry (when one is installed) as each run returns, with
+/// absolute `set` semantics so repeated `run_until` calls stay idempotent.
+#[derive(Default)]
+struct ExecStats {
+    /// Task polls performed.
+    polls: Cell<u64>,
+    /// Virtual-clock advances to a timer deadline.
+    advances: Cell<u64>,
+    /// Timers fired at their deadline.
+    timer_fires: Cell<u64>,
+    /// Timers registered.
+    timer_inserts: Cell<u64>,
+    /// Timers cancelled before firing (race losers, dropped sleeps).
+    timer_cancels: Cell<u64>,
+    /// Tasks spawned.
+    spawned: Cell<u64>,
+    /// Tasks run to completion.
+    completed: Cell<u64>,
+    /// Peak concurrently-live tasks (slab occupancy high-water mark).
+    peak_live: Cell<u64>,
 }
 
 struct SimState {
@@ -105,6 +133,8 @@ struct SimState {
     wake_queue: Arc<WakeQueue>,
     /// Count of tasks that have been spawned but not yet completed.
     live_tasks: Cell<usize>,
+    /// Self-profiling counters (always on; flushed to the registry).
+    stats: ExecStats,
     /// RNG seed this simulation was created with.
     seed: u64,
 }
@@ -157,9 +187,11 @@ impl Sim {
                         Sanitizer::disabled()
                     },
                     faults: FaultPlan::disabled(),
+                    metrics: MetricRegistry::disabled(),
                 }),
                 wake_queue: Arc::new(WakeQueue::default()),
                 live_tasks: Cell::new(0),
+                stats: ExecStats::default(),
                 seed,
             }),
         }
@@ -217,6 +249,22 @@ impl Sim {
         self.state.hooks.borrow().faults.clone()
     }
 
+    /// Install a metric registry and return a handle that outlives the
+    /// simulation for snapshot/export. Components reach the registry via
+    /// [`SimCtx::metrics`] and cache their handles at construction;
+    /// without this call the registry is disabled and every metric
+    /// operation is a no-op.
+    pub fn install_metrics(&self) -> MetricRegistry {
+        let registry = MetricRegistry::new();
+        self.state.hooks.borrow_mut().metrics = registry.clone();
+        registry
+    }
+
+    /// The metric registry currently installed (disabled by default).
+    pub fn metrics(&self) -> MetricRegistry {
+        self.state.hooks.borrow().metrics.clone()
+    }
+
     /// A handle for spawning and sleeping from inside tasks.
     pub fn ctx(&self) -> SimCtx {
         SimCtx {
@@ -254,6 +302,7 @@ impl Sim {
         // one clone up front covers the whole run — the hooks cell is not
         // re-borrowed per step.
         let sanitizer = self.state.hooks.borrow().sanitizer.clone();
+        let stats = &self.state.stats;
         loop {
             self.drain_ready(&sanitizer);
             // No runnable tasks: advance to the next timer. Cancelled
@@ -263,24 +312,58 @@ impl Sim {
                 Some(deadline) if deadline <= limit => {
                     sanitizer.on_advance(self.state.now.get(), deadline);
                     self.state.now.set(deadline);
+                    stats.advances.set(stats.advances.get() + 1);
                     // Fire every timer at this deadline, in registration
                     // order (the heap breaks deadline ties by insertion seq).
                     let mut timers = self.state.timers.borrow_mut();
                     while let Some(waker) = timers.pop_due(deadline) {
+                        stats.timer_fires.set(stats.timer_fires.get() + 1);
                         waker.wake();
                     }
                 }
-                Some(_) => return self.state.now.get(), // next event beyond limit
+                Some(_) => {
+                    // Next event beyond limit.
+                    self.flush_metrics();
+                    return self.state.now.get();
+                }
                 None => {
                     let live = self.state.live_tasks.get();
                     assert!(
                         live == 0,
                         "simulation deadlock: {live} task(s) blocked with no pending timer"
                     );
+                    self.flush_metrics();
                     return self.state.now.get();
                 }
             }
         }
+    }
+
+    /// Flush the executor's self-profiling counters into the registry.
+    /// Absolute `set`s: calling after every `run_until` leaves the same
+    /// final values as calling once at the end.
+    fn flush_metrics(&self) {
+        let metrics = self.state.hooks.borrow().metrics.clone();
+        if !metrics.enabled() {
+            return;
+        }
+        let s = &self.state.stats;
+        metrics.counter("sim.executor.polls").set(s.polls.get());
+        metrics
+            .counter("sim.executor.advances")
+            .set(s.advances.get());
+        metrics
+            .counter("sim.executor.tasks_spawned")
+            .set(s.spawned.get());
+        metrics
+            .counter("sim.executor.tasks_completed")
+            .set(s.completed.get());
+        metrics.counter("sim.timer.inserts").set(s.timer_inserts.get());
+        metrics.counter("sim.timer.fires").set(s.timer_fires.get());
+        metrics.counter("sim.timer.cancels").set(s.timer_cancels.get());
+        metrics
+            .gauge("sim.executor.peak_live_tasks")
+            .set(s.peak_live.get() as f64);
     }
 
     /// Poll every woken task until the ready queue is empty.
@@ -335,11 +418,14 @@ impl Sim {
                 (fut, waker)
             };
             sanitizer.on_poll(id, self.state.now.get());
+            let stats = &self.state.stats;
+            stats.polls.set(stats.polls.get() + 1);
             let mut cx = Context::from_waker(&waker);
             match fut.as_mut().poll(&mut cx) {
                 Poll::Ready(()) => {
                     self.state.tasks.borrow_mut().remove(id);
                     self.state.live_tasks.set(self.state.live_tasks.get() - 1);
+                    stats.completed.set(stats.completed.get() + 1);
                     sanitizer.on_complete(id);
                 }
                 Poll::Pending => {
@@ -399,6 +485,16 @@ impl SimCtx {
         }
     }
 
+    /// The simulation's metric registry (disabled, i.e. handing out no-op
+    /// handles, unless installed via [`Sim::install_metrics`]). Subsystems
+    /// call this once at construction and cache the handles they need.
+    pub fn metrics(&self) -> MetricRegistry {
+        match self.state.upgrade() {
+            Some(s) => s.hooks.borrow().metrics.clone(),
+            None => MetricRegistry::disabled(),
+        }
+    }
+
     /// Spawn a task onto the simulation; returns a handle that resolves to
     /// the task's output.
     pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
@@ -407,7 +503,13 @@ impl SimCtx {
         F::Output: 'static,
     {
         let state = self.state();
-        state.live_tasks.set(state.live_tasks.get() + 1);
+        let live = state.live_tasks.get() + 1;
+        state.live_tasks.set(live);
+        let stats = &state.stats;
+        stats.spawned.set(stats.spawned.get() + 1);
+        if live as u64 > stats.peak_live.get() {
+            stats.peak_live.set(live as u64);
+        }
 
         let slot: Rc<RefCell<JoinSlot<F::Output>>> = Rc::new(RefCell::new(JoinSlot::default()));
         let slot2 = Rc::clone(&slot);
@@ -459,7 +561,10 @@ impl SimCtx {
     }
 
     fn register_timer(&self, deadline: SimTime, waker: Waker) -> TimerKey {
-        self.state().timers.borrow_mut().insert(deadline, waker)
+        let state = self.state();
+        let stats = &state.stats;
+        stats.timer_inserts.set(stats.timer_inserts.get() + 1);
+        state.timers.borrow_mut().insert(deadline, waker)
     }
 
     /// Refresh the waker of a pending timer; false when the timer already
@@ -472,7 +577,10 @@ impl SimCtx {
     /// simulation — [`Sleep`] calls this from `Drop`.
     fn cancel_timer(&self, key: TimerKey) {
         if let Some(state) = self.state.upgrade() {
-            state.timers.borrow_mut().cancel(key);
+            if state.timers.borrow_mut().cancel(key).is_some() {
+                let stats = &state.stats;
+                stats.timer_cancels.set(stats.timer_cancels.get() + 1);
+            }
         }
     }
 }
@@ -922,6 +1030,48 @@ mod tests {
         assert!(ctx.faults().sample_invoke_transient());
         // The outliving handle shares counters with the installed plan.
         assert_eq!(plan.stats().transients, 1);
+    }
+
+    #[test]
+    fn metrics_disabled_by_default_and_installable() {
+        let sim = Sim::new(3);
+        assert!(!sim.metrics().enabled());
+        assert!(!sim.ctx().metrics().enabled());
+        let reg = sim.install_metrics();
+        assert!(sim.ctx().metrics().enabled());
+        // The outliving handle shares state with the installed registry.
+        sim.ctx().metrics().counter("x").inc();
+        assert_eq!(reg.counter("x").get(), 1);
+    }
+
+    #[test]
+    fn executor_self_profile_flushes_on_run() {
+        let mut sim = Sim::new(4);
+        let reg = sim.install_metrics();
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            // One cancelled timer (race loser) and a few fired ones.
+            let _ = race(
+                ctx.sleep(SimDuration::from_secs(100)),
+                ctx.sleep(SimDuration::from_millis(1)),
+            )
+            .await;
+            ctx.sleep(SimDuration::from_millis(1)).await;
+        });
+        sim.run();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["sim.executor.tasks_spawned"], 1);
+        assert_eq!(snap.counters["sim.executor.tasks_completed"], 1);
+        assert!(snap.counters["sim.executor.polls"] >= 3);
+        assert_eq!(snap.counters["sim.timer.cancels"], 1);
+        assert!(snap.counters["sim.timer.fires"] >= 2);
+        assert!(snap.counters["sim.timer.inserts"] >= 3);
+        assert!(snap.gauges["sim.executor.peak_live_tasks"] >= 1.0);
+        // Flush is idempotent: running again without new work leaves the
+        // same values.
+        let before = snap.counters["sim.executor.polls"];
+        sim.run();
+        assert_eq!(reg.snapshot().counters["sim.executor.polls"], before);
     }
 
     #[test]

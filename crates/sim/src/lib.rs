@@ -12,6 +12,8 @@
 //! * [`rng`] — seeded RNG and heavy-tailed latency distributions
 //! * [`sync`] — channels, semaphores, events, wait groups
 //! * [`metrics`] — interval throughput series, latency histograms, stats
+//! * [`telemetry`] — deterministic metric registry (counters, gauges,
+//!   latency sketches, utilization timelines) + Prometheus/JSONL export
 //! * [`trace`] — virtual-time spans/events, Chrome-trace + JSONL export
 //! * [`sanitizer`] — runtime determinism checks + per-event state digest
 //! * [`faults`] — seeded fault-injection plan queried by the models
@@ -28,6 +30,7 @@ pub mod rng;
 pub mod sanitizer;
 pub mod slab;
 pub mod sync;
+pub mod telemetry;
 pub mod time;
 pub mod timer_heap;
 pub mod trace;
@@ -38,6 +41,10 @@ pub use metrics::{Histogram, HistogramSummary, IntervalSeries};
 pub use rng::{LatencyDist, SimRng};
 pub use sanitizer::{DigestCheckpoint, Sanitizer, SanitizerReport};
 pub use slab::{Slab, SlabKey};
+pub use telemetry::{
+    Counter, Gauge, HistogramHandle, MetricRegistry, MetricsSnapshot, TimelineHandle,
+    TimelineSnapshot,
+};
 pub use time::{SimDuration, SimTime};
 pub use timer_heap::{TimerHeap, TimerKey};
 pub use trace::{

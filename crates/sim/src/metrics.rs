@@ -223,12 +223,23 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile `q` in `[0, 1]`.
+    /// Approximate quantile `q` in `[0, 1]` (nearest-rank over the log
+    /// buckets, clamped to the exact min/max).
+    ///
+    /// Edge cases are exact: an empty histogram returns 0, `q <= 0`
+    /// returns the exact minimum, `q >= 1` the exact maximum — so
+    /// quantiles are always within the recorded range and
+    /// `quantile(0) <= quantile(q) <= quantile(1)` holds for any `q`.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
@@ -268,6 +279,7 @@ impl Histogram {
             p50: self.median(),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
             max: self.max(),
         }
     }
@@ -288,6 +300,8 @@ pub struct HistogramSummary {
     pub p95: f64,
     /// 99th percentile.
     pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
     /// Exact maximum.
     pub max: f64,
 }
@@ -440,6 +454,97 @@ mod tests {
         h.record(0.0);
         assert_eq!(h.count(), 3);
         assert!(h.max() <= 1e-8);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: every quantile is 0.
+        let empty = Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(empty.quantile(q), 0.0);
+        }
+        // q<=0 and q>=1 are the exact extrema, even out of range.
+        let mut h = Histogram::new();
+        for v in [0.017, 0.4, 0.9] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0.017);
+        assert_eq!(h.quantile(-3.0), 0.017);
+        assert_eq!(h.quantile(1.0), 0.9);
+        assert_eq!(h.quantile(7.0), 0.9);
+        // Single value: every quantile collapses onto it.
+        let mut one = Histogram::new();
+        one.record(0.25);
+        for q in [0.0, 0.5, 0.95, 0.999, 1.0] {
+            assert_eq!(one.quantile(q), 0.25, "q={q}");
+        }
+        // Monotone across the whole range.
+        let mut prev = h.quantile(0.0);
+        for i in 1..=100 {
+            let cur = h.quantile(i as f64 / 100.0);
+            assert!(cur >= prev, "quantile not monotone at {i}%");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn summary_orders_percentiles_with_p999() {
+        let mut h = Histogram::new();
+        for i in 1..=2000 {
+            h.record(i as f64 / 1000.0);
+        }
+        let s = h.summary();
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99);
+        assert!(s.p99 <= s.p999 && s.p999 <= s.max);
+        assert!((s.p999 - 1.998).abs() / 1.998 < 0.05, "p999 {}", s.p999);
+    }
+
+    mod merge_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn values() -> impl Strategy<Value = Vec<f64>> {
+            prop::collection::vec(1e-7..10.0f64, 0..60)
+        }
+
+        fn hist(vals: &[f64]) -> Histogram {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        }
+
+        proptest! {
+            /// Merge is associative for quantile outputs (bit-exact):
+            /// counts are u64 sums and min/max are f64 min/max, all
+            /// associative, and `quantile` never consults the
+            /// order-sensitive float `sum`. This is what lets harness
+            /// workers merge per-sim histograms in any grouping.
+            #[test]
+            fn merge_is_associative_for_quantiles(
+                a in values(), b in values(), c in values()
+            ) {
+                let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+                // (a ⊔ b) ⊔ c
+                let mut left = ha.clone();
+                left.merge(&hb);
+                left.merge(&hc);
+                // a ⊔ (b ⊔ c)
+                let mut bc = hb.clone();
+                bc.merge(&hc);
+                let mut right = ha.clone();
+                right.merge(&bc);
+                prop_assert_eq!(left.count(), right.count());
+                for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+                    prop_assert_eq!(
+                        left.quantile(q).to_bits(),
+                        right.quantile(q).to_bits(),
+                        "q={} diverged: {} vs {}", q, left.quantile(q), right.quantile(q)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::error::{Result, StorageError};
 use crate::object::{Blob, ObjectMeta};
 use crate::s3::S3Bucket;
 use skyrise_sim::faults::StorageFault;
+use skyrise_sim::telemetry::Counter;
 use skyrise_sim::{race, Either, SimCtx, SimDuration};
 use std::future::Future;
 use std::rc::Rc;
@@ -221,6 +222,17 @@ pub struct RetryingClient {
     /// Trace lane allocated to this client (clones share it), so concurrent
     /// clients' retry instants land on distinct Chrome-trace rows.
     lane: u64,
+    metrics: ClientMetrics,
+}
+
+/// Cached telemetry counters shared by all clones of one client
+/// (DESIGN.md §10); all no-ops without a registry.
+#[derive(Clone)]
+struct ClientMetrics {
+    retries: Counter,
+    throttles: Counter,
+    timeouts: Counter,
+    exhausted: Counter,
 }
 
 impl RetryingClient {
@@ -228,11 +240,19 @@ impl RetryingClient {
     /// tracing is disabled).
     pub fn new(storage: Storage, ctx: SimCtx, policy: RetryPolicy) -> Self {
         let lane = ctx.tracer().next_lane();
+        let reg = ctx.metrics();
+        let metrics = ClientMetrics {
+            retries: reg.counter("storage.client.retries"),
+            throttles: reg.counter("storage.client.throttles"),
+            timeouts: reg.counter("storage.client.timeouts"),
+            exhausted: reg.counter("storage.client.exhausted"),
+        };
         RetryingClient {
             storage,
             ctx,
             policy,
             lane,
+            metrics,
         }
     }
 
@@ -288,20 +308,24 @@ impl RetryingClient {
                 Either::Left(Err(e)) => {
                     if e == StorageError::Throttled {
                         stats.throttles += 1;
+                        self.metrics.throttles.inc();
                     }
                     e
                 }
                 Either::Right(()) => {
                     stats.timeouts += 1;
+                    self.metrics.timeouts.inc();
                     StorageError::Timeout
                 }
             };
             if stats.attempts >= self.policy.max_attempts {
+                self.metrics.exhausted.inc();
                 return Err(StorageError::RetriesExhausted {
                     attempts: stats.attempts,
                     last: err.to_string(),
                 });
             }
+            self.metrics.retries.inc();
             self.ctx
                 .tracer()
                 .instant(&self.ctx, "storage-client", self.lane, "retry")
@@ -439,6 +463,39 @@ mod tests {
             err,
             StorageError::RetriesExhausted { attempts: 3, .. }
         ));
+    }
+
+    #[test]
+    fn telemetry_counts_retries_and_exhaustion() {
+        let mut sim = Sim::new(3);
+        let reg = sim.install_metrics();
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let cfg = DynamoConfig {
+                read_iops: 1e-9, // effectively zero
+                burst_seconds: 0.0,
+                ..DynamoConfig::default()
+            };
+            let table = DynamoTable::new(ctx.clone(), meter, cfg, None);
+            table.backdoor().put("k", Blob::new(vec![0u8; 64]));
+            let policy = RetryPolicy {
+                max_attempts: 3,
+                jitter: false,
+                ..RetryPolicy::default()
+            };
+            let client = RetryingClient::new(Storage::Dynamo(table), ctx.clone(), policy);
+            client.get("k", 64, &RequestOpts::default()).await
+        });
+        sim.run();
+        assert!(h.try_take().unwrap().is_err());
+        let snap = reg.snapshot();
+        // 3 attempts: 2 backoff retries, then exhaustion on the third.
+        assert_eq!(snap.counters["storage.client.retries"], 2);
+        assert_eq!(snap.counters["storage.client.throttles"], 3);
+        assert_eq!(snap.counters["storage.client.exhausted"], 1);
+        // Per-backend core counters see the failed ops too.
+        assert_eq!(snap.counters["storage.dynamodb.ops_failed"], 3);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::error::{Result, StorageError};
 use skyrise_net::{transfer, RateLimiter, SharedNic, TransferOpts};
 use skyrise_pricing::{SharedMeter, StorageService};
+use skyrise_sim::telemetry::{Counter, Gauge, HistogramHandle, MetricRegistry};
 use skyrise_sim::{LatencyDist, SimCtx, SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -84,6 +85,49 @@ impl RequestOpts {
 /// Time a throttle rejection takes to come back to the client.
 pub const REJECT_LATENCY: SimDuration = SimDuration::from_millis(4);
 
+/// Cached per-backend telemetry handles (DESIGN.md §10), keyed by a slug
+/// of the service name (`storage.s3_standard.op_secs`, ...). Resolved once
+/// at core construction; all no-ops without a registry.
+struct CoreMetrics {
+    ops_ok: Counter,
+    ops_failed: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    op_secs: HistogramHandle,
+    inflight: Gauge,
+    conn_rejects: Counter,
+}
+
+impl CoreMetrics {
+    fn new(reg: &MetricRegistry, service: StorageService) -> Self {
+        let slug = service_slug(service);
+        CoreMetrics {
+            ops_ok: reg.counter(&format!("storage.{slug}.ops_ok")),
+            ops_failed: reg.counter(&format!("storage.{slug}.ops_failed")),
+            bytes_read: reg.counter(&format!("storage.{slug}.bytes_read")),
+            bytes_written: reg.counter(&format!("storage.{slug}.bytes_written")),
+            op_secs: reg.histogram(&format!("storage.{slug}.op_secs")),
+            inflight: reg.gauge(&format!("storage.{slug}.inflight")),
+            conn_rejects: reg.counter(&format!("storage.{slug}.conn_rejects")),
+        }
+    }
+}
+
+/// Metric-name slug for a storage service: its display name lowercased
+/// with runs of non-alphanumerics collapsed to `_` ("S3 Standard" ->
+/// "s3_standard").
+pub fn service_slug(service: StorageService) -> String {
+    let mut slug = String::new();
+    for c in service.name().chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.push(c.to_ascii_lowercase());
+        } else if !slug.ends_with('_') {
+            slug.push('_');
+        }
+    }
+    slug.trim_matches('_').to_string()
+}
+
 /// Shared internals of a storage service.
 pub struct ServiceCore {
     /// Simulation context.
@@ -102,6 +146,7 @@ pub struct ServiceCore {
     /// Concurrent in-flight request ceiling (None = unbounded).
     pub max_inflight: Option<u32>,
     inflight: Cell<u32>,
+    metrics: CoreMetrics,
 }
 
 impl ServiceCore {
@@ -121,6 +166,7 @@ impl ServiceCore {
             RateLimiter::pure_rate(aggregate_write_bw, skyrise_net::DEFAULT_SLICE),
             RateLimiter::pure_rate(aggregate_read_bw, skyrise_net::DEFAULT_SLICE),
         );
+        let metrics = CoreMetrics::new(&ctx.metrics(), service);
         ServiceCore {
             ctx,
             meter,
@@ -130,24 +176,45 @@ impl ServiceCore {
             service_nic,
             max_inflight,
             inflight: Cell::new(0),
+            metrics,
         }
     }
 
     /// Record a request in the meter (failures cost too).
     pub fn meter_request(&self, write: bool, logical_bytes: u64, failed: bool) {
+        if failed {
+            self.metrics.ops_failed.inc();
+        } else {
+            self.metrics.ops_ok.inc();
+            if write {
+                self.metrics.bytes_written.add(logical_bytes);
+            } else {
+                self.metrics.bytes_read.add(logical_bytes);
+            }
+        }
         self.meter
             .borrow_mut()
             .record_storage_request(self.service, write, logical_bytes, failed);
+    }
+
+    /// Record a completed operation's end-to-end latency (admission to
+    /// last byte) into the backend's `storage.<slug>.op_secs` histogram.
+    pub fn record_op(&self, start: SimTime) {
+        self.metrics
+            .op_secs
+            .record_duration(self.ctx.now().duration_since(start));
     }
 
     /// Admit against the in-flight ceiling; the guard releases on drop.
     pub fn admit_connection(&self) -> Result<InflightGuard<'_>> {
         if let Some(max) = self.max_inflight {
             if self.inflight.get() >= max {
+                self.metrics.conn_rejects.inc();
                 return Err(StorageError::ConnectionRejected);
             }
         }
         self.inflight.set(self.inflight.get() + 1);
+        self.metrics.inflight.set(self.inflight.get() as f64);
         Ok(InflightGuard { core: self })
     }
 
@@ -239,6 +306,13 @@ mod tests {
             }
         }
         assert_eq!(admitted, 10);
+    }
+
+    #[test]
+    fn service_slug_normalizes_names() {
+        assert_eq!(service_slug(StorageService::S3Standard), "s3_standard");
+        assert_eq!(service_slug(StorageService::S3Express), "s3_express");
+        assert_eq!(service_slug(StorageService::Efs), "efs");
     }
 
     #[test]

@@ -173,6 +173,7 @@ impl DynamoTable {
         self.core.meter_request(false, logical, false);
         self.core.first_byte(false).await;
         self.core.stream(false, logical, opts).await;
+        self.core.record_op(now);
         Ok(blob)
     }
 
@@ -193,6 +194,7 @@ impl DynamoTable {
         self.core.first_byte(true).await;
         self.core.stream(true, logical, opts).await;
         self.store.put(key, blob);
+        self.core.record_op(now);
         Ok(())
     }
 

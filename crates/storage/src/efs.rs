@@ -181,6 +181,7 @@ impl EfsFilesystem {
         self.core.meter_request(false, logical, false);
         self.core.first_byte(false).await;
         self.core.stream(false, logical, opts).await;
+        self.core.record_op(now);
         Ok(blob)
     }
 
@@ -202,6 +203,7 @@ impl EfsFilesystem {
         self.core.first_byte(true).await;
         self.core.stream(true, logical, opts).await;
         self.store.put(path, blob);
+        self.core.record_op(now);
         Ok(())
     }
 

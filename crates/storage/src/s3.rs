@@ -342,6 +342,7 @@ impl S3Bucket {
         let fb = self.core.first_byte(false).await;
         span.attr("first_byte_s", fb.as_secs_f64());
         self.core.stream(false, logical, opts).await;
+        self.core.record_op(now);
         Ok(blob)
     }
 
@@ -375,6 +376,7 @@ impl S3Bucket {
         let fb = self.core.first_byte(false).await;
         span.attr("first_byte_s", fb.as_secs_f64());
         self.core.stream(false, logical, opts).await;
+        self.core.record_op(now);
         Ok(slice)
     }
 
@@ -406,6 +408,7 @@ impl S3Bucket {
         span.attr("first_byte_s", fb.as_secs_f64());
         self.core.stream(true, logical, opts).await;
         self.store.put(key, blob);
+        self.core.record_op(now);
         Ok(())
     }
 

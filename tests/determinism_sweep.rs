@@ -16,17 +16,22 @@ use skyrise_bench::harness::{run_jobs, ExperimentJob};
 /// workers — and assert the sanitizer digest trails match
 /// simulation-by-simulation. Going through the harness makes every sweep
 /// entry double as a check that worker threads don't perturb a run.
+/// Both jobs run with telemetry registries installed, so the sweep also
+/// proves the metrics layer is bit-stable: registry snapshots must be
+/// byte-identical (and their digests are folded into the sanitizer trail).
 fn assert_deterministic(name: &'static str, f: fn() -> ExperimentResult) {
     let jobs = vec![
         ExperimentJob {
             name,
             run: f,
             trace_out: None,
+            metrics: true,
         },
         ExperimentJob {
             name,
             run: f,
             trace_out: None,
+            metrics: true,
         },
     ];
     let mut done = run_jobs(jobs, 2);
@@ -59,6 +64,19 @@ fn assert_deterministic(name: &'static str, f: fn() -> ExperimentResult) {
                 rep_a.first_divergence(rep_b)
             );
         }
+    }
+    // Telemetry itself must be bit-stable, not just hash-equal: the merged
+    // registry snapshots of both runs serialize to identical bytes.
+    assert_eq!(
+        a.metrics.canonical_json(),
+        b.metrics.canonical_json(),
+        "{name}: telemetry snapshot diverged between same-seed runs"
+    );
+    if a.sims > 0 {
+        assert!(
+            !a.metrics.is_empty(),
+            "{name}: simulations ran without registering any metric"
+        );
     }
 }
 

@@ -25,6 +25,7 @@ fn assert_parallel_matches_serial(names: &[&str], workers: usize) {
                 name,
                 run,
                 trace_out: None,
+                metrics: true,
             })
             .collect()
     };
@@ -45,6 +46,14 @@ fn assert_parallel_matches_serial(names: &[&str], workers: usize) {
         let sj = serde_json::to_string(&s.result).expect("results serialise");
         let pj = serde_json::to_string(&p.result).expect("results serialise");
         assert_eq!(sj, pj, "{}: ExperimentResult JSON diverged", s.name);
+        // Telemetry snapshots are part of the contract too: byte-identical
+        // canonical JSON between --jobs 1 and --jobs N.
+        assert_eq!(
+            s.metrics.canonical_json(),
+            p.metrics.canonical_json(),
+            "{}: telemetry snapshot diverged between --jobs 1 and --jobs {workers}",
+            s.name
+        );
     }
 }
 
