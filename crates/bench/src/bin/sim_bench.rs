@@ -470,6 +470,7 @@ workload_impls!(baseline, legacy::Sim);
 fn sleep_chain_with_metrics(tasks: u64, rounds: u64) -> u64 {
     let mut sim = skyrise::sim::Sim::new(1);
     let registry = sim.install_metrics();
+    // simlint: allow(DET001): `tasks` here is the u64 count parameter, not the legacy HashMap field.
     for t in 0..tasks {
         let ctx = sim.ctx();
         sim.spawn(async move {

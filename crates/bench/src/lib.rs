@@ -44,6 +44,8 @@ static FULL_PROFILE: OnceLock<bool> = OnceLock::new();
 pub fn results_dir() -> PathBuf {
     RESULTS_DIR
         .get_or_init(|| {
+            // Harness configuration, not sim state: resolved once, cached.
+            #[allow(clippy::disallowed_methods)]
             std::env::var("SKYRISE_RESULTS")
                 .map(PathBuf::from)
                 .unwrap_or_else(|_| PathBuf::from("results"))
@@ -55,6 +57,8 @@ pub fn results_dir() -> PathBuf {
 /// [`results_dir`] — an experiment suite cannot change profile halfway.
 pub fn full_profile() -> bool {
     *FULL_PROFILE.get_or_init(|| {
+        // Harness configuration, not sim state: resolved once, cached.
+        #[allow(clippy::disallowed_methods)]
         std::env::var("SKYRISE_FULL")
             .map(|v| v == "1")
             .unwrap_or(false)
@@ -473,6 +477,7 @@ mod tests {
     #[test]
     fn profile_defaults_to_fast() {
         // Unless the caller exported SKYRISE_FULL=1.
+        #[allow(clippy::disallowed_methods)]
         if std::env::var("SKYRISE_FULL").is_err() {
             assert!(!full_profile());
         }

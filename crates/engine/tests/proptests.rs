@@ -6,7 +6,7 @@ use skyrise_engine::bind::execute_chain;
 use skyrise_engine::expr::{evaluate_mask, ArithOp, CmpOp, Expr, NamedExpr, UdfRegistry};
 use skyrise_engine::operators::{execute_ops, partition_batch, partition_batch_scalar, ScalarKey};
 use skyrise_engine::plan::{AggExpr, AggFunc, AggMode, Op};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 fn kv_batch(keys: &[i64], vals: &[f64]) -> Batch {
@@ -130,7 +130,7 @@ proptest! {
         let total: usize = parts.iter().map(Batch::num_rows).sum();
         prop_assert_eq!(total, batch.num_rows());
         // Key-to-bucket mapping is a function.
-        let mut seen: HashMap<i64, usize> = HashMap::new();
+        let mut seen: BTreeMap<i64, usize> = BTreeMap::new();
         for (b, part) in parts.iter().enumerate() {
             for &k in part.column("k").as_i64() {
                 if let Some(&prev) = seen.get(&k) {

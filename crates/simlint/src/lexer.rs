@@ -42,6 +42,11 @@ pub struct Token {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// Char offset of the token's first character in the source (the
+    /// source viewed as a `Vec<char>`); used by `--fix` to splice edits.
+    pub pos: usize,
+    /// Char offset one past the token's last character.
+    pub end: usize,
 }
 
 impl Token {
@@ -216,11 +221,24 @@ impl Lexer {
         self.bump(); // the quote
         match self.peek() {
             Some('\\') => {
-                // Escaped char literal: consume escape and closing quote.
-                self.bump();
-                self.bump();
-                if self.peek() == Some('\'') {
+                // Escaped char literal: consume the escape, then everything
+                // up to the closing quote. Multi-char escapes (`'\u{1F600}'`,
+                // `'\x7f'`) must not leak their tail into the token stream —
+                // a leaked `'` would start a phantom literal and mis-lex the
+                // rest of the file.
+                self.bump(); // the backslash
+                self.bump(); // the escape head (n, u, x, ', \, ...)
+                let mut steps = 0;
+                while let Some(c) = self.peek() {
+                    if c == '\'' {
+                        self.bump();
+                        break;
+                    }
+                    if c == '\n' || steps > 10 {
+                        break; // malformed; don't run away
+                    }
                     self.bump();
+                    steps += 1;
                 }
                 TokKind::CharLit
             }
@@ -254,29 +272,31 @@ pub fn lex(src: &str) -> Vec<Token> {
         pos: 0,
         line: 1,
     };
-    let mut out = Vec::new();
+    let mut out: Vec<Token> = Vec::new();
+    let mut push = |lx: &Lexer, kind: TokKind, text: String, line: u32, pos: usize| {
+        out.push(Token {
+            kind,
+            text,
+            line,
+            pos,
+            end: lx.pos,
+        });
+    };
     while let Some(c) = lx.peek() {
         let line = lx.line;
+        let pos = lx.pos;
         if c.is_whitespace() {
             lx.bump();
             continue;
         }
         if c == '/' && lx.peek_at(1) == Some('/') {
             let text = lx.eat_line_comment();
-            out.push(Token {
-                kind: TokKind::LineComment,
-                text,
-                line,
-            });
+            push(&lx, TokKind::LineComment, text, line, pos);
             continue;
         }
         if c == '/' && lx.peek_at(1) == Some('*') {
             let text = lx.eat_block_comment();
-            out.push(Token {
-                kind: TokKind::BlockComment,
-                text,
-                line,
-            });
+            push(&lx, TokKind::BlockComment, text, line, pos);
             continue;
         }
         if let Some((hashes, raw)) = lx.raw_string_open() {
@@ -287,49 +307,29 @@ pub fn lex(src: &str) -> Vec<Token> {
                 lx.bump(); // "
                 lx.eat_plain_string();
             }
-            out.push(Token {
-                kind: TokKind::Str,
-                text: String::new(),
-                line,
-            });
+            push(&lx, TokKind::Str, String::new(), line, pos);
             continue;
         }
         if c == '"' {
             lx.bump();
             lx.eat_plain_string();
-            out.push(Token {
-                kind: TokKind::Str,
-                text: String::new(),
-                line,
-            });
+            push(&lx, TokKind::Str, String::new(), line, pos);
             continue;
         }
         if c == '\'' {
             let kind = lx.eat_quote();
-            out.push(Token {
-                kind,
-                text: String::new(),
-                line,
-            });
+            push(&lx, kind, String::new(), line, pos);
             continue;
         }
         if c == 'b' && lx.peek_at(1) == Some('\'') {
             lx.bump(); // b
             lx.eat_quote();
-            out.push(Token {
-                kind: TokKind::CharLit,
-                text: String::new(),
-                line,
-            });
+            push(&lx, TokKind::CharLit, String::new(), line, pos);
             continue;
         }
         if c.is_ascii_digit() {
             lx.eat_number();
-            out.push(Token {
-                kind: TokKind::Num,
-                text: String::new(),
-                line,
-            });
+            push(&lx, TokKind::Num, String::new(), line, pos);
             continue;
         }
         if c.is_alphabetic() || c == '_' {
@@ -342,19 +342,11 @@ pub fn lex(src: &str) -> Vec<Token> {
                     break;
                 }
             }
-            out.push(Token {
-                kind: TokKind::Ident,
-                text,
-                line,
-            });
+            push(&lx, TokKind::Ident, text, line, pos);
             continue;
         }
         lx.bump();
-        out.push(Token {
-            kind: TokKind::Punct,
-            text: c.to_string(),
-            line,
-        });
+        push(&lx, TokKind::Punct, c.to_string(), line, pos);
     }
     out
 }
@@ -419,6 +411,67 @@ mod tests {
             toks.iter().filter(|t| t.kind == TokKind::Num).count(),
             5 // 0, 10, 1.5, 0xff_u64, 0 (tuple index)
         );
+    }
+
+    #[test]
+    fn multi_char_escapes_do_not_leak() {
+        // `'\u{1F600}'` once leaked `{1F600}'` back into the stream, turning
+        // the closing quote into a phantom literal that swallowed real code.
+        for src in [
+            "let c = '\\u{1F600}'; HashMap",
+            "let c = '\\x7f'; HashMap",
+            "let c = '\\''; HashMap",
+            "let c = '\\\\'; HashMap",
+        ] {
+            let toks = lex(src);
+            assert!(
+                toks.iter().any(|t| t.is_ident("HashMap")),
+                "{src}: {toks:?}"
+            );
+            assert_eq!(
+                toks.iter().filter(|t| t.kind == TokKind::CharLit).count(),
+                1,
+                "{src}: {toks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inner_attributes_and_cfg_attr_lex_cleanly() {
+        let toks = lex("#![warn(missing_docs)]\n#[cfg_attr(test, allow(dead_code))]\nfn f() {}");
+        assert!(toks.iter().any(|t| t.is_ident("cfg_attr")));
+        assert!(toks.iter().any(|t| t.is_ident("f")));
+        // `#!` must stay two separate puncts on line 1.
+        assert!(toks[0].is_punct('#') && toks[1].is_punct('!'));
+    }
+
+    #[test]
+    fn byte_raw_strings_do_not_leak() {
+        for src in [
+            r####"let s = br#"HashMap "inner""#; x"####,
+            r####"let s = br"HashMap"; x"####,
+            r####"let s = br##"nested "# quote"##; x"####,
+        ] {
+            let toks = lex(src);
+            assert!(toks.iter().any(|t| t.is_ident("x")), "{src}: {toks:?}");
+            assert!(
+                !toks.iter().any(|t| t.is_ident("HashMap")),
+                "{src}: {toks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn token_positions_slice_the_source() {
+        let src = "let x = foo(1);";
+        let chars: Vec<char> = src.chars().collect();
+        for t in lex(src) {
+            let slice: String = chars[t.pos..t.end].iter().collect();
+            if t.kind == TokKind::Ident {
+                assert_eq!(slice, t.text, "{t:?}");
+            }
+            assert!(t.end > t.pos);
+        }
     }
 
     #[test]

@@ -7,27 +7,43 @@
 //! that tokenizes every crate's sources and reports determinism hazards as
 //! structured diagnostics.
 //!
+//! The analyzer runs in two passes: a parse layer ([`parse`]) extracts
+//! items from every file's token stream, a module graph ([`graph`])
+//! resolves `use` aliases and re-exports to canonical types, and rules then
+//! check each file against that resolved context — including an
+//! intra-function dataflow pass ([`flow`]) for taint and conservation.
+//!
 //! Rules (see [`rules`] for the full contract): DET001 hash-container
 //! iteration, DET002 wall-clock/entropy/env APIs, DET003 RefCell borrows
 //! across `.await`, DET004 order-sensitive float accumulation, DET005 hash
-//! container construction, DET006 host thread APIs, SL000 malformed
-//! suppressions.
+//! container construction, DET006 host thread APIs, DET007 source-to-sink
+//! taint, DET008 alias-evading hash containers, CONS001/CONS002
+//! conservation (ledger/meter bypass), SL000 malformed suppressions, SL001
+//! stale suppressions.
 //!
 //! Suppress a finding with a justified comment on (or directly above) the
 //! offending line:
 //!
 //! ```text
-//! // simlint: allow(DET005): keyed access only; never iterated.
+//! (directive) simlint: allow(DET005): keyed access only; never iterated.
 //! ```
 //!
-//! or for a whole file: `// simlint: allow-file(DET002): <why>`.
+//! written as a regular `//` comment (spelled out here it would register as
+//! a live directive); or for a whole file: `allow-file(DET002): <why>`.
 
 #![warn(missing_docs)]
 
+pub mod fix;
+pub mod flow;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
 
-use rules::LintOptions;
+use graph::{FileCtx, ModuleGraph, SourceUnit};
+use rules::{ConsScope, LintOptions};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -50,6 +66,19 @@ impl fmt::Display for Severity {
     }
 }
 
+/// A machine-applicable source rewrite: replace the char range
+/// `[start, end)` (source viewed as a `Vec<char>`) with `text`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edit {
+    /// Char offset of the first character to replace.
+    pub start: usize,
+    /// Char offset one past the last character to replace (`start` for a
+    /// pure insertion).
+    pub end: usize,
+    /// Replacement text.
+    pub text: String,
+}
+
 /// One lint finding.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
@@ -67,6 +96,8 @@ pub struct Diagnostic {
     pub suppressed: bool,
     /// The suppression's justification string, when suppressed.
     pub justification: Option<String>,
+    /// Machine-applicable rewrite for `--fix`, when one exists.
+    pub fix: Option<Edit>,
 }
 
 impl Diagnostic {
@@ -86,6 +117,7 @@ impl Diagnostic {
             message,
             suppressed: false,
             justification: None,
+            fix: None,
         }
     }
 }
@@ -108,17 +140,88 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Lint a single source string. `file` is used only for diagnostics.
+/// Build the resolved module context for a set of files: parse everything,
+/// build the graph, classify each file's aliases, then run the flow pass's
+/// per-crate summary fixpoint so helper-return taint and transitive
+/// ledger/meter routing are visible to the rules.
+fn contexts_for(files: &[(String, String)]) -> Vec<FileCtx> {
+    let lexed: Vec<Vec<lexer::Token>> = files.iter().map(|(_, src)| lexer::lex(src)).collect();
+    let codes: Vec<Vec<&lexer::Token>> = lexed
+        .iter()
+        .map(|toks| toks.iter().filter(|t| !t.is_comment()).collect())
+        .collect();
+    let units: Vec<SourceUnit> = files
+        .iter()
+        .zip(&codes)
+        .map(|((path, _), code)| SourceUnit {
+            path: path.clone(),
+            parsed: parse::parse(code),
+        })
+        .collect();
+    let graph = ModuleGraph::build(&units);
+    let mut ctxs: Vec<FileCtx> = units
+        .iter()
+        .map(|u| FileCtx::from_graph(&graph, &u.path, &u.parsed))
+        .collect();
+    // Group files by crate (bins share their dir's helpers only notionally;
+    // each `#`-keyed bin is summarized with its crate so same-name helpers
+    // resolve — conservative, and bins mostly call into the lib anyway).
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, u) in units.iter().enumerate() {
+        let key = graph::module_of(&u.path).0;
+        let key = key.split('#').next().unwrap_or(&key).to_string();
+        groups.entry(key).or_default().push(i);
+    }
+    for idxs in groups.values() {
+        let summaries = {
+            let inputs: Vec<flow::FlowInput<'_>> = idxs
+                .iter()
+                .map(|&i| flow::FlowInput {
+                    code: &codes[i],
+                    parsed: &units[i].parsed,
+                    ctx: &ctxs[i],
+                })
+                .collect();
+            flow::summarize(&inputs)
+        };
+        for &i in idxs {
+            ctxs[i].taint_fns = summaries.taint_fns.clone();
+            ctxs[i].ledger_fns = summaries.ledger_fns.clone();
+            ctxs[i].meter_fns = summaries.meter_fns.clone();
+        }
+    }
+    ctxs
+}
+
+/// Lint a single source string. `file` is used only for diagnostics and
+/// module-graph placement; cross-file re-exports are (by construction)
+/// unresolvable here, but aliases, `type` aliases, and same-file helper
+/// summaries all work.
 pub fn lint_source(file: &str, src: &str, opts: &LintOptions) -> Vec<Diagnostic> {
+    let files = vec![(file.to_string(), src.to_string())];
+    let ctxs = contexts_for(&files);
     let toks = lexer::lex(src);
-    rules::check_tokens(file, &toks, opts)
+    rules::check_tokens(file, &toks, opts, &ctxs[0])
+}
+
+/// Lint a set of in-memory files as one workspace (cross-file resolution
+/// active). Paths should be workspace-relative, `/`-separated.
+pub fn lint_files(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let ctxs = contexts_for(files);
+    let mut diags = Vec::new();
+    for ((path, src), ctx) in files.iter().zip(&ctxs) {
+        let opts = options_for(Path::new(path));
+        let toks = lexer::lex(src);
+        diags.extend(rules::check_tokens(path, &toks, &opts, ctx));
+    }
+    diags
 }
 
 /// Crates whose nature requires touching the host clock/env/threads: the
 /// bench harness shell (argument parsing, wall-clock progress, the parallel
-/// experiment runner) and this linter itself. DET002 and DET006 are scoped
-/// off for them as a crate-level allowance — everything sim-facing keeps
-/// both rules on.
+/// experiment runner) and this linter itself. DET002/DET006/DET007 are
+/// scoped off for them as a crate-level allowance — everything sim-facing
+/// keeps all rules on.
 const HOST_SIDE_CRATES: &[&str] = &["bench", "simlint"];
 
 /// Derive per-file options from its path within the workspace.
@@ -129,19 +232,33 @@ pub fn options_for(path: &Path) -> LintOptions {
         if p.contains(&format!("crates/{c}/")) {
             opts.wall_clock = false;
             opts.threads = false;
+            opts.taint = false;
         }
+    }
+    // Test and example trees exercise the host freely (timeouts, temp dirs)
+    // but still must not leak hash iteration order into asserted results.
+    if p.contains("/tests/") || p.contains("/examples/") || p.starts_with("tests/") {
+        opts.wall_clock = false;
+        opts.threads = false;
+        opts.taint = false;
+    }
+    if p.contains("crates/net/src/") {
+        opts.conservation = Some(ConsScope::Net);
+    } else if p.contains("crates/storage/src/") || p.contains("crates/compute/src/") {
+        opts.conservation = Some(ConsScope::Metered);
     }
     opts
 }
 
-/// Should this path be linted at all? Test trees never feed simulation
-/// results, so only `crates/*/src/**` is in scope.
+/// Should this path be linted at all? Everything `.rs` under the workspace
+/// is in scope — sources, integration tests, and examples — except build
+/// output. (`benches/` trees are host-side by nature and none exist today.)
 fn in_scope(path: &Path) -> bool {
     let p = path.to_string_lossy().replace('\\', "/");
     if !p.ends_with(".rs") {
         return false;
     }
-    for skip in ["/tests/", "/benches/", "/examples/", "/target/"] {
+    for skip in ["/benches/", "/target/"] {
         if p.contains(skip) {
             return false;
         }
@@ -169,13 +286,17 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lint every in-scope source file under `<root>/crates`. Paths in the
-/// returned diagnostics are relative to `root`.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let crates = root.join("crates");
+/// Read every in-scope file under `<root>/crates` (plus root-level `tests/`
+/// and `examples/`, when present) as `(relative path, contents)` pairs.
+pub fn read_workspace(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
-    walk(&crates, &mut files)?;
-    let mut diags = Vec::new();
+    for sub in ["crates", "tests", "examples"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut out = Vec::with_capacity(files.len());
     for path in &files {
         let src = std::fs::read_to_string(path)?;
         let rel = path
@@ -183,13 +304,18 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let opts = options_for(path);
-        diags.extend(lint_source(&rel, &src, &opts));
+        out.push((rel, src));
     }
-    Ok(diags)
+    Ok(out)
 }
 
-fn json_escape(s: &str) -> String {
+/// Lint every in-scope source file under `root`. Paths in the returned
+/// diagnostics are relative to `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    Ok(lint_files(&read_workspace(root)?))
+}
+
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

@@ -23,11 +23,36 @@
 //! * **DET006** — host thread APIs (`std::thread::spawn`/`scope`/...) in
 //!   sim-facing code. Every simulation is single-threaded by construction;
 //!   only the bench harness shell may fan work out across OS threads.
+//! * **DET007** — dataflow taint: a wall-clock / entropy / environment value
+//!   reaching a determinism-critical sink (sanitizer checkpoint, telemetry
+//!   digest/record, trace attr, sort key) — even through `let` bindings or
+//!   same-crate helper returns. See [`crate::flow`].
+//! * **DET008** — hash container hiding behind a `use ... as` alias,
+//!   re-export chain, or `type` alias that DET001/DET005's lexical checks
+//!   cannot see. Resolved through the module graph ([`crate::graph`]).
+//! * **CONS001** — byte transfer in `crates/net` not routed through the
+//!   token-bucket ledger (`consume`/`grant`), so runtime conservation
+//!   checks would never see it.
+//! * **CONS002** — billable storage/compute operation bypassing
+//!   `CoreMetrics`/the pricing meter.
 //! * **SL000** — malformed suppression: `// simlint: allow(...)` without the
 //!   mandatory `: <justification>` tail (or unparseable rule list).
+//! * **SL001** — stale suppression: a well-formed `allow(...)` that masks no
+//!   diagnostic any more. Reported as an error so the allowlist only shrinks.
 
+use crate::graph::FileCtx;
 use crate::lexer::{TokKind, Token};
-use crate::{Diagnostic, Severity};
+use crate::{Diagnostic, Edit, Severity};
+
+/// Which conservation contract applies to a file's crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsScope {
+    /// `crates/net`: byte movement must hit the token-bucket ledger (CONS001).
+    Net,
+    /// `crates/storage` / `crates/compute`: billable ops must hit the
+    /// usage meter / `CoreMetrics` (CONS002).
+    Metered,
+}
 
 /// Per-file rule toggles, derived from the crate a file belongs to.
 #[derive(Debug, Clone)]
@@ -39,6 +64,12 @@ pub struct LintOptions {
     /// the parallel harness runs whole experiments on worker threads, but
     /// each simulation inside stays single-threaded.
     pub threads: bool,
+    /// Enable DET007 (source-to-sink taint). Follows `wall_clock`: where a
+    /// crate may read the host clock at all, feeding it onward is its
+    /// business (the bench shell reports wall time by design).
+    pub taint: bool,
+    /// Conservation contract for this file's crate, if any.
+    pub conservation: Option<ConsScope>,
 }
 
 impl Default for LintOptions {
@@ -46,6 +77,8 @@ impl Default for LintOptions {
         LintOptions {
             wall_clock: true,
             threads: true,
+            taint: true,
+            conservation: None,
         }
     }
 }
@@ -89,9 +122,15 @@ fn is_ordering_ident(t: &Token) -> bool {
         && (t.text.contains("sort") || t.text.starts_with("BTree") || t.text == "BinaryHeap")
 }
 
-/// Lint one file's token stream. Returns all diagnostics, with suppressed
-/// ones marked rather than dropped, so `--json` can show the full picture.
-pub fn check_tokens(file: &str, toks: &[Token], opts: &LintOptions) -> Vec<Diagnostic> {
+/// Lint one file's token stream against its resolved module context.
+/// Returns all diagnostics, with suppressed ones marked rather than
+/// dropped, so `--json` can show the full picture.
+pub fn check_tokens(
+    file: &str,
+    toks: &[Token],
+    opts: &LintOptions,
+    ctx: &FileCtx,
+) -> Vec<Diagnostic> {
     let mut diags: Vec<Diagnostic> = Vec::new();
 
     let (sups, mut sup_diags) = parse_suppressions(file, toks);
@@ -103,41 +142,83 @@ pub fn check_tokens(file: &str, toks: &[Token], opts: &LintOptions) -> Vec<Diagn
     let in_use = use_stmt_mask(&code);
 
     if opts.wall_clock {
-        rule_det002(file, &code, &exempt, &in_use, &mut diags);
+        rule_det002(file, &code, &exempt, &in_use, ctx, &mut diags);
     }
     if opts.threads {
         rule_det006(file, &code, &exempt, &in_use, &mut diags);
     }
-    rule_hash(file, &code, &exempt, &in_use, &mut diags);
+    rule_hash(file, &code, &exempt, &in_use, ctx, &mut diags);
     rule_det003(file, &code, &exempt, &mut diags);
 
+    let parsed = crate::parse::parse(&code);
+    if opts.taint {
+        crate::flow::check_taint(file, &code, &parsed, ctx, &exempt, &mut diags);
+    }
+    if let Some(scope) = opts.conservation {
+        crate::flow::check_conservation(file, &code, &parsed, ctx, scope, &exempt, &mut diags);
+    }
+
     dedupe(&mut diags);
-    apply_suppressions(&mut diags, &sups);
+    let hits = apply_suppressions(&mut diags, &sups);
+
+    // SL001: every suppression must still pay its way.
+    for (s, n) in sups.iter().zip(hits) {
+        if n == 0 {
+            diags.push(Diagnostic::new(
+                file,
+                s.line,
+                "SL001",
+                Severity::Error,
+                format!(
+                    "stale suppression `allow{}({})`: it masks no diagnostic; delete it",
+                    if s.file_scope { "-file" } else { "" },
+                    s.rules.join(", ")
+                ),
+            ));
+        }
+    }
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     diags
 }
 
 fn dedupe(diags: &mut Vec<Diagnostic>) {
     diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    diags.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    diags.dedup_by(|a, b| {
+        if a.line == b.line && a.rule == b.rule {
+            // Keep the machine-applicable fix if only the dropped twin has it.
+            if b.fix.is_none() {
+                b.fix = a.fix.take();
+            }
+            true
+        } else {
+            false
+        }
+    });
 }
 
-fn apply_suppressions(diags: &mut [Diagnostic], sups: &[Suppression]) {
+/// Mark suppressed diagnostics; returns per-suppression hit counts (for
+/// SL001 staleness). SL000/SL001 findings can never be suppressed.
+fn apply_suppressions(diags: &mut [Diagnostic], sups: &[Suppression]) -> Vec<u32> {
+    let mut hits = vec![0u32; sups.len()];
     for d in diags.iter_mut() {
-        if d.rule == "SL000" {
-            continue; // malformed-suppression reports cannot themselves be suppressed
+        if d.rule.starts_with("SL") {
+            continue; // suppression-audit reports cannot themselves be suppressed
         }
-        for s in sups {
+        for (si, s) in sups.iter().enumerate() {
             let rule_match = s.rules.iter().any(|r| r == d.rule || r == "all");
             if !rule_match {
                 continue;
             }
             if s.file_scope || s.line == d.line || s.covers_line == d.line {
-                d.suppressed = true;
-                d.justification = Some(s.justification.clone());
-                break;
+                hits[si] += 1;
+                if !d.suppressed {
+                    d.suppressed = true;
+                    d.justification = Some(s.justification.clone());
+                }
             }
         }
     }
+    hits
 }
 
 fn parse_suppressions(file: &str, toks: &[Token]) -> (Vec<Suppression>, Vec<Diagnostic>) {
@@ -335,6 +416,7 @@ fn rule_det002(
     code: &[&Token],
     exempt: &[bool],
     in_use: &[bool],
+    ctx: &FileCtx,
     diags: &mut Vec<Diagnostic>,
 ) {
     let path_sep = |i: usize| -> bool {
@@ -358,6 +440,33 @@ fn rule_det002(
                 format!("`{name}` draws OS entropy; use the seeded SimRng via `SimCtx::with_rng`"),
             );
             continue;
+        }
+        // Aliased sources the lexical checks above can't see: resolved
+        // through the module graph (`use std::time::Instant as Clock`).
+        if !in_use[i] {
+            if let Some(canon) = ctx.time_aliases.get(name) {
+                diag(
+                    diags,
+                    file,
+                    t.line,
+                    "DET002",
+                    format!("`{name}` is `{canon}` under an alias; use virtual `SimTime` instead"),
+                );
+                continue;
+            }
+            if let Some(canon) = ctx.entropy_aliases.get(name) {
+                diag(
+                    diags,
+                    file,
+                    t.line,
+                    "DET002",
+                    format!(
+                        "`{name}` is `{canon}` under an alias; use the seeded SimRng via \
+                         `SimCtx::with_rng`"
+                    ),
+                );
+                continue;
+            }
         }
         if (name == "Instant" || name == "SystemTime") && path_sep(i + 1) && !in_use[i] {
             diag(
@@ -497,15 +606,19 @@ fn rule_det006(
     }
 }
 
-/// Shared scaffolding for DET001/DET004/DET005: find hash-typed bindings,
+/// Shared scaffolding for DET001/DET004/DET005/DET008: find hash-typed
+/// bindings (including alias-typed ones resolved through the module graph),
 /// then flag constructions and order-leaking iteration.
 fn rule_hash(
     file: &str,
     code: &[&Token],
     exempt: &[bool],
     in_use: &[bool],
+    ctx: &FileCtx,
     diags: &mut Vec<Diagnostic>,
 ) {
+    let is_hash_alias =
+        |t: &Token| t.kind == TokKind::Ident && ctx.hash_aliases.contains_key(&t.text);
     // --- collect hash-typed `let` bindings, fields, and fn params --------
     let mut names: Vec<String> = Vec::new();
     for i in 0..code.len() {
@@ -518,7 +631,7 @@ fn rule_hash(
                 continue;
             }
             let name = code[j].text.clone();
-            if stmt_contains(code, j + 1, |t| is_hash_type(t)) {
+            if stmt_contains(code, j + 1, |t| is_hash_type(t) || is_hash_alias(t)) {
                 names.push(name);
             }
         } else if code[i].kind == TokKind::Ident
@@ -544,7 +657,7 @@ fn rule_hash(
                     && (t.is_punct(',') || t.is_punct(';') || t.is_punct('{') || t.is_punct('}'))
                 {
                     break;
-                } else if is_hash_type(t) {
+                } else if is_hash_type(t) || is_hash_alias(t) {
                     names.push(code[i].text.clone());
                     break;
                 }
@@ -557,21 +670,46 @@ fn rule_hash(
     names.dedup();
     let is_hash_name = |t: &Token| t.kind == TokKind::Ident && names.binary_search(&t.text).is_ok();
 
-    // --- DET005: construction / type use outside imports -----------------
+    // --- DET005/DET008: construction / type use outside imports ----------
     for i in 0..code.len() {
         if exempt[i] || in_use[i] {
             continue;
         }
-        if is_hash_type(code[i]) {
-            diag(
-                diags,
+        let t = code[i];
+        if is_hash_type(t) {
+            let mut d = Diagnostic::new(
                 file,
-                code[i].line,
+                t.line,
                 "DET005",
+                Severity::Error,
                 format!(
                     "`{}` in sim-facing code: iteration order is seeded per-process; \
                      use `BTreeMap`/`BTreeSet` or suppress with a justification",
-                    code[i].text
+                    t.text
+                ),
+            );
+            // Machine-applicable only for the std types (Fx/AHash variants
+            // need import surgery a token swap can't do).
+            if t.text == "HashMap" || t.text == "HashSet" {
+                d.fix = Some(Edit {
+                    start: t.pos,
+                    end: t.end,
+                    text: format!("BTree{}", &t.text[4..]),
+                });
+            }
+            diags.push(d);
+        } else if is_hash_alias(t) {
+            let canon = &ctx.hash_aliases[&t.text];
+            diag(
+                diags,
+                file,
+                t.line,
+                "DET008",
+                format!(
+                    "`{}` resolves to `{canon}` through aliases/re-exports: a hash \
+                     container in sim-facing code under a different name; use \
+                     `BTreeMap`/`BTreeSet` or suppress with a justification",
+                    t.text
                 ),
             );
         }
@@ -617,7 +755,7 @@ fn rule_hash(
                     depth -= 1;
                 } else if depth == 0 && t.is_punct('{') {
                     break;
-                } else if is_hash_type(t) || is_hash_name(t) {
+                } else if is_hash_type(t) || is_hash_name(t) || is_hash_alias(t) {
                     hash_hit.get_or_insert(t.line);
                 } else if is_ordering_ident(t) {
                     ordered = true;
@@ -668,7 +806,7 @@ fn rule_hash(
             if is_ordering_ident(t) {
                 break;
             }
-            if is_hash_name(t) || is_hash_type(t) {
+            if is_hash_name(t) || is_hash_type(t) || is_hash_alias(t) {
                 recv_hash = true;
                 break;
             }
@@ -717,16 +855,28 @@ fn rule_hash(
                     .to_string(),
             );
         } else if !insensitive && !ordered {
-            diag(
-                diags,
+            let mut d = Diagnostic::new(
                 file,
                 line,
                 "DET001",
+                Severity::Error,
                 format!(
                     "`.{}()` on a hash container without an intervening sort",
                     code[i + 1].text
                 ),
             );
+            // `.keys()`/`.into_keys()` with no arguments: an ordered collect
+            // inserted right after the call restores determinism in place.
+            if (code[i + 1].is_ident("keys") || code[i + 1].is_ident("into_keys"))
+                && code.get(i + 3).map(|t| t.is_punct(')')) == Some(true)
+            {
+                d.fix = Some(Edit {
+                    start: code[i + 3].end,
+                    end: code[i + 3].end,
+                    text: ".collect::<std::collections::BTreeSet<_>>().into_iter()".to_string(),
+                });
+            }
+            diags.push(d);
         }
     }
 }

@@ -462,3 +462,358 @@ fn det006_suppressible_with_justification() {
     assert!(rules_of(&diags, true).contains(&"DET006"), "{diags:?}");
     assert!(!rules_of(&diags, false).contains(&"DET006"), "{diags:?}");
 }
+
+// ---------------------------------------------------------------------------
+// DET007: taint chains from nondeterministic sources to sinks.
+
+#[test]
+fn det007_source_directly_in_sink_args() {
+    let diags = lint(
+        r#"
+        fn f(h: &Histogram) {
+            h.observe(std::time::Instant::now().elapsed().as_secs_f64());
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"DET007"), "{diags:?}");
+}
+
+#[test]
+fn det007_taint_through_let_binding() {
+    let diags = lint(
+        r#"
+        use std::time::Instant;
+        fn f(h: &Histogram) {
+            let started = Instant::now();
+            let elapsed = started.elapsed().as_secs_f64();
+            h.record(elapsed);
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"DET007"), "{diags:?}");
+}
+
+#[test]
+fn det007_taint_through_helper_return() {
+    // `stamp()` returns a wall-clock-derived value; the crate summary must
+    // mark it so the sink call in `g` is flagged.
+    let diags = lint(
+        r#"
+        fn stamp() -> u128 {
+            std::time::Instant::now().elapsed().as_nanos()
+        }
+        fn g(s: &Sanitizer) {
+            s.checkpoint(stamp());
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"DET007"), "{diags:?}");
+}
+
+#[test]
+fn det007_sort_key_from_environment() {
+    let diags = lint(
+        r#"
+        fn f(v: &mut Vec<String>) {
+            v.sort_by_key(|_| std::env::var("SALT").unwrap_or_default());
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"DET007"), "{diags:?}");
+}
+
+#[test]
+fn det007_virtual_time_is_clean() {
+    // ctx.now() is virtual time — no taint source involved.
+    let diags = lint(
+        r#"
+        fn f(ctx: &SimCtx, h: &Histogram) {
+            let started = ctx.now();
+            h.record(ctx.now().duration_since(started).as_secs_f64());
+        }
+        "#,
+    );
+    assert!(!rules_of(&diags, false).contains(&"DET007"), "{diags:?}");
+}
+
+#[test]
+fn det007_suppressible_with_justification() {
+    let diags = lint(
+        r#"
+        fn f(h: &Histogram) {
+            // simlint: allow(DET007, DET002): host-profiling probe, never in the sim digest.
+            h.observe(std::time::Instant::now().elapsed().as_secs_f64());
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, true).contains(&"DET007"), "{diags:?}");
+    assert!(!rules_of(&diags, false).contains(&"DET007"), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// DET008: hash containers hidden behind aliases / re-exports.
+
+#[test]
+fn det008_use_alias_construction() {
+    let diags = lint(
+        r#"
+        use std::collections::HashMap as Map;
+        fn f() {
+            let m: Map<u32, u32> = Map::new();
+            for (k, v) in &m {
+                let _ = (k, v);
+            }
+        }
+        "#,
+    );
+    let unsup = rules_of(&diags, false);
+    assert!(unsup.contains(&"DET008"), "{diags:?}");
+    // The alias also feeds the order-sensitivity rule on the `for` loop.
+    assert!(unsup.contains(&"DET001"), "{diags:?}");
+}
+
+#[test]
+fn det008_cross_file_reexport() {
+    let files = vec![
+        (
+            "crates/demo/src/lib.rs".to_string(),
+            "pub mod util;\npub use util::FastMap;\n".to_string(),
+        ),
+        (
+            "crates/demo/src/util.rs".to_string(),
+            "pub use std::collections::HashMap as FastMap;\n".to_string(),
+        ),
+        (
+            "crates/demo/src/work.rs".to_string(),
+            "use crate::FastMap;\nfn f() { let m: FastMap<u32, u32> = FastMap::new(); }\n"
+                .to_string(),
+        ),
+    ];
+    let diags = simlint::lint_files(&files);
+    let hit = diags
+        .iter()
+        .any(|d| d.rule == "DET008" && d.file == "crates/demo/src/work.rs" && !d.suppressed);
+    assert!(hit, "{diags:?}");
+}
+
+#[test]
+fn det008_suppressible_with_justification() {
+    let diags = lint(
+        r#"
+        use std::collections::HashMap as Map;
+        fn f() {
+            // simlint: allow(DET008, DET005): interning table, keyed access only.
+            let m: Map<u32, u32> = Map::new();
+            let _ = m;
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, true).contains(&"DET008"), "{diags:?}");
+    assert!(!rules_of(&diags, false).contains(&"DET008"), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// CONS001/CONS002: conservation contracts.
+
+fn lint_net(src: &str) -> Vec<Diagnostic> {
+    let opts = LintOptions {
+        conservation: Some(simlint::rules::ConsScope::Net),
+        ..LintOptions::default()
+    };
+    lint_source("crates/net/src/fixture.rs", src, &opts)
+}
+
+fn lint_metered(src: &str) -> Vec<Diagnostic> {
+    let opts = LintOptions {
+        conservation: Some(simlint::rules::ConsScope::Metered),
+        ..LintOptions::default()
+    };
+    lint_source("crates/storage/src/fixture.rs", src, &opts)
+}
+
+#[test]
+fn cons001_transfer_bypasses_ledger() {
+    let diags = lint_net(
+        r#"
+        pub async fn push(peer: &Peer, bytes: u64) {
+            peer.send(bytes).await;
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"CONS001"), "{diags:?}");
+}
+
+#[test]
+fn cons001_ledger_routed_is_clean() {
+    let diags = lint_net(
+        r#"
+        pub async fn push(limiter: &RateLimiter, peer: &Peer, bytes: u64) {
+            limiter.consume(bytes).await;
+            peer.send(bytes).await;
+        }
+        "#,
+    );
+    assert!(!rules_of(&diags, false).contains(&"CONS001"), "{diags:?}");
+}
+
+#[test]
+fn cons001_field_access_does_not_count_as_routing() {
+    // `self.consume` as a bare field read must not satisfy the contract;
+    // only a call does.
+    let diags = lint_net(
+        r#"
+        pub async fn push(peer: &Peer, bytes: u64) {
+            let budget = peer.consume;
+            peer.send(bytes + budget).await;
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"CONS001"), "{diags:?}");
+}
+
+#[test]
+fn cons001_suppressible_with_justification() {
+    let diags = lint_net(
+        r#"
+        // simlint: allow(CONS001): loopback copy, no fabric bandwidth consumed.
+        pub async fn push(peer: &Peer, bytes: u64) {
+            peer.send(bytes).await;
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, true).contains(&"CONS001"), "{diags:?}");
+    assert!(!rules_of(&diags, false).contains(&"CONS001"), "{diags:?}");
+}
+
+#[test]
+fn cons002_unmetered_billable_op() {
+    let diags = lint_metered(
+        r#"
+        pub async fn get(&self, key: &str) -> Blob {
+            let logical_bytes = self.size_of(key);
+            self.wire(logical_bytes).await
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"CONS002"), "{diags:?}");
+}
+
+#[test]
+fn cons002_metered_op_is_clean() {
+    let diags = lint_metered(
+        r#"
+        pub async fn get(&self, key: &str) -> Blob {
+            let logical_bytes = self.size_of(key);
+            self.core.meter_request(false, logical_bytes, false);
+            self.wire(logical_bytes).await
+        }
+        "#,
+    );
+    assert!(!rules_of(&diags, false).contains(&"CONS002"), "{diags:?}");
+}
+
+#[test]
+fn cons002_private_helper_is_exempt() {
+    // The metering contract binds the public surface; private helpers are
+    // metered by their callers.
+    let diags = lint_metered(
+        r#"
+        async fn wire(&self, logical_bytes: u64) {
+            self.nic.push(logical_bytes).await;
+        }
+        "#,
+    );
+    assert!(!rules_of(&diags, false).contains(&"CONS002"), "{diags:?}");
+}
+
+#[test]
+fn cons002_metered_through_same_crate_helper() {
+    // `billed()` transitively calls the meter, so `get` routing through it
+    // satisfies the contract.
+    let diags = lint_metered(
+        r#"
+        fn billed(&self, logical_bytes: u64) {
+            self.core.meter_request(false, logical_bytes, false);
+        }
+        pub async fn get(&self, key: &str) -> Blob {
+            let logical_bytes = self.size_of(key);
+            self.billed(logical_bytes);
+            self.wire(logical_bytes).await
+        }
+        "#,
+    );
+    assert!(!rules_of(&diags, false).contains(&"CONS002"), "{diags:?}");
+}
+
+#[test]
+fn cons002_suppressible_with_justification() {
+    let diags = lint_metered(
+        r#"
+        // simlint: allow(CONS002): metered by every caller before streaming.
+        pub async fn stream(&self, logical_bytes: u64) {
+            self.wire(logical_bytes).await;
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, true).contains(&"CONS002"), "{diags:?}");
+    assert!(!rules_of(&diags, false).contains(&"CONS002"), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// SL001: stale suppressions.
+
+#[test]
+fn sl001_stale_suppression_is_an_error() {
+    let diags = lint(
+        r#"
+        // simlint: allow(DET005): once masked a HashMap that is long gone.
+        fn f() {
+            let m = std::collections::BTreeMap::<u32, u32>::new();
+            let _ = m;
+        }
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"SL001"), "{diags:?}");
+}
+
+#[test]
+fn sl001_live_suppression_is_quiet() {
+    let diags = lint(
+        r#"
+        fn f() {
+            // simlint: allow(DET005): keyed probe table, order never observed.
+            let m = std::collections::HashMap::<u32, u32>::new();
+            let _ = m;
+        }
+        "#,
+    );
+    assert!(!rules_of(&diags, false).contains(&"SL001"), "{diags:?}");
+    assert!(rules_of(&diags, true).contains(&"DET005"), "{diags:?}");
+}
+
+#[test]
+fn sl001_cannot_be_suppressed() {
+    let diags = lint(
+        r#"
+        // simlint: allow(SL001): trying to hide the audit.
+        // simlint: allow(DET005): stale directive below the shield.
+        fn f() {}
+        "#,
+    );
+    let sl001s = diags
+        .iter()
+        .filter(|d| d.rule == "SL001" && !d.suppressed)
+        .count();
+    assert!(sl001s >= 1, "{diags:?}");
+}
+
+#[test]
+fn sl001_file_scope_stale_suppression() {
+    let diags = lint(
+        r#"
+        // simlint: allow-file(DET006): fixture once spawned threads.
+        fn f() {}
+        "#,
+    );
+    assert!(rules_of(&diags, false).contains(&"SL001"), "{diags:?}");
+}

@@ -1,0 +1,76 @@
+//! Property-based hardening of the simlint lexer: whatever bytes come in,
+//! tokenization terminates, positions stay inside the source, and the
+//! easily-confused literal forms (lifetimes vs char literals, raw strings,
+//! inner attributes) never swallow trailing code.
+
+use proptest::prelude::*;
+use simlint::lexer::{lex, TokKind};
+
+proptest! {
+    /// Lexing arbitrary text never panics, and every token's `[pos, end)`
+    /// span lies inside the source (measured in chars, like the lexer).
+    #[test]
+    fn lex_any_input_stays_in_bounds(src in ".{0,200}") {
+        let n = src.chars().count();
+        for t in lex(&src) {
+            prop_assert!(t.pos <= t.end, "{t:?}");
+            prop_assert!(t.end <= n, "{t:?} vs len {n}");
+            prop_assert!(t.line >= 1, "{t:?}");
+        }
+    }
+
+    /// Tokens come out in source order and never overlap.
+    #[test]
+    fn tokens_are_ordered_and_disjoint(src in ".{0,200}") {
+        let toks = lex(&src);
+        for w in toks.windows(2) {
+            prop_assert!(w[0].end <= w[1].pos, "{:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    /// A char literal consumes exactly itself: the statement after it is
+    /// still visible to the rules.
+    #[test]
+    fn char_literal_does_not_swallow_the_tail(c in "[a-zA-Z0-9]") {
+        let src = format!("let a = '{c}'; let marker = 1;");
+        let toks = lex(&src);
+        prop_assert!(toks.iter().any(|t| t.kind == TokKind::CharLit), "{toks:?}");
+        prop_assert!(toks.iter().any(|t| t.is_ident("marker")), "{toks:?}");
+    }
+
+    /// A lifetime lexes as a lifetime, not as an unterminated char literal
+    /// that would eat the rest of the signature.
+    #[test]
+    fn lifetimes_are_not_char_literals(name in "[a-z][a-z0-9_]{0,8}") {
+        let src = format!("fn f<'{name}>(x: &'{name} u32) -> &'{name} u32 {{ marker(x) }}");
+        let toks = lex(&src);
+        prop_assert!(
+            toks.iter().any(|t| t.kind == TokKind::Lifetime),
+            "{toks:?}"
+        );
+        prop_assert!(!toks.iter().any(|t| t.kind == TokKind::CharLit), "{toks:?}");
+        prop_assert!(toks.iter().any(|t| t.is_ident("marker")), "{toks:?}");
+    }
+
+    /// Byte raw strings terminate at their own closing quote; code after
+    /// them still lexes.
+    #[test]
+    fn byte_raw_strings_are_contained(inner in "[a-zA-Z0-9 ]{0,40}") {
+        let src = format!("let s = br#\"{inner}\"#;\nlet marker = 1;");
+        let toks = lex(&src);
+        prop_assert!(toks.iter().any(|t| t.kind == TokKind::Str), "{toks:?}");
+        prop_assert!(toks.iter().any(|t| t.is_ident("marker")), "{toks:?}");
+    }
+
+    /// Inner attributes (`#![...]`) and `cfg_attr` forms lex cleanly and
+    /// leave following items intact.
+    #[test]
+    fn inner_attributes_do_not_derail(ident in "[a-z][a-z0-9_]{0,8}") {
+        let src = format!(
+            "#![allow(dead_code)]\n#[cfg_attr(test, derive(Debug))]\nstruct {ident};\nfn marker() {{}}"
+        );
+        let toks = lex(&src);
+        prop_assert!(toks.iter().any(|t| t.is_ident(&ident)), "{toks:?}");
+        prop_assert!(toks.iter().any(|t| t.is_ident("marker")), "{toks:?}");
+    }
+}

@@ -235,6 +235,7 @@ impl ServiceCore {
     /// Stream `logical_bytes` to/from the client after the first byte,
     /// bounded by per-request bandwidth, the service aggregate, and the
     /// client NIC.
+    // simlint: allow(CONS002): metered by every caller via `meter_request` before streaming; this helper only models wire time.
     pub async fn stream(&self, write: bool, logical_bytes: u64, opts: &RequestOpts) {
         if logical_bytes == 0 {
             return;

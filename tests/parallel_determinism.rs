@@ -84,8 +84,8 @@ mod scheduler_props {
     use proptest::prelude::*;
     use skyrise::sim::{SimTime, Slab, TimerHeap};
     use std::cmp::Reverse;
+    use std::collections::BTreeMap;
     use std::collections::BinaryHeap;
-    use std::collections::HashMap;
 
     /// A random interleaving of timer operations.
     #[derive(Debug, Clone)]
@@ -118,7 +118,7 @@ mod scheduler_props {
         fn timer_heap_matches_binary_heap_oracle(ops in timer_ops()) {
             let mut heap: TimerHeap<u64> = TimerHeap::new();
             let mut oracle: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-            let mut cancelled: std::collections::HashSet<u64> = Default::default();
+            let mut cancelled: std::collections::BTreeSet<u64> = Default::default();
             // seq -> heap key, insertion-ordered; payload is the seq itself.
             let mut live: Vec<(u64, skyrise::sim::TimerKey)> = Vec::new();
             let mut seq = 0u64;
@@ -186,7 +186,7 @@ mod scheduler_props {
             1..120,
         )) {
             let mut slab: Slab<usize> = Slab::new();
-            let mut oracle: HashMap<u64, usize> = HashMap::new();
+            let mut oracle: BTreeMap<u64, usize> = BTreeMap::new();
             // `SlabKey` is a plain `u64` (`generation << 32 | index`).
             let mut live: Vec<skyrise::sim::SlabKey> = Vec::new();
             let mut dead: Vec<skyrise::sim::SlabKey> = Vec::new();
