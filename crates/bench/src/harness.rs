@@ -294,7 +294,7 @@ pub fn parse_suite_args<I: IntoIterator<Item = String>>(args: I) -> SuiteArgs {
         } else if let Some(v) = take("--jobs") {
             out.jobs = set_jobs(&v);
         } else if let Some(v) = take("--shard") {
-            out.shard = set_shard(&v);
+            out.shard = Some(set_shard(&v));
         } else {
             eprintln!("unknown argument `{arg}`; {usage}");
             std::process::exit(2);

@@ -603,7 +603,7 @@ mod tests {
     fn telemetry_digest_feeds_the_sanitizer() {
         fn digest_of(metrics: bool, extra: u64) -> u64 {
             let ((), summary) = capture_runs(false, metrics, 0, || {
-                in_sim(31, |ctx| {
+                in_sim(31, move |ctx| {
                     Box::pin(async move {
                         ctx.metrics().counter("test.sanitizer.value").add(extra);
                         ctx.sleep(skyrise::sim::SimDuration::from_secs(1)).await;

@@ -111,9 +111,9 @@ pub fn generate(sf: f64, seed: u64) -> TpchTables {
             let extendedprice = (quantity * part_price * 100.0).round() / 100.0;
             let discount = rng.gen_range(0..=10) as f64 / 100.0;
             let tax = rng.gen_range(0..=8) as f64 / 100.0;
-            let shipdate = orderdate + rng.gen_range(1..=121);
-            let commitdate = orderdate + rng.gen_range(30..=90);
-            let receiptdate = shipdate + rng.gen_range(1..=30);
+            let shipdate = orderdate + rng.gen_range(1..=121i64);
+            let commitdate = orderdate + rng.gen_range(30..=90i64);
+            let receiptdate = shipdate + rng.gen_range(1..=30i64);
             let returnflag = if receiptdate <= cutoff {
                 if rng.gen_bool(0.5) {
                     "R"

@@ -93,11 +93,11 @@ pub fn generate(sf: f64, seed: u64) -> TpcxBbTables {
     let mut produced = 0usize;
     while produced < n_clicks {
         let user = rng.gen_range(1..=n_users);
-        let date = crate::columnar::date::from_ymd(2023, 1, 1) + rng.gen_range(0..365);
+        let date = crate::columnar::date::from_ymd(2023, 1, 1) + rng.gen_range(0..365i64);
         let mut time = rng.gen_range(0..80_000i64);
-        let session_len = rng.gen_range(3..=20).min(n_clicks - produced);
+        let session_len = rng.gen_range(3..=20usize).min(n_clicks - produced);
         for _ in 0..session_len {
-            time += rng.gen_range(5..120);
+            time += rng.gen_range(5..120i64);
             let item = rng.gen_range(1..=n_items);
             let sales = if rng.gen_bool(0.04) {
                 let sk = next_sales_sk;

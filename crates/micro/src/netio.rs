@@ -64,6 +64,7 @@ pub async fn measure(ctx: &SimCtx, client: &SharedNic, cfg: &NetIoConfig) -> Int
         fabric: cfg.fabric.clone(),
         slice: None,
         recorder: Some(Rc::clone(&recorder)),
+        label: None,
     };
     let start = ctx.now();
     let phases: Vec<(SimTime, SimTime)> = match cfg.pause {

@@ -302,9 +302,9 @@ impl Sim {
         // one clone up front covers the whole run — the hooks cell is not
         // re-borrowed per step.
         let sanitizer = self.state.hooks.borrow().sanitizer.clone();
-        let stats = &self.state.stats;
         loop {
             self.drain_ready(&sanitizer);
+            let stats = &self.state.stats;
             // No runnable tasks: advance to the next timer. Cancelled
             // timers were removed eagerly, so the head is always live.
             let next = self.state.timers.borrow().peek_deadline();
@@ -564,7 +564,8 @@ impl SimCtx {
         let state = self.state();
         let stats = &state.stats;
         stats.timer_inserts.set(stats.timer_inserts.get() + 1);
-        state.timers.borrow_mut().insert(deadline, waker)
+        let key = state.timers.borrow_mut().insert(deadline, waker);
+        key
     }
 
     /// Refresh the waker of a pending timer; false when the timer already

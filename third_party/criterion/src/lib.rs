@@ -1,0 +1,152 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness surface with a
+//! simple measurement loop: warm up, run a fixed number of timed iterations,
+//! and print mean wall-clock time (plus throughput when configured). No
+//! statistical analysis, plots, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How batched inputs are sized in `iter_batched`.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// One setup per timed iteration.
+    PerIteration,
+    /// Small batches (treated like `PerIteration` here).
+    SmallInput,
+    /// Large batches (treated like `PerIteration` here).
+    LargeInput,
+}
+
+/// Passed to benchmark closures; runs the measured routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call outside the timed window.
+        let _ = std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            let _ = std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with per-iteration setup excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = std::hint::black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            let _ = std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Set the number of timed iterations for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(1) as u64;
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let iters = b.iterations.max(1);
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / per_iter / (1u64 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / per_iter)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:>12.3} us/iter over {} iters{}",
+            self.name,
+            id,
+            per_iter * 1e6,
+            iters,
+            rate
+        );
+    }
+
+    /// Finish the group (no-op; reporting happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 30,
+            _parent: self,
+        }
+    }
+}
+
+/// Collect benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,371 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace builds hermetically (no network, no registry), so the
+//! serialization surface it needs is implemented here: `Serialize` /
+//! `Deserialize` traits defined directly over a JSON value model (in
+//! [`json`]), derive macros from the sibling `serde_derive` stub, and impls
+//! for the std types the workspace serializes. The sibling `serde_json`
+//! stub re-exports the value model and provides `to_string` / `from_str` /
+//! `json!`.
+//!
+//! Fidelity notes relative to real serde + serde_json:
+//! - externally tagged enums, `#[serde(default)]`, `#[serde(default =
+//!   "path")]`, and missing-`Option`-means-`None` behave as upstream;
+//! - JSON object keys are emitted in sorted (BTreeMap) order, like
+//!   upstream serde_json without `preserve_order`;
+//! - non-finite floats serialize as `null`, as upstream's `Value::from`.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Map, Number, Value};
+
+/// Types that can serialize themselves into a JSON [`Value`].
+pub trait Serialize {
+    /// Convert `self` to a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse `self` out of a JSON value.
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty => $as:ident),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                v.$as()
+                    .and_then(|x| <$t>::try_from(x).ok())
+                    .ok_or_else(|| Error::msg(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_ser_de_int!(
+    u8 => as_u64, u16 => as_u64, u32 => as_u64, u64 => as_u64, usize => as_u64,
+    i8 => as_i64, i16 => as_i64, i32 => as_i64, i64 => as_i64, isize => as_i64
+);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        // `null` round-trips as NaN: non-finite floats serialize to null.
+        if v.is_null() {
+            return Ok(f64::NAN);
+        }
+        v.as_f64().ok_or_else(|| Error::msg("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::from(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        f64::from_json_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::msg("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(|s| s.to_string())
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for &'static str {
+    /// `&'static str` fields (catalog instance names) round-trip by leaking
+    /// the parsed string. Catalog deserialisation is rare and the names are
+    /// tiny, so the leak is bounded in practice.
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::msg("expected string"))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::msg("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(())
+        } else {
+            Err(Error::msg("expected null"))
+        }
+    }
+}
+
+// --- containers ------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_json_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+// The "rc" feature surface: serialize through the pointer, reconstruct a
+// fresh allocation on deserialize (no sharing round-trip, as upstream).
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(std::rc::Rc::new)
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(std::sync::Arc::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::msg("expected tuple array"))?;
+                let expect = [$( $n ),+].len();
+                if arr.len() != expect {
+                    return Err(Error::msg("tuple arity mismatch"));
+                }
+                Ok(($($t::from_json_value(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Map keys must render to JSON object keys (strings). Split from
+/// [`JsonKeyDe`] so the `Serialize` and `Deserialize` derive macros can each
+/// emit their half for unit-only enums used as map keys.
+pub trait JsonKeySer {
+    /// Render the key as a JSON object key.
+    fn to_key(&self) -> String;
+}
+
+/// Map keys must parse back from JSON object keys.
+pub trait JsonKeyDe: Sized {
+    /// Parse the key back from a JSON object key.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl JsonKeySer for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+}
+impl JsonKeyDe for String {
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_json_key_int {
+    ($($t:ty),*) => {$(
+        impl JsonKeySer for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+        }
+        impl JsonKeyDe for $t {
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| Error::msg("bad integer map key"))
+            }
+        }
+    )*};
+}
+impl_json_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: JsonKeySer + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.to_key(), v.to_json_value());
+        }
+        Value::Object(m)
+    }
+}
+impl<K: JsonKeyDe + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::msg("expected object"))?;
+        let mut out = std::collections::BTreeMap::new();
+        for (k, v) in obj {
+            out.insert(K::from_key(k)?, V::from_json_value(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_json_value(v).map(Into::into)
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for Number {
+    fn to_json_value(&self) -> Value {
+        Value::Number(self.clone())
+    }
+}

@@ -1,0 +1,564 @@
+//! Vendored stand-in for `serde_derive` — hand-rolled (no syn/quote).
+//!
+//! Supports the item shapes this workspace actually derives on:
+//! - structs with named fields,
+//! - enums with unit / tuple / struct variants (externally tagged),
+//! - `#[serde(default)]` and `#[serde(default = "path")]` on named fields,
+//! - missing `Option<T>` fields deserialize to `None`.
+//!
+//! Generates impls of the simplified `serde::Serialize` /
+//! `serde::Deserialize` traits (defined over the JSON value model in the
+//! sibling `serde` stub). Generation is by string assembly + `.parse()`,
+//! which keeps the crate dependency-free.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field-level serde configuration.
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    /// `#[serde(default)]`
+    default: bool,
+    /// `#[serde(default = "path")]`
+    default_path: Option<String>,
+}
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+    /// Whether the field type's head identifier is `Option`.
+    is_option: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    /// Tuple struct; arity 1 (newtype) serializes transparently as the inner
+    /// value, higher arities as an array — matching upstream serde.
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => gen_struct_ser(name, fields),
+        Item::TupleStruct { name, arity } => gen_tuple_struct_ser(name, *arity),
+        Item::Enum { name, variants } => gen_enum_ser(name, variants),
+    };
+    body.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => gen_struct_de(name, fields),
+        Item::TupleStruct { name, arity } => gen_tuple_struct_de(name, *arity),
+        Item::Enum { name, variants } => gen_enum_de(name, variants),
+    };
+    body.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+
+    // No generics are used by this workspace's derived types. Tuple structs
+    // present a Parenthesis group where named structs present a Brace group.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body = g.stream();
+                return match kind.as_str() {
+                    "struct" => Item::Struct {
+                        name,
+                        fields: parse_named_fields(body),
+                    },
+                    "enum" => Item::Enum {
+                        name,
+                        variants: parse_variants(body),
+                    },
+                    other => panic!("serde_derive: cannot derive for `{other}` items"),
+                };
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut depth = 0i32;
+                let mut arity = if inner.is_empty() { 0 } else { 1 };
+                for t in &inner {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => arity += 1,
+                        _ => {}
+                    }
+                }
+                return Item::TupleStruct { name, arity };
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive stub: generic types are not supported (type {name})")
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no body found for {name}"),
+        }
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collect any `#[...]` attribute groups at the cursor, returning the parsed
+/// serde field attrs among them.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let group = match tokens.get(*i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.stream(),
+            _ => panic!("serde_derive: malformed attribute"),
+        };
+        *i += 2;
+        let inner: Vec<TokenTree> = group.into_iter().collect();
+        let is_serde = matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            _ => continue,
+        };
+        let args: Vec<TokenTree> = args.into_iter().collect();
+        let mut j = 0;
+        while j < args.len() {
+            match &args[j] {
+                TokenTree::Ident(id) if id.to_string() == "default" => {
+                    if let Some(TokenTree::Punct(eq)) = args.get(j + 1) {
+                        if eq.as_char() == '=' {
+                            let lit = match args.get(j + 2) {
+                                Some(TokenTree::Literal(l)) => l.to_string(),
+                                _ => panic!("serde_derive: default = expects a string literal"),
+                            };
+                            attrs.default_path =
+                                Some(lit.trim_matches('"').to_string());
+                            j += 3;
+                            continue;
+                        }
+                    }
+                    attrs.default = true;
+                    j += 1;
+                }
+                TokenTree::Punct(_) => j += 1,
+                other => panic!("serde_derive stub: unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+    attrs
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field name, got {other}"),
+        }
+        // Scan the type: track `<`/`>` depth so commas inside generics don't
+        // terminate the field. Token *trees* make (), [], {} atomic already.
+        let mut depth = 0i32;
+        let mut is_option = false;
+        let mut first = true;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Ident(id) if first => {
+                    is_option = id.to_string() == "Option";
+                    first = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            attrs,
+            is_option,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _attrs = take_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Count top-level commas to get the arity.
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut depth = 0i32;
+                let mut arity = if inner.is_empty() { 0 } else { 1 };
+                for t in &inner {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => arity += 1,
+                        _ => {}
+                    }
+                }
+                i += 1;
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// --- generation ------------------------------------------------------------
+
+fn gen_struct_ser(name: &str, fields: &[Field]) -> String {
+    let mut inserts = String::new();
+    for f in fields {
+        inserts.push_str(&format!(
+            "m.insert(\"{0}\".to_string(), ::serde::Serialize::to_json_value(&self.{0}));\n",
+            f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::json::Value {{\n\
+         let mut m = ::serde::json::Map::new();\n{inserts}\
+         ::serde::json::Value::Object(m)\n}}\n}}\n"
+    )
+}
+
+fn gen_tuple_struct_ser(name: &str, arity: usize) -> String {
+    let inner = if arity == 1 {
+        "::serde::Serialize::to_json_value(&self.0)".to_string()
+    } else {
+        let elems: Vec<String> = (0..arity)
+            .map(|k| format!("::serde::Serialize::to_json_value(&self.{k})"))
+            .collect();
+        format!("::serde::json::Value::Array(vec![{}])", elems.join(", "))
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::json::Value {{\n{inner}\n}}\n}}\n"
+    )
+}
+
+fn gen_tuple_struct_de(name: &str, arity: usize) -> String {
+    let body = if arity == 1 {
+        format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(v)?))"
+        )
+    } else {
+        let elems: Vec<String> = (0..arity)
+            .map(|k| format!("::serde::Deserialize::from_json_value(&arr[{k}])?"))
+            .collect();
+        format!(
+            "let arr = v.as_array().ok_or_else(|| \
+             ::serde::json::Error::msg(\"expected array for {name}\"))?;\n\
+             if arr.len() != {arity} {{\n\
+             return ::std::result::Result::Err(::serde::json::Error::msg(\
+             \"wrong arity for {name}\"));\n}}\n\
+             ::std::result::Result::Ok({name}({}))",
+            elems.join(", ")
+        )
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(v: &::serde::json::Value) -> \
+         ::std::result::Result<Self, ::serde::json::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// `obj.get("f")` handling for one named field: present → deserialize,
+/// missing → default / None / error.
+fn field_from_obj(ctx: &str, f: &Field) -> String {
+    let missing = if let Some(path) = &f.attrs.default_path {
+        format!("{path}()")
+    } else if f.attrs.default {
+        "::std::default::Default::default()".to_string()
+    } else if f.is_option {
+        "::std::option::Option::None".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::json::Error::msg(\
+             \"missing field `{}` in {}\"))",
+            f.name, ctx
+        )
+    };
+    format!(
+        "{0}: match obj.get(\"{0}\") {{\n\
+         ::std::option::Option::Some(x) => ::serde::Deserialize::from_json_value(x)?,\n\
+         ::std::option::Option::None => {missing},\n}},\n",
+        f.name
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        body.push_str(&field_from_obj(name, f));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(v: &::serde::json::Value) -> \
+         ::std::result::Result<Self, ::serde::json::Error> {{\n\
+         let obj = v.as_object().ok_or_else(|| \
+         ::serde::json::Error::msg(\"expected object for {name}\"))?;\n\
+         ::std::result::Result::Ok({name} {{\n{body}}})\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => ::serde::json::Value::String(\"{vn}\".to_string()),\n"
+                ));
+            }
+            VariantShape::Tuple(arity) => {
+                let binds: Vec<String> = (0..*arity).map(|k| format!("f{k}")).collect();
+                let pat = binds.join(", ");
+                let inner = if *arity == 1 {
+                    "::serde::Serialize::to_json_value(f0)".to_string()
+                } else {
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                        .collect();
+                    format!("::serde::json::Value::Array(vec![{}])", elems.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({pat}) => {{\n\
+                     let mut m = ::serde::json::Map::new();\n\
+                     m.insert(\"{vn}\".to_string(), {inner});\n\
+                     ::serde::json::Value::Object(m)\n}}\n"
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let pat: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let mut inserts = String::new();
+                for f in fields {
+                    inserts.push_str(&format!(
+                        "inner.insert(\"{0}\".to_string(), \
+                         ::serde::Serialize::to_json_value({0}));\n",
+                        f.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => {{\n\
+                     let mut inner = ::serde::json::Map::new();\n{inserts}\
+                     let mut m = ::serde::json::Map::new();\n\
+                     m.insert(\"{vn}\".to_string(), ::serde::json::Value::Object(inner));\n\
+                     ::serde::json::Value::Object(m)\n}}\n",
+                    pat.join(", ")
+                ));
+            }
+        }
+    }
+    let mut out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::json::Value {{\n\
+         match self {{\n{arms}}}\n}}\n}}\n"
+    );
+    // Unit-only enums additionally work as JSON map keys.
+    if variants.iter().all(|v| matches!(v.shape, VariantShape::Unit)) {
+        let key_arms: String = variants
+            .iter()
+            .map(|v| format!("{name}::{0} => \"{0}\".to_string(),\n", v.name))
+            .collect();
+        out.push_str(&format!(
+            "impl ::serde::JsonKeySer for {name} {{\n\
+             fn to_key(&self) -> ::std::string::String {{\n\
+             match self {{\n{key_arms}}}\n}}\n}}\n"
+        ));
+    }
+    out
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut str_arms = String::new();
+    let mut obj_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                str_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                ));
+            }
+            VariantShape::Tuple(arity) => {
+                if *arity == 1 {
+                    obj_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_json_value(val)?)),\n"
+                    ));
+                } else {
+                    let elems: Vec<String> = (0..*arity)
+                        .map(|k| {
+                            format!("::serde::Deserialize::from_json_value(&arr[{k}])?")
+                        })
+                        .collect();
+                    obj_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                         let arr = val.as_array().ok_or_else(|| \
+                         ::serde::json::Error::msg(\"expected array for {name}::{vn}\"))?;\n\
+                         if arr.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::json::Error::msg(\
+                         \"wrong arity for {name}::{vn}\"));\n}}\n\
+                         ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                        elems.join(", ")
+                    ));
+                }
+            }
+            VariantShape::Struct(fields) => {
+                let mut body = String::new();
+                for f in fields {
+                    body.push_str(&field_from_obj(&format!("{name}::{vn}"), f));
+                }
+                obj_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let obj = val.as_object().ok_or_else(|| \
+                     ::serde::json::Error::msg(\"expected object for {name}::{vn}\"))?;\n\
+                     ::std::result::Result::Ok({name}::{vn} {{\n{body}}})\n}}\n"
+                ));
+            }
+        }
+    }
+    let mut out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(v: &::serde::json::Value) -> \
+         ::std::result::Result<Self, ::serde::json::Error> {{\n\
+         if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+         return match s {{\n{str_arms}\
+         _ => ::std::result::Result::Err(::serde::json::Error::msg(\
+         \"unknown variant for {name}\")),\n}};\n}}\n\
+         let obj = v.as_object().ok_or_else(|| \
+         ::serde::json::Error::msg(\"expected string or object for {name}\"))?;\n\
+         let (tag, val) = obj.iter().next().ok_or_else(|| \
+         ::serde::json::Error::msg(\"empty object for {name}\"))?;\n\
+         match tag.as_str() {{\n{obj_arms}\
+         _ => ::std::result::Result::Err(::serde::json::Error::msg(\
+         \"unknown variant for {name}\")),\n}}\n}}\n}}\n"
+    );
+    // Unit-only enums additionally parse back as JSON map keys.
+    if variants.iter().all(|v| matches!(v.shape, VariantShape::Unit)) {
+        let key_arms: String = variants
+            .iter()
+            .map(|v| {
+                format!(
+                    "\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                    v.name
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "impl ::serde::JsonKeyDe for {name} {{\n\
+             fn from_key(s: &str) -> \
+             ::std::result::Result<Self, ::serde::json::Error> {{\n\
+             match s {{\n{key_arms}\
+             _ => ::std::result::Result::Err(::serde::json::Error::msg(\
+             \"unknown key variant for {name}\")),\n}}\n}}\n}}\n"
+        ));
+    }
+    out
+}
