@@ -21,7 +21,7 @@
 
 use skyrise::data::{tpch, Batch};
 use skyrise::engine::bind::{execute_chain, set_legacy_kernels};
-use skyrise::engine::expr::{Expr, UdfRegistry};
+use skyrise::engine::expr::{CmpOp, Expr, UdfRegistry};
 use skyrise::engine::operators::{execute_ops, partition_batch, partition_batch_scalar};
 use skyrise::engine::plan::{AggExpr, AggFunc, AggMode, Op};
 use skyrise::engine::queries;
@@ -144,6 +144,29 @@ fn kernel_suite(sf: f64, iters: usize) -> Vec<Kernel> {
                 ("l_orderkey".into(), true),
             ],
         }],
+        &[lineitem.clone()],
+    ));
+
+    // Fused filter -> aggregate: the selection vector flows from the
+    // filter straight into the aggregate's accumulators (no materialise
+    // between operators). The legacy arm copies the survivors first.
+    out.push(bench_ops(
+        "filter_then_aggregate_fused",
+        iters,
+        &[
+            Op::Filter {
+                predicate: Expr::col("l_quantity").cmp(CmpOp::Lt, Expr::lit_f64(24.0)),
+            },
+            Op::HashAggregate {
+                group_by: vec!["l_returnflag".into(), "l_linestatus".into()],
+                aggregates: vec![
+                    AggExpr::new(AggFunc::Sum, Expr::col("l_extendedprice"), "sum_price"),
+                    AggExpr::new(AggFunc::Avg, Expr::col("l_discount"), "avg_disc"),
+                    AggExpr::new(AggFunc::Count, Expr::lit_i64(1), "cnt"),
+                ],
+                mode: AggMode::Single,
+            },
+        ],
         &[lineitem],
     ));
 
@@ -226,6 +249,9 @@ fn main() {
             k.speedup()
         );
     }
+    let geomean_speedup =
+        (kernels.iter().map(|k| k.speedup().ln()).sum::<f64>() / kernels.len() as f64).exp();
+    println!("  kernel geomean speedup: {geomean_speedup:.2}x");
 
     // Interleave arms so thermal / frequency drift hits both equally.
     let mut legacy_ms = f64::INFINITY;
@@ -251,6 +277,7 @@ fn main() {
             "normalized_ms": k.normalized_ms,
             "speedup": k.speedup(),
         })).collect::<Vec<_>>(),
+        "geomean_speedup": geomean_speedup,
         "end_to_end": {
             "suite": ["q1", "q6", "q12", "bb_q3"],
             "payload_sf": payload_sf,

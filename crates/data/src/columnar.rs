@@ -189,6 +189,59 @@ impl Column {
         }
     }
 
+    /// Gather rows by `u32` index — the engine's selection vectors are
+    /// `u32`, so this avoids widening them just to call [`take`](Self::take).
+    pub fn take_u32(&self, indices: &[u32]) -> Column {
+        match self {
+            Column::Int64(v) => Column::Int64(indices.iter().map(|&i| v[i as usize]).collect()),
+            Column::Float64(v) => Column::Float64(indices.iter().map(|&i| v[i as usize]).collect()),
+            Column::Utf8(v) => {
+                Column::Utf8(indices.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+            Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i as usize]).collect()),
+        }
+    }
+
+    /// Gather `(part, row)` locations across several column chunks of the
+    /// same type into one output column — a concat-free multi-batch take.
+    /// Panics if `parts` is empty or the types disagree.
+    pub fn gather(parts: &[&Column], locs: &[(u32, u32)]) -> Column {
+        match parts[0] {
+            Column::Int64(_) => {
+                let vs: Vec<&[i64]> = parts.iter().map(|c| c.as_i64()).collect();
+                Column::Int64(
+                    locs.iter()
+                        .map(|&(p, r)| vs[p as usize][r as usize])
+                        .collect(),
+                )
+            }
+            Column::Float64(_) => {
+                let vs: Vec<&[f64]> = parts.iter().map(|c| c.as_f64()).collect();
+                Column::Float64(
+                    locs.iter()
+                        .map(|&(p, r)| vs[p as usize][r as usize])
+                        .collect(),
+                )
+            }
+            Column::Utf8(_) => {
+                let vs: Vec<&[String]> = parts.iter().map(|c| c.as_str()).collect();
+                Column::Utf8(
+                    locs.iter()
+                        .map(|&(p, r)| vs[p as usize][r as usize].clone())
+                        .collect(),
+                )
+            }
+            Column::Bool(_) => {
+                let vs: Vec<&[bool]> = parts.iter().map(|c| c.as_bool()).collect();
+                Column::Bool(
+                    locs.iter()
+                        .map(|&(p, r)| vs[p as usize][r as usize])
+                        .collect(),
+                )
+            }
+        }
+    }
+
     /// Rows `[start, end)`.
     pub fn slice(&self, start: usize, end: usize) -> Column {
         match self {
@@ -317,6 +370,29 @@ impl Batch {
         }
     }
 
+    /// Gather rows by `u32` selection vector.
+    pub fn take_u32(&self, indices: &[u32]) -> Batch {
+        Batch {
+            schema: Rc::clone(&self.schema),
+            columns: self.columns.iter().map(|c| c.take_u32(indices)).collect(),
+        }
+    }
+
+    /// Gather `(part, row)` locations across several batches sharing a
+    /// schema into one batch, without concatenating the inputs first.
+    /// Panics if `parts` is empty.
+    pub fn gather(parts: &[&Batch], locs: &[(u32, u32)]) -> Batch {
+        let schema = Rc::clone(&parts[0].schema);
+        let n_cols = parts[0].columns.len();
+        let columns = (0..n_cols)
+            .map(|ci| {
+                let chunks: Vec<&Column> = parts.iter().map(|b| &b.columns[ci]).collect();
+                Column::gather(&chunks, locs)
+            })
+            .collect();
+        Batch { schema, columns }
+    }
+
     /// Rows `[start, end)`.
     pub fn slice(&self, start: usize, end: usize) -> Batch {
         Batch {
@@ -337,7 +413,9 @@ impl Batch {
         out
     }
 
-    /// One row as a vector of scalars.
+    /// One row as a vector of scalars. Allocates a `Vec` and clones any
+    /// strings per call — reference/oracle and result-formatting paths
+    /// only; hot kernels go column-direct (`as_i64` & friends, `take_u32`).
     pub fn row(&self, i: usize) -> Vec<Value> {
         self.columns.iter().map(|c| c.value(i)).collect()
     }
@@ -482,6 +560,21 @@ mod tests {
         // TPC-H Q1 cutoff: 1998-12-01 minus 90 days lands in 1998-09.
         let cutoff = date::from_ymd(1998, 12, 1) - 90;
         assert_eq!(date::to_ymd(cutoff).0, 1998);
+    }
+
+    #[test]
+    fn take_u32_and_gather_match_take() {
+        let b = sample_batch();
+        let t = b.take(&[3, 1, 1]);
+        let t32 = b.take_u32(&[3, 1, 1]);
+        assert_eq!(t, t32);
+        let b2 = b.slice(0, 2);
+        let g = Batch::gather(&[&b, &b2], &[(1, 0), (0, 3), (1, 1)]);
+        assert_eq!(g.column("id").as_i64(), &[1, 4, 2]);
+        assert_eq!(
+            g.column("flag").as_str(),
+            &["a".to_string(), "c".to_string(), "b".to_string()]
+        );
     }
 
     #[test]

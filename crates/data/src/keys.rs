@@ -8,13 +8,13 @@
 //! column-at-a-time into one contiguous `u64` buffer:
 //!
 //! * `Int64` (and `Date`) → `(x as u64) ^ (1 << 63)`: flipping the sign
-//!   bit makes unsigned order equal signed order.
+//!   bit makes unsigned order equal signed order ([`norm_i64`]).
 //! * `Bool` → `0` / `1`.
 //! * `Float64` → [`total_order_bits`]: unsigned order equals
 //!   `f64::total_cmp` order (exact-bits equality, NaN included).
 //! * `Utf8` → the value's rank in a sorted, deduplicated dictionary
-//!   built over *all* rows handed to [`KeyBuffer::encode`] (one blocking
-//!   operator invocation). Rank order is string order by construction.
+//!   built over the rows handed to the encoder (one blocking operator
+//!   invocation). Rank order is string order by construction.
 //!
 //! Within each column the `u64` order therefore equals the order of the
 //! engine's legacy `ScalarKey` wrappers, and comparing rows word-by-word
@@ -23,12 +23,23 @@
 //! (Columns are homogeneously typed, so `ScalarKey`'s cross-variant enum
 //! order never arises.)
 //!
+//! [`KeyBuffer::encode_selected`] encodes *under a selection vector*
+//! ([`SelSpec`]): only the selected rows of each batch are encoded, in
+//! stream order, so filtering consumers never materialise a filtered
+//! batch just to build keys. String dictionaries may be computed over
+//! the full column (a superset of the selected rows); ranks shift but
+//! their relative order — the only thing consumers observe — does not.
+//!
 //! Dictionary ranks are only meaningful relative to the buffer that
 //! built them: encodings from different `KeyBuffer`s must never be
-//! compared. Cross-fragment agreement (shuffle partitioning) hashes raw
-//! value bytes instead — see the engine's `partition_batch`.
+//! compared. Cross-fragment agreement (shuffle partitioning) uses the
+//! batched [`mix64`] hash over the same normalized words instead — see
+//! [`fold_hash_words`] and friends, and the engine's `partition_batch`.
 
 use crate::columnar::{Batch, Column, Value};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
 /// Map an `f64` to bits whose unsigned order equals `total_cmp` order.
 #[inline]
@@ -53,6 +64,262 @@ pub fn bits_to_f64(key: u64) -> f64 {
 
 const SIGN_FLIP: u64 = 1 << 63;
 
+/// Sign-flipped two's complement: unsigned order equals signed order.
+#[inline]
+pub fn norm_i64(x: i64) -> u64 {
+    x as u64 ^ SIGN_FLIP
+}
+
+// ---------------------------------------------------------------------------
+// batched shuffle-key hashing
+// ---------------------------------------------------------------------------
+//
+// Shuffle partitioning needs a hash that writer and reader fragments (and
+// the row-at-a-time `ScalarKey` oracle) agree on bit-for-bit. The batched
+// scheme hashes the *normalized* fixed-width word of each key value:
+//
+//   column hash  kh = mix64(word ^ TAG_<type>)
+//   row fold      h = h * 31 + kh          (over the key columns in order)
+//
+// `Utf8` has no fixed-width normalization that agrees across fragments
+// (dictionary ranks are buffer-local), so strings hash their bytes with
+// the workspace FNV-1a first and feed the digest through the same
+// finalizer: kh = mix64(fnv1a64(bytes) ^ TAG_UTF8). FNV-1a itself stays
+// the sanitizer-digest hash; it is no longer on the per-row numeric path.
+
+/// Type tag folded into [`mix64`] for `Int64` keys.
+pub const HASH_TAG_I64: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Type tag folded into [`mix64`] for `Float64` keys.
+pub const HASH_TAG_F64: u64 = 0xC2B2_AE3D_27D4_EB4F;
+/// Type tag folded into [`mix64`] for `Bool` keys.
+pub const HASH_TAG_BOOL: u64 = 0x1656_67B1_9E37_79F9;
+/// Type tag folded into [`mix64`] for `Utf8` keys (applied to the FNV-1a
+/// digest of the string bytes).
+pub const HASH_TAG_UTF8: u64 = 0x27D4_EB2F_1656_67C5;
+
+/// SplitMix64 finalizer: a cheap, statistically strong bit mixer.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Scalar hash of one `Int64` key (the oracle-side mirror of
+/// [`fold_hash_i64`]'s per-lane step).
+#[inline]
+pub fn hash_key_i64(x: i64) -> u64 {
+    mix64(norm_i64(x) ^ HASH_TAG_I64)
+}
+
+/// Scalar hash of one `Float64` key, given its [`total_order_bits`].
+#[inline]
+pub fn hash_key_f64_bits(bits: u64) -> u64 {
+    mix64(bits ^ HASH_TAG_F64)
+}
+
+/// Scalar hash of one `Bool` key.
+#[inline]
+pub fn hash_key_bool(b: bool) -> u64 {
+    mix64(b as u64 ^ HASH_TAG_BOOL)
+}
+
+/// Scalar hash of one `Utf8` key, given the FNV-1a digest of its bytes
+/// (the digest function lives in `skyrise-sim`; callers pass it in).
+#[inline]
+pub fn hash_key_utf8(fnv_digest: u64) -> u64 {
+    mix64(fnv_digest ^ HASH_TAG_UTF8)
+}
+
+macro_rules! unrolled_fold {
+    ($acc:ident, $vals:ident, $kh:expr) => {{
+        debug_assert_eq!($acc.len(), $vals.len());
+        let mut a = $acc.chunks_exact_mut(4);
+        let mut v = $vals.chunks_exact(4);
+        // Four independent lanes per iteration: each lane's multiply and
+        // mix can issue in parallel, unlike the FNV byte chain.
+        for (h, x) in (&mut a).zip(&mut v) {
+            h[0] = h[0].wrapping_mul(31).wrapping_add($kh(x[0]));
+            h[1] = h[1].wrapping_mul(31).wrapping_add($kh(x[1]));
+            h[2] = h[2].wrapping_mul(31).wrapping_add($kh(x[2]));
+            h[3] = h[3].wrapping_mul(31).wrapping_add($kh(x[3]));
+        }
+        for (h, &x) in a.into_remainder().iter_mut().zip(v.remainder()) {
+            *h = h.wrapping_mul(31).wrapping_add($kh(x));
+        }
+    }};
+}
+
+/// Fold a column of pre-normalized words into per-row hash accumulators
+/// (`acc[r] = acc[r] * 31 + mix64(words[r] ^ tag)`), four lanes at a time.
+pub fn fold_hash_words(acc: &mut [u64], words: &[u64], tag: u64) {
+    unrolled_fold!(acc, words, |w: u64| mix64(w ^ tag));
+}
+
+/// Fold an `Int64` key column into per-row hash accumulators.
+pub fn fold_hash_i64(acc: &mut [u64], vals: &[i64]) {
+    unrolled_fold!(acc, vals, |x: i64| hash_key_i64(x));
+}
+
+/// Fold a `Float64` key column into per-row hash accumulators.
+pub fn fold_hash_f64(acc: &mut [u64], vals: &[f64]) {
+    unrolled_fold!(acc, vals, |x: f64| hash_key_f64_bits(total_order_bits(x)));
+}
+
+/// Fold a `Bool` key column into per-row hash accumulators (both possible
+/// hashes are precomputed; the loop is a select).
+pub fn fold_hash_bool(acc: &mut [u64], vals: &[bool]) {
+    let hf = hash_key_bool(false);
+    let ht = hash_key_bool(true);
+    unrolled_fold!(acc, vals, |b: bool| if b { ht } else { hf });
+}
+
+// ---------------------------------------------------------------------------
+// selections
+// ---------------------------------------------------------------------------
+
+/// A view of which rows of a batch are live, in order. The engine's
+/// selection vectors lower to this when handing batches to the encoder.
+#[derive(Debug, Clone, Copy)]
+pub enum SelSpec<'a> {
+    /// Every row.
+    All,
+    /// The first `n` rows.
+    Prefix(usize),
+    /// Exactly these row indices, in order.
+    Rows(&'a [u32]),
+}
+
+impl SelSpec<'_> {
+    /// Number of selected rows of a batch with `rows` rows.
+    #[inline]
+    pub fn count(&self, rows: usize) -> usize {
+        match self {
+            SelSpec::All => rows,
+            SelSpec::Prefix(n) => (*n).min(rows),
+            SelSpec::Rows(r) => r.len(),
+        }
+    }
+
+    /// Iterate the selected row indices of a batch with `rows` rows.
+    pub fn iter(&self, rows: usize) -> SelIter<'_> {
+        match self {
+            SelSpec::All => SelIter::Range(0..rows),
+            SelSpec::Prefix(n) => SelIter::Range(0..(*n).min(rows)),
+            SelSpec::Rows(r) => SelIter::Rows(r.iter()),
+        }
+    }
+}
+
+/// Iterator over a [`SelSpec`]'s selected rows.
+pub enum SelIter<'a> {
+    /// Contiguous range (All / Prefix).
+    Range(std::ops::Range<usize>),
+    /// Explicit row list.
+    Rows(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for SelIter<'_> {
+    type Item = usize;
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            SelIter::Range(r) => r.next(),
+            SelIter::Rows(it) => it.next().map(|&x| x as usize),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dictionary cache
+// ---------------------------------------------------------------------------
+
+/// Per-invocation cache of sorted-distinct string dictionaries, keyed by
+/// column identity, so the same `Utf8` column is scanned and sorted once
+/// per worker invocation even when several operators encode it.
+///
+/// Identity is the column's `(data pointer, length)`. That is only sound
+/// while the allocation is guaranteed alive, so the cache stores entries
+/// exclusively for columns of batches that were [`pin`](DictCache::pin)ned
+/// first — pinning clones the batch's `Rc`, which keeps the allocation
+/// (and therefore the pointer identity) valid for the cache's lifetime.
+/// Unpinned columns are computed but never cached.
+#[derive(Debug, Default)]
+pub struct DictCache {
+    pins: RefCell<Vec<Rc<Batch>>>,
+    pinned_cols: RefCell<BTreeSet<(usize, usize)>>,
+    entries: RefCell<BTreeMap<(usize, usize), Rc<Vec<String>>>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl DictCache {
+    /// An empty cache.
+    pub fn new() -> DictCache {
+        DictCache::default()
+    }
+
+    /// Pin a batch: its `Utf8` columns become cacheable by pointer
+    /// identity for as long as the cache lives.
+    pub fn pin(&self, batch: &Rc<Batch>) {
+        let mut cols = self.pinned_cols.borrow_mut();
+        let mut changed = false;
+        for c in &batch.columns {
+            if let Column::Utf8(v) = c {
+                changed |= cols.insert(col_key(v));
+            }
+        }
+        if changed {
+            self.pins.borrow_mut().push(Rc::clone(batch));
+        }
+    }
+
+    /// Sorted distinct values of `col`, cached when the column belongs to
+    /// a pinned batch.
+    pub fn distinct(&self, col: &[String]) -> Rc<Vec<String>> {
+        let key = col_key(col);
+        if let Some(d) = self.entries.borrow().get(&key) {
+            self.hits.set(self.hits.get() + 1);
+            return Rc::clone(d);
+        }
+        self.misses.set(self.misses.get() + 1);
+        let dict = Rc::new(sorted_distinct(col));
+        if self.pinned_cols.borrow().contains(&key) {
+            self.entries.borrow_mut().insert(key, Rc::clone(&dict));
+        }
+        dict
+    }
+
+    /// Cache hits so far (for tests and telemetry).
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+}
+
+#[inline]
+fn col_key(col: &[String]) -> (usize, usize) {
+    (col.as_ptr() as usize, col.len())
+}
+
+/// Sorted, deduplicated copy of a string column.
+fn sorted_distinct(col: &[String]) -> Vec<String> {
+    let mut refs: Vec<&str> = col.iter().map(String::as_str).collect();
+    refs.sort_unstable();
+    refs.dedup();
+    refs.into_iter().map(str::to_string).collect()
+}
+
+// ---------------------------------------------------------------------------
+// the key buffer
+// ---------------------------------------------------------------------------
+
 /// Per-key-column decode metadata.
 #[derive(Debug, Clone)]
 enum KeyEncoding {
@@ -62,8 +329,8 @@ enum KeyEncoding {
     Float64,
     /// 0 / 1.
     Bool,
-    /// Rank into a sorted distinct dictionary.
-    Utf8(Vec<String>),
+    /// Rank into a sorted distinct dictionary (shared with the cache).
+    Utf8(Rc<Vec<String>>),
 }
 
 /// A contiguous, row-major buffer of normalized fixed-width keys: one
@@ -85,12 +352,27 @@ impl KeyBuffer {
     /// Panics if a column index is out of range or batches disagree on a
     /// key column's type — callers resolve and type-check names first.
     pub fn encode(batches: &[&Batch], columns: &[usize]) -> KeyBuffer {
-        let rows: usize = batches.iter().map(|b| b.num_rows()).sum();
+        let parts: Vec<(&Batch, SelSpec)> = batches.iter().map(|b| (*b, SelSpec::All)).collect();
+        KeyBuffer::encode_selected(&parts, columns, None, Vec::new())
+    }
+
+    /// Encode only the selected rows of each batch (in stream order).
+    /// `cache` reuses string dictionaries across operators; `reuse` is a
+    /// recycled word buffer (pass `Vec::new()` when none is available).
+    pub fn encode_selected(
+        parts: &[(&Batch, SelSpec)],
+        columns: &[usize],
+        cache: Option<&DictCache>,
+        reuse: Vec<u64>,
+    ) -> KeyBuffer {
+        let rows: usize = parts.iter().map(|(b, s)| s.count(b.num_rows())).sum();
         let width = columns.len();
-        let mut words = vec![0u64; rows * width];
+        let mut words = reuse;
+        words.clear();
+        words.resize(rows * width, 0);
         let mut encodings = Vec::with_capacity(width);
         for (ci, &col) in columns.iter().enumerate() {
-            let enc = encode_column(batches, col, ci, width, &mut words);
+            let enc = encode_column(parts, col, ci, width, &mut words, cache);
             encodings.push(enc);
         }
         KeyBuffer {
@@ -149,88 +431,128 @@ impl KeyBuffer {
     /// key's (the legacy `ScalarKey` path treats cross-type keys as
     /// never equal).
     pub fn encode_probe(&self, c: usize, col: &Column) -> Vec<Option<u64>> {
+        self.encode_probe_sel(c, col, SelSpec::All)
+    }
+
+    /// [`encode_probe`](Self::encode_probe) restricted to the selected
+    /// rows; the result is parallel to the selection, not to the column.
+    pub fn encode_probe_sel(&self, c: usize, col: &Column, sel: SelSpec) -> Vec<Option<u64>> {
+        let n = col.len();
+        let mut out = Vec::with_capacity(sel.count(n));
         match (&self.encodings[c], col) {
             (KeyEncoding::Int64, Column::Int64(v)) => {
-                v.iter().map(|&x| Some(x as u64 ^ SIGN_FLIP)).collect()
+                out.extend(sel.iter(n).map(|r| Some(norm_i64(v[r]))));
             }
             (KeyEncoding::Float64, Column::Float64(v)) => {
-                v.iter().map(|&x| Some(total_order_bits(x))).collect()
+                out.extend(sel.iter(n).map(|r| Some(total_order_bits(v[r]))));
             }
-            (KeyEncoding::Bool, Column::Bool(v)) => v.iter().map(|&b| Some(b as u64)).collect(),
-            (KeyEncoding::Utf8(dict), Column::Utf8(v)) => v
-                .iter()
-                .map(|s| dict.binary_search(s).ok().map(|r| r as u64))
-                .collect(),
-            _ => vec![None; col.len()],
+            (KeyEncoding::Bool, Column::Bool(v)) => {
+                out.extend(sel.iter(n).map(|r| Some(v[r] as u64)));
+            }
+            (KeyEncoding::Utf8(dict), Column::Utf8(v)) => {
+                out.extend(
+                    sel.iter(n)
+                        .map(|r| dict.binary_search(&v[r]).ok().map(|rank| rank as u64)),
+                );
+            }
+            _ => out.resize(sel.count(n), None),
         }
+        out
+    }
+
+    /// Hand the word buffer back for recycling (arena reuse).
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
     }
 }
 
-/// Encode one key column across all batches into the interleaved word
-/// buffer, returning its decode metadata.
+/// Encode one key column across all selected rows into the interleaved
+/// word buffer, returning its decode metadata.
 fn encode_column(
-    batches: &[&Batch],
+    parts: &[(&Batch, SelSpec)],
     col: usize,
     ci: usize,
     width: usize,
     words: &mut [u64],
+    cache: Option<&DictCache>,
 ) -> KeyEncoding {
     let mut base = 0usize;
-    match batches.first().map(|b| &b.columns[col]) {
+    match parts.first().map(|(b, _)| &b.columns[col]) {
         None | Some(Column::Int64(_)) => {
-            for b in batches {
+            for (b, sel) in parts {
                 let Column::Int64(v) = &b.columns[col] else {
                     panic!("key column {col} changed type across batches");
                 };
-                for (r, &x) in v.iter().enumerate() {
-                    words[(base + r) * width + ci] = x as u64 ^ SIGN_FLIP;
+                for (i, r) in sel.iter(v.len()).enumerate() {
+                    words[(base + i) * width + ci] = norm_i64(v[r]);
                 }
-                base += v.len();
+                base += sel.count(v.len());
             }
             KeyEncoding::Int64
         }
         Some(Column::Float64(_)) => {
-            for b in batches {
+            for (b, sel) in parts {
                 let Column::Float64(v) = &b.columns[col] else {
                     panic!("key column {col} changed type across batches");
                 };
-                for (r, &x) in v.iter().enumerate() {
-                    words[(base + r) * width + ci] = total_order_bits(x);
+                for (i, r) in sel.iter(v.len()).enumerate() {
+                    words[(base + i) * width + ci] = total_order_bits(v[r]);
                 }
-                base += v.len();
+                base += sel.count(v.len());
             }
             KeyEncoding::Float64
         }
         Some(Column::Bool(_)) => {
-            for b in batches {
+            for (b, sel) in parts {
                 let Column::Bool(v) = &b.columns[col] else {
                     panic!("key column {col} changed type across batches");
                 };
-                for (r, &x) in v.iter().enumerate() {
-                    words[(base + r) * width + ci] = x as u64;
+                for (i, r) in sel.iter(v.len()).enumerate() {
+                    words[(base + i) * width + ci] = v[r] as u64;
                 }
-                base += v.len();
+                base += sel.count(v.len());
             }
             KeyEncoding::Bool
         }
         Some(Column::Utf8(_)) => {
-            // Sorted distinct dictionary over the whole run; rank order
-            // is string order, so ranks compare like the strings.
-            let mut refs: Vec<&str> = Vec::new();
-            for b in batches {
+            // Sorted distinct dictionary per batch column (cache-reusable),
+            // merged across the run. The merged dictionary may be a
+            // superset of the selected rows' values; rank *order* — the
+            // only observable — is unaffected.
+            let mut dicts: Vec<Rc<Vec<String>>> = Vec::with_capacity(parts.len());
+            for (b, _) in parts {
                 let Column::Utf8(v) = &b.columns[col] else {
                     panic!("key column {col} changed type across batches");
                 };
-                refs.extend(v.iter().map(String::as_str));
+                dicts.push(match cache {
+                    Some(c) => c.distinct(v),
+                    None => Rc::new(sorted_distinct(v)),
+                });
             }
-            let mut dict: Vec<&str> = refs.clone();
-            dict.sort_unstable();
-            dict.dedup();
-            for (r, s) in refs.iter().enumerate() {
-                let rank = dict.binary_search(s).expect("dictionary covers all rows");
-                words[(base + r) * width + ci] = rank as u64;
+            let dict: Rc<Vec<String>> = if dicts.len() == 1 {
+                Rc::clone(&dicts[0])
+            } else {
+                let mut merged: Vec<&str> = dicts
+                    .iter()
+                    .flat_map(|d| d.iter().map(String::as_str))
+                    .collect();
+                merged.sort_unstable();
+                merged.dedup();
+                Rc::new(merged.into_iter().map(str::to_string).collect())
+            };
+            for (b, sel) in parts {
+                let Column::Utf8(v) = &b.columns[col] else {
+                    unreachable!("checked above");
+                };
+                for (i, r) in sel.iter(v.len()).enumerate() {
+                    let rank = dict
+                        .binary_search(&v[r])
+                        .expect("dictionary covers all rows");
+                    words[(base + i) * width + ci] = rank as u64;
+                }
+                base += sel.count(v.len());
             }
-            KeyEncoding::Utf8(dict.into_iter().map(str::to_string).collect())
+            KeyEncoding::Utf8(dict)
         }
     }
 }
@@ -337,6 +659,12 @@ mod tests {
         // Cross-type probes never match (legacy ScalarKey semantics).
         let ints = Column::Int64(vec![0, 1]);
         assert_eq!(kb.encode_probe(0, &ints), vec![None, None]);
+        // Selection-restricted probes are parallel to the selection.
+        let sel = [2u32, 0u32];
+        assert_eq!(
+            kb.encode_probe_sel(0, &probe, SelSpec::Rows(&sel)),
+            vec![Some(0), Some(1)]
+        );
     }
 
     #[test]
@@ -344,5 +672,103 @@ mod tests {
         let kb = KeyBuffer::encode(&[], &[0, 1]);
         assert_eq!(kb.rows(), 0);
         assert!(kb.sort_indices().is_empty());
+    }
+
+    #[test]
+    fn selected_encode_matches_materialised_encode() {
+        let b = batch(vec![
+            (
+                "s",
+                Column::Utf8(vec![
+                    "d".into(),
+                    "a".into(),
+                    "c".into(),
+                    "b".into(),
+                    "a".into(),
+                ]),
+            ),
+            ("k", Column::Int64(vec![5, 1, 4, 2, 1])),
+            ("f", Column::Float64(vec![0.5, -0.0, f64::NAN, 2.0, -3.0])),
+        ]);
+        let sel = [1u32, 3, 4];
+        let kb =
+            KeyBuffer::encode_selected(&[(&b, SelSpec::Rows(&sel))], &[0, 1, 2], None, Vec::new());
+        // Materialised reference: take the same rows, encode fully.
+        let taken = b.take(&[1, 3, 4]);
+        let want = KeyBuffer::encode(&[&taken], &[0, 1, 2]);
+        assert_eq!(kb.rows(), want.rows());
+        assert_eq!(kb.sort_indices(), want.sort_indices());
+        for r in 0..kb.rows() {
+            for c in 0..3 {
+                assert_eq!(kb.value(r, c), want.value(r, c), "row {r} col {c}");
+            }
+        }
+        // Prefix selections behave like slices.
+        let kp = KeyBuffer::encode_selected(&[(&b, SelSpec::Prefix(2))], &[1], None, Vec::new());
+        assert_eq!(kp.rows(), 2);
+        assert_eq!(kp.value(0, 0), Value::Int64(5));
+        assert_eq!(kp.value(1, 0), Value::Int64(1));
+    }
+
+    #[test]
+    fn dict_cache_reuses_pinned_columns() {
+        let b = Rc::new(batch(vec![(
+            "s",
+            Column::Utf8(vec!["b".into(), "a".into(), "b".into()]),
+        )]));
+        let cache = DictCache::new();
+        cache.pin(&b);
+        let parts: Vec<(&Batch, SelSpec)> = vec![(&b, SelSpec::All)];
+        let k1 = KeyBuffer::encode_selected(&parts, &[0], Some(&cache), Vec::new());
+        let k2 = KeyBuffer::encode_selected(&parts, &[0], Some(&cache), Vec::new());
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(k1.value(0, 0), k2.value(0, 0));
+        // Unpinned columns are computed but never cached.
+        let other = batch(vec![("s", Column::Utf8(vec!["z".into()]))]);
+        let parts2: Vec<(&Batch, SelSpec)> = vec![(&other, SelSpec::All)];
+        let _ = KeyBuffer::encode_selected(&parts2, &[0], Some(&cache), Vec::new());
+        let _ = KeyBuffer::encode_selected(&parts2, &[0], Some(&cache), Vec::new());
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn batched_hash_matches_scalar_mirror() {
+        let ints = [i64::MIN, -1, 0, 1, 42, i64::MAX, 7, -9, 13];
+        let mut acc = vec![0u64; ints.len()];
+        fold_hash_i64(&mut acc, &ints);
+        for (h, &x) in acc.iter().zip(&ints) {
+            assert_eq!(*h, hash_key_i64(x));
+        }
+        let floats = [0.0, -0.0, f64::NAN, 1.5, -2.5];
+        let mut acc = vec![0u64; floats.len()];
+        fold_hash_f64(&mut acc, &floats);
+        for (h, &x) in acc.iter().zip(&floats) {
+            assert_eq!(*h, hash_key_f64_bits(total_order_bits(x)));
+        }
+        let bools = [true, false, true];
+        let mut acc = vec![0u64; bools.len()];
+        fold_hash_bool(&mut acc, &bools);
+        for (h, &b) in acc.iter().zip(&bools) {
+            assert_eq!(*h, hash_key_bool(b));
+        }
+        // Folding a second column matches the scalar h*31 + kh recurrence.
+        let mut acc = vec![0u64; ints.len()];
+        fold_hash_i64(&mut acc, &ints);
+        let before = acc.clone();
+        fold_hash_i64(&mut acc, &ints);
+        for ((h, prev), &x) in acc.iter().zip(&before).zip(&ints) {
+            assert_eq!(*h, prev.wrapping_mul(31).wrapping_add(hash_key_i64(x)));
+        }
+    }
+
+    #[test]
+    fn mix64_scrambles_and_is_stable() {
+        assert_eq!(mix64(0), 0);
+        // Single-bit inputs must diverge in the low bits (the partition
+        // bucket is `hash % n`).
+        assert_ne!(mix64(1) & 0xFFFF, mix64(2) & 0xFFFF);
+        assert_ne!(mix64(1) & 0xFFFF, mix64(1 << 63) & 0xFFFF);
     }
 }

@@ -18,4 +18,4 @@ pub mod tpch;
 pub mod tpcxbb;
 
 pub use columnar::{date, Batch, Column, DataType, Field, Schema, Value};
-pub use keys::{bits_to_f64, total_order_bits, KeyBuffer};
+pub use keys::{bits_to_f64, total_order_bits, DictCache, KeyBuffer, SelSpec};

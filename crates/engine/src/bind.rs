@@ -1,9 +1,9 @@
-//! One-time operator binding and the normalized-key executor.
+//! One-time operator binding and the selection-vector executor.
 //!
 //! The legacy chain in [`crate::operators`] re-resolves every column name
 //! via `Schema::index_of` linear search on every batch and funnels all
 //! key processing through per-row `Vec<ScalarKey>` allocations. This
-//! module runs the same operator chain two layers faster:
+//! module runs the same operator chain several layers faster:
 //!
 //! 1. **Binding pass** — [`bind`-time] resolution of every `Op`/`Expr`
 //!    column name to a column index against the pipeline's input
@@ -11,11 +11,23 @@
 //!    field *names* (projections rename, joins append build columns,
 //!    aggregates emit group + aggregate columns), so binding never
 //!    evaluates anything.
-//! 2. **Normalized-key kernels** — grouping, joining, and sorting run on
+//! 2. **Selection vectors end-to-end** — `Filter` refines a [`Sel`]
+//!    instead of materialising, and every consumer (aggregate, join
+//!    probe, sort, sessionise, limit, shuffle partition) accepts the
+//!    selection directly: keys are encoded, hashes folded, and
+//!    accumulators updated *under the sel*; rows are gathered at most
+//!    once, at final emission. `Project` evaluates on the full batch
+//!    (expressions are total and row-wise pure) and carries the
+//!    selection through untouched.
+//! 3. **Normalized-key kernels** — grouping, joining, and sorting run on
 //!    [`skyrise_data::KeyBuffer`]'s contiguous fixed-width encoding
-//!    (order-equal to the legacy `ScalarKey` order), and `Filter` tracks
-//!    a selection vector instead of materialising a new batch per
-//!    predicate; consumers gather once.
+//!    (order-equal to the legacy `ScalarKey` order), with typed
+//!    per-group accumulators instead of per-row `Value` boxing.
+//! 4. **Arena scratch + dictionary reuse** — transient buffers (sel
+//!    vectors, key words, gather tables) come from the per-invocation
+//!    [`crate::arena::Arena`]; string key columns are dictionary-encoded
+//!    once per invocation via [`skyrise_data::DictCache`] no matter how
+//!    many operators touch them.
 //!
 //! Every kernel reproduces the legacy path bit-for-bit: group output
 //! order equals the old `BTreeMap<Vec<ScalarKey>, _>` iteration order,
@@ -24,12 +36,15 @@
 //! available as the property-test oracle and as a benchmark baseline via
 //! [`set_legacy_kernels`].
 
+use crate::arena::{Arena, ArenaReport};
 use crate::error::EngineError;
 use crate::expr::{self, ArithOp, CmpOp, Expr, ExprError, NamedExpr, ScalarUdf, UdfRegistry};
-use crate::operators::{self, column_from_values, AggState, OpChainStats};
+use crate::operators::{self, column_from_values, OpChainStats};
 use crate::plan::{AggExpr, AggFunc, AggMode, Op};
+use skyrise_data::keys::{DictCache, SelSpec};
 use skyrise_data::{Batch, Column, Field, KeyBuffer, Schema, Value};
 use std::cell::Cell;
+use std::rc::Rc;
 
 thread_local! {
     static FORCE_LEGACY: Cell<bool> = const { Cell::new(false) };
@@ -143,6 +158,11 @@ fn bind_expr(e: &Expr, names: &[String], udfs: &UdfRegistry) -> Result<BoundExpr
 
 /// Evaluate a bound expression over a batch. Mirrors
 /// [`crate::expr::evaluate`] minus the per-batch name resolution.
+///
+/// Evaluation is total and row-wise pure (integer division promotes to
+/// float instead of trapping), so callers may evaluate over a full batch
+/// and consume the result under a selection vector: values at unselected
+/// rows are computed and discarded, never observed.
 fn evaluate_bound(e: &BoundExpr, batch: &Batch) -> Result<Column, ExprError> {
     let n = batch.num_rows();
     match e {
@@ -319,6 +339,22 @@ enum BoundOp {
     Barrier,
 }
 
+impl BoundOp {
+    /// Telemetry label — matches the worker's per-operator counters.
+    fn label(&self) -> &'static str {
+        match self {
+            BoundOp::Filter(_) => "filter",
+            BoundOp::Project(_) => "project",
+            BoundOp::HashAggregate { .. } => "hash-aggregate",
+            BoundOp::HashJoin { .. } => "hash-join",
+            BoundOp::Sort { .. } => "sort",
+            BoundOp::Limit(_) => "limit",
+            BoundOp::SessionizeQ3 { .. } => "sessionize",
+            BoundOp::Barrier => "barrier",
+        }
+    }
+}
+
 fn idx_of(names: &[String], name: &str, what: &str) -> Result<usize, EngineError> {
     names
         .iter()
@@ -468,30 +504,78 @@ fn bind_ops(
 // selection-vector stream
 // ---------------------------------------------------------------------------
 
-/// A batch plus an optional selection vector: `sel` lists the live row
-/// indices (in order). Filters refine `sel` without copying columns; the
-/// next materialising consumer gathers once.
-struct SelBatch {
-    batch: Batch,
-    sel: Option<Vec<usize>>,
+/// Which rows of a batch are live, in order.
+#[derive(Debug, Clone)]
+pub enum Sel {
+    /// Every row.
+    All,
+    /// The first `n` rows (produced by `Limit` over unfiltered batches).
+    Prefix(usize),
+    /// Exactly these row indices, in order.
+    Rows(Vec<u32>),
+}
+
+/// A shared batch plus a selection vector: filters refine [`Sel`] without
+/// copying columns; consumers probe/accumulate under the selection and
+/// gather at most once, at final emission. The batch is an `Rc` so a
+/// selection can ride through `Limit`/`Barrier`/shuffle without cloning
+/// column data.
+#[derive(Debug, Clone)]
+pub struct SelBatch {
+    pub(crate) batch: Rc<Batch>,
+    pub(crate) sel: Sel,
 }
 
 impl SelBatch {
-    fn wrap(batch: Batch) -> SelBatch {
-        SelBatch { batch, sel: None }
-    }
-
-    fn rows(&self) -> usize {
-        match &self.sel {
-            Some(s) => s.len(),
-            None => self.batch.num_rows(),
+    /// Wrap a fully-live batch.
+    pub fn wrap(batch: Batch) -> SelBatch {
+        SelBatch {
+            batch: Rc::new(batch),
+            sel: Sel::All,
         }
     }
 
-    fn materialise(self) -> Batch {
+    /// The underlying (unselected) batch.
+    pub fn batch(&self) -> &Batch {
+        &self.batch
+    }
+
+    /// Live row count.
+    pub fn rows(&self) -> usize {
+        match &self.sel {
+            Sel::All => self.batch.num_rows(),
+            Sel::Prefix(n) => (*n).min(self.batch.num_rows()),
+            Sel::Rows(s) => s.len(),
+        }
+    }
+
+    /// The selection as the encoder's borrowed view.
+    fn spec(&self) -> SelSpec<'_> {
+        match &self.sel {
+            Sel::All => SelSpec::All,
+            Sel::Prefix(n) => SelSpec::Prefix(*n),
+            Sel::Rows(s) => SelSpec::Rows(s),
+        }
+    }
+
+    /// Gather the live rows into a standalone batch. Trivial selections
+    /// (full range, full prefix, identity row list) return the batch
+    /// unchanged — no copy when this holds the only reference.
+    pub fn materialise(self) -> Batch {
+        let n = self.batch.num_rows();
+        let whole = |rc: Rc<Batch>| Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone());
         match self.sel {
-            Some(s) => self.batch.take(&s),
-            None => self.batch,
+            Sel::All => whole(self.batch),
+            Sel::Prefix(k) if k >= n => whole(self.batch),
+            Sel::Prefix(k) => self.batch.slice(0, k),
+            Sel::Rows(r) => {
+                let identity = r.len() == n && r.iter().enumerate().all(|(i, &x)| x as usize == i);
+                if identity {
+                    whole(self.batch)
+                } else {
+                    self.batch.take_u32(&r)
+                }
+            }
         }
     }
 }
@@ -504,18 +588,28 @@ fn materialise_all(stream: Vec<SelBatch>) -> Vec<Batch> {
 // the bound executor
 // ---------------------------------------------------------------------------
 
+/// Per-invocation execution context: scratch arena + dictionary cache.
+struct Ctx {
+    arena: Arena,
+    cache: DictCache,
+}
+
 /// Run an operator chain over materialised inputs via the binding pass
-/// and the normalized-key kernels. Produces bit-identical output to
-/// [`crate::operators::execute_ops`], which remains the oracle; falls
-/// back to it when the legacy mode is forced ([`set_legacy_kernels`]) or
-/// when an input stream carries no batches (no schema to bind against).
-pub fn execute_chain(
+/// and the normalized-key kernels, returning the output stream *with its
+/// selection vectors intact* so the caller (the worker's shuffle writer)
+/// can keep operating under the sel. Produces output bit-identical to
+/// [`crate::operators::execute_ops`] once materialised; falls back to it
+/// when the legacy mode is forced ([`set_legacy_kernels`]) or when an
+/// input stream carries no batches (no schema to bind against).
+pub fn execute_chain_sel(
     ops: &[Op],
     inputs: &[Vec<Batch>],
     udfs: &UdfRegistry,
-) -> Result<(Vec<Batch>, OpChainStats), EngineError> {
+) -> Result<(Vec<SelBatch>, OpChainStats, ArenaReport), EngineError> {
     if legacy_kernels() || inputs.is_empty() || inputs.iter().any(Vec::is_empty) {
-        return operators::execute_ops(ops, inputs, udfs);
+        let (out, stats) = operators::execute_ops(ops, inputs, udfs)?;
+        let stream = out.into_iter().map(SelBatch::wrap).collect();
+        return Ok((stream, stats, ArenaReport::default()));
     }
     let input_names: Vec<Vec<String>> = inputs
         .iter()
@@ -529,23 +623,47 @@ pub fn execute_chain(
         })
         .collect();
     let bound = bind_ops(ops, &input_names, udfs)?;
+    let ctx = Ctx {
+        arena: Arena::current(),
+        cache: DictCache::new(),
+    };
+    ctx.arena.reset();
     let mut stream: Vec<SelBatch> = inputs[0].iter().cloned().map(SelBatch::wrap).collect();
     let rows_in = stream.iter().map(|b| b.rows() as u64).sum();
+    let mut per_op: Vec<(&'static str, u64)> = Vec::with_capacity(bound.len());
     for op in &bound {
-        stream = apply_bound(op, stream, inputs)?;
+        let before = ctx.arena.bytes_allocated();
+        stream = apply_bound(op, stream, inputs, &ctx)?;
+        per_op.push((op.label(), ctx.arena.bytes_allocated() - before));
     }
-    let out = materialise_all(stream);
     let stats = OpChainStats {
         rows_in,
-        rows_out: out.iter().map(|b| b.num_rows() as u64).sum(),
+        rows_out: stream.iter().map(|b| b.rows() as u64).sum(),
     };
-    Ok((out, stats))
+    let report = ArenaReport {
+        bytes_allocated: ctx.arena.bytes_allocated(),
+        resets: 1,
+        per_op,
+    };
+    Ok((stream, stats, report))
+}
+
+/// [`execute_chain_sel`] with the output gathered into plain batches —
+/// the compatibility surface for benchmarks and tests.
+pub fn execute_chain(
+    ops: &[Op],
+    inputs: &[Vec<Batch>],
+    udfs: &UdfRegistry,
+) -> Result<(Vec<Batch>, OpChainStats), EngineError> {
+    let (stream, stats, _report) = execute_chain_sel(ops, inputs, udfs)?;
+    Ok((materialise_all(stream), stats))
 }
 
 fn apply_bound(
     op: &BoundOp,
     stream: Vec<SelBatch>,
     inputs: &[Vec<Batch>],
+    ctx: &Ctx,
 ) -> Result<Vec<SelBatch>, EngineError> {
     match op {
         BoundOp::Filter(pred) => stream
@@ -553,29 +671,52 @@ fn apply_bound(
             .map(|sb| {
                 let mask_col = evaluate_bound(pred, &sb.batch)?;
                 let mask = expr::expect_bool(&mask_col)?;
-                let keep: Vec<usize> = match &sb.sel {
-                    None => (0..sb.batch.num_rows()).filter(|&i| mask[i]).collect(),
-                    Some(s) => s.iter().copied().filter(|&i| mask[i]).collect(),
+                let SelBatch { batch, sel } = sb;
+                let n = batch.num_rows();
+                let total = match &sel {
+                    Sel::All => n,
+                    Sel::Prefix(k) => (*k).min(n),
+                    Sel::Rows(r) => r.len(),
                 };
-                Ok(SelBatch {
-                    batch: sb.batch,
-                    sel: Some(keep),
-                })
+                let mut keep = ctx.arena.u32s(total);
+                match &sel {
+                    Sel::All => keep.extend((0..n as u32).filter(|&i| mask[i as usize])),
+                    Sel::Prefix(k) => {
+                        keep.extend((0..(*k).min(n) as u32).filter(|&i| mask[i as usize]))
+                    }
+                    Sel::Rows(r) => keep.extend(r.iter().copied().filter(|&i| mask[i as usize])),
+                }
+                let sel = if keep.len() == total {
+                    // Nothing filtered out: the old selection still holds.
+                    ctx.arena.recycle_u32(keep);
+                    sel
+                } else {
+                    if let Sel::Rows(old) = sel {
+                        ctx.arena.recycle_u32(old);
+                    }
+                    Sel::Rows(keep)
+                };
+                Ok(SelBatch { batch, sel })
             })
             .collect::<Result<_, ExprError>>()
             .map_err(EngineError::from),
         BoundOp::Project(exprs) => stream
             .into_iter()
             .map(|sb| {
-                let b = sb.materialise();
+                // Evaluate over the full batch (total, row-wise pure) and
+                // carry the selection through — no gather, no copy beyond
+                // the projected columns themselves.
                 let mut fields = Vec::with_capacity(exprs.len());
                 let mut columns = Vec::with_capacity(exprs.len());
                 for (name, e) in exprs {
-                    let col = evaluate_bound(e, &b)?;
+                    let col = evaluate_bound(e, &sb.batch)?;
                     fields.push(Field::new(name, col.data_type()));
                     columns.push(col);
                 }
-                Ok(SelBatch::wrap(Batch::new(Schema::new(fields), columns)))
+                Ok(SelBatch {
+                    batch: Rc::new(Batch::new(Schema::new(fields), columns)),
+                    sel: sb.sel,
+                })
             })
             .collect::<Result<_, ExprError>>()
             .map_err(EngineError::from),
@@ -584,26 +725,18 @@ fn apply_bound(
             group_names,
             aggs,
             mode,
-        } => {
-            let batches = materialise_all(stream);
-            hash_aggregate(&batches, group_idx, group_names, aggs, *mode)
-                .map(|b| vec![SelBatch::wrap(b)])
-        }
+        } => hash_aggregate(&stream, group_idx, group_names, aggs, *mode, ctx)
+            .map(|b| vec![SelBatch::wrap(b)]),
         BoundOp::HashJoin {
             build_input,
             build_key,
             probe_key,
             build_cols,
         } => {
-            let probe = materialise_all(stream);
             let build = &inputs[*build_input];
-            hash_join(&probe, build, *build_key, *probe_key, build_cols)
-                .map(|bs| bs.into_iter().map(SelBatch::wrap).collect())
+            hash_join(&stream, build, *build_key, *probe_key, build_cols, ctx)
         }
-        BoundOp::Sort { by } => {
-            let batches = materialise_all(stream);
-            sort(&batches, by).map(|b| vec![SelBatch::wrap(b)])
-        }
+        BoundOp::Sort { by } => sort(&stream, by, ctx).map(|b| vec![SelBatch::wrap(b)]),
         BoundOp::Limit(n) => Ok(limit(stream, *n)),
         BoundOp::SessionizeQ3 {
             category_input,
@@ -611,35 +744,43 @@ fn apply_bound(
             cols,
             window,
         } => {
-            let clicks = materialise_all(stream);
             let items = &inputs[*category_input];
-            sessionize_q3(&clicks, items, *category_col, cols, *window)
+            sessionize_q3(&stream, items, *category_col, cols, *window, ctx)
                 .map(|b| vec![SelBatch::wrap(b)])
         }
         BoundOp::Barrier => Ok(stream),
     }
 }
 
-/// Prefix-limit on selection vectors: slices full batches, truncates
-/// selections — no gather unless a filter already created one.
+/// Prefix-limit directly on selection vectors: truncates selections and
+/// converts full batches to `Prefix` selections — never slices or clones
+/// column data.
 fn limit(stream: Vec<SelBatch>, n: usize) -> Vec<SelBatch> {
     let mut remaining = n;
     let mut out = Vec::new();
     for sb in stream {
         if remaining == 0 {
             if out.is_empty() {
-                out.push(SelBatch::wrap(sb.batch.slice(0, 0)));
+                out.push(SelBatch {
+                    batch: sb.batch,
+                    sel: Sel::Prefix(0),
+                });
             }
             break;
         }
         let take = sb.rows().min(remaining);
         remaining -= take;
-        out.push(match sb.sel {
-            None => SelBatch::wrap(sb.batch.slice(0, take)),
-            Some(s) => SelBatch {
-                batch: sb.batch,
-                sel: Some(s[..take].to_vec()),
-            },
+        let sel = match sb.sel {
+            Sel::All if take == sb.batch.num_rows() => Sel::All,
+            Sel::All | Sel::Prefix(_) => Sel::Prefix(take),
+            Sel::Rows(mut r) => {
+                r.truncate(take);
+                Sel::Rows(r)
+            }
+        };
+        out.push(SelBatch {
+            batch: sb.batch,
+            sel,
         });
     }
     out
@@ -649,21 +790,24 @@ fn limit(stream: Vec<SelBatch>, n: usize) -> Vec<SelBatch> {
 // normalized-key kernels
 // ---------------------------------------------------------------------------
 
-/// Grouping of all rows of a batch run by normalized composite key.
+/// Grouping of all live rows of a batch run by normalized composite key.
 struct Grouping {
     keys: KeyBuffer,
-    /// Flat row index (across non-empty batches) → group id. Group ids
-    /// are assigned in normalized-key order, which equals the legacy
-    /// `BTreeMap<Vec<ScalarKey>, _>` iteration order.
+    /// Flat live-row index (across non-empty parts, in stream order) →
+    /// group id. Group ids are assigned in normalized-key order, which
+    /// equals the legacy `BTreeMap<Vec<ScalarKey>, _>` iteration order.
     group_of: Vec<u32>,
     /// Group id → one flat row holding that key.
     rep: Vec<u32>,
 }
 
-fn group_rows(batches: &[&Batch], cols: &[usize]) -> Grouping {
-    let keys = KeyBuffer::encode(batches, cols);
+fn group_rows(parts: &[(&Batch, SelSpec)], cols: &[usize], ctx: &Ctx) -> Grouping {
+    let total: usize = parts.iter().map(|(b, s)| s.count(b.num_rows())).sum();
+    let words = ctx.arena.u64s(total * cols.len());
+    let keys = KeyBuffer::encode_selected(parts, cols, Some(&ctx.cache), words);
     let order = keys.sort_indices();
-    let mut group_of = vec![0u32; keys.rows()];
+    let mut group_of = ctx.arena.u32s(keys.rows());
+    group_of.resize(keys.rows(), 0);
     let mut rep: Vec<u32> = Vec::new();
     let mut i = 0usize;
     while i < order.len() {
@@ -682,40 +826,125 @@ fn group_rows(batches: &[&Batch], cols: &[usize]) -> Grouping {
     }
 }
 
+/// Typed per-group accumulators: column-direct updates, no per-row
+/// `Value` boxing. `Min`/`Max` keep scalar state but only clone a value
+/// when it actually replaces the current extremum (matching the legacy
+/// `merge_minmax` semantics exactly).
+enum Acc {
+    Sum(Vec<f64>),
+    Count(Vec<i64>),
+    Avg { sums: Vec<f64>, counts: Vec<i64> },
+    Min(Vec<Option<Value>>),
+    Max(Vec<Option<Value>>),
+}
+
+impl Acc {
+    fn new(func: AggFunc, n_groups: usize) -> Acc {
+        match func {
+            AggFunc::Sum => Acc::Sum(vec![0.0; n_groups]),
+            AggFunc::Count => Acc::Count(vec![0; n_groups]),
+            AggFunc::Avg => Acc::Avg {
+                sums: vec![0.0; n_groups],
+                counts: vec![0; n_groups],
+            },
+            AggFunc::Min => Acc::Min(vec![None; n_groups]),
+            AggFunc::Max => Acc::Max(vec![None; n_groups]),
+        }
+    }
+}
+
+/// `Value::as_f64` of `col[row]`, without constructing the `Value`.
+#[inline]
+fn col_f64_at(col: &Column, row: usize) -> f64 {
+    match col {
+        Column::Int64(v) => v[row] as f64,
+        Column::Float64(v) => v[row],
+        Column::Bool(v) => v[row] as i64 as f64,
+        Column::Utf8(_) => f64::NAN,
+    }
+}
+
+/// Min/max update mirroring `operators::merge_minmax`: same-type int and
+/// string keys compare natively, everything else through `as_f64` with
+/// ties keeping the incumbent. Clones only on replacement.
+fn minmax_update(slot: &mut Option<Value>, col: &Column, row: usize, is_max: bool) {
+    use std::cmp::Ordering;
+    let ord = match (&*slot, col) {
+        (None, _) => Some(Ordering::Greater),
+        (Some(Value::Int64(a)), Column::Int64(v)) => Some(v[row].cmp(a)),
+        (Some(Value::Utf8(a)), Column::Utf8(v)) => Some(v[row].as_str().cmp(a.as_str())),
+        (Some(cur), _) => Some(
+            col_f64_at(col, row)
+                .partial_cmp(&cur.as_f64())
+                .unwrap_or(Ordering::Equal),
+        ),
+    };
+    let replace = match (slot.is_none(), ord) {
+        (true, _) => true,
+        (false, Some(Ordering::Greater)) => is_max,
+        (false, Some(Ordering::Less)) => !is_max,
+        _ => false,
+    };
+    if replace {
+        *slot = Some(col.value(row));
+    }
+}
+
 fn hash_aggregate(
-    stream: &[Batch],
+    stream: &[SelBatch],
     group_idx: &[usize],
     group_names: &[String],
     aggs: &[BoundAgg],
     mode: AggMode,
+    ctx: &Ctx,
 ) -> Result<Batch, EngineError> {
-    let nonempty: Vec<&Batch> = stream.iter().filter(|b| b.num_rows() > 0).collect();
-    let grouping = group_rows(&nonempty, group_idx);
-    let n_groups = grouping.rep.len();
-    let mut states: Vec<Vec<AggState>> = (0..n_groups)
-        .map(|_| aggs.iter().map(|a| AggState::new(a.func)).collect())
+    let live: Vec<&SelBatch> = stream.iter().filter(|sb| sb.rows() > 0).collect();
+    for sb in &live {
+        ctx.cache.pin(&sb.batch);
+    }
+    let parts: Vec<(&Batch, SelSpec)> = live
+        .iter()
+        .map(|sb| (sb.batch.as_ref(), sb.spec()))
         .collect();
+    let grouping = group_rows(&parts, group_idx, ctx);
+    let n_groups = grouping.rep.len();
+    let mut accs: Vec<Acc> = aggs.iter().map(|a| Acc::new(a.func, n_groups)).collect();
 
-    // Accumulate in original stream-row order: each group's updates hit
-    // in the same order as the legacy path, so float sums agree exactly.
+    // Accumulate in live stream-row order: each group's updates hit in
+    // the same order as the legacy path, so float sums agree exactly.
     let mut flat = 0usize;
-    for batch in &nonempty {
+    for sb in &live {
+        let batch = sb.batch.as_ref();
+        let n = batch.num_rows();
         match mode {
             AggMode::Partial | AggMode::Single => {
-                let args: Vec<Column> = aggs
+                // Arguments are evaluated over the full batch and read
+                // under the selection (totality makes this safe); Count
+                // needs no argument at all.
+                let args: Vec<Option<Column>> = aggs
                     .iter()
                     .map(|a| match &a.kind {
-                        BoundAggKind::Eval(None) => Ok(Column::Int64(vec![1; batch.num_rows()])),
-                        BoundAggKind::Eval(Some(e)) => {
-                            evaluate_bound(e, batch).map_err(EngineError::from)
-                        }
+                        BoundAggKind::Eval(None) => Ok(None),
+                        BoundAggKind::Eval(Some(e)) => evaluate_bound(e, batch)
+                            .map(Some)
+                            .map_err(EngineError::from),
                         BoundAggKind::Merge { .. } => unreachable!("bound for Final mode"),
                     })
                     .collect::<Result<_, _>>()?;
-                for row in 0..batch.num_rows() {
-                    let st = &mut states[grouping.group_of[flat] as usize];
-                    for (s, col) in st.iter_mut().zip(&args) {
-                        s.update(&col.value(row));
+                for row in sb.spec().iter(n) {
+                    let g = grouping.group_of[flat] as usize;
+                    for (acc, arg) in accs.iter_mut().zip(&args) {
+                        match (acc, arg) {
+                            (Acc::Count(c), _) => c[g] += 1,
+                            (Acc::Sum(s), Some(col)) => s[g] += col_f64_at(col, row),
+                            (Acc::Avg { sums, counts }, Some(col)) => {
+                                sums[g] += col_f64_at(col, row);
+                                counts[g] += 1;
+                            }
+                            (Acc::Min(m), Some(col)) => minmax_update(&mut m[g], col, row, false),
+                            (Acc::Max(m), Some(col)) => minmax_update(&mut m[g], col, row, true),
+                            _ => unreachable!("non-Count aggregate without argument"),
+                        }
                     }
                     flat += 1;
                 }
@@ -731,13 +960,21 @@ fn hash_aggregate(
                         BoundAggKind::Eval(_) => unreachable!("bound for Partial/Single mode"),
                     })
                     .collect();
-                for row in 0..batch.num_rows() {
-                    let st = &mut states[grouping.group_of[flat] as usize];
-                    for (s, (primary, secondary)) in st.iter_mut().zip(&cols) {
-                        s.merge(
-                            &primary.value(row),
-                            secondary.map(|c| c.value(row)).as_ref(),
-                        );
+                for row in sb.spec().iter(n) {
+                    let g = grouping.group_of[flat] as usize;
+                    for (acc, (primary, secondary)) in accs.iter_mut().zip(&cols) {
+                        match acc {
+                            Acc::Sum(s) => s[g] += col_f64_at(primary, row),
+                            Acc::Count(c) => c[g] += col_f64_at(primary, row) as i64,
+                            Acc::Avg { sums, counts } => {
+                                sums[g] += col_f64_at(primary, row);
+                                counts[g] +=
+                                    col_f64_at(secondary.expect("Avg partial needs __cnt"), row)
+                                        as i64;
+                            }
+                            Acc::Min(m) => minmax_update(&mut m[g], primary, row, false),
+                            Acc::Max(m) => minmax_update(&mut m[g], primary, row, true),
+                        }
                     }
                     flat += 1;
                 }
@@ -761,18 +998,9 @@ fn hash_aggregate(
     }
 
     let emit_final = !matches!(mode, AggMode::Partial);
-    for (ai, agg) in aggs.iter().enumerate() {
-        match (agg.func, emit_final) {
-            (AggFunc::Avg, false) => {
-                let mut sums = Vec::with_capacity(n_groups);
-                let mut counts = Vec::with_capacity(n_groups);
-                for st in &states {
-                    let AggState::Avg { sum, count } = &st[ai] else {
-                        unreachable!()
-                    };
-                    sums.push(*sum);
-                    counts.push(*count);
-                }
+    for (agg, acc) in aggs.iter().zip(accs) {
+        match (acc, emit_final) {
+            (Acc::Avg { sums, counts }, false) => {
                 fields.push(Field::new(
                     &format!("{}__sum", agg.name),
                     skyrise_data::DataType::Float64,
@@ -784,22 +1012,35 @@ fn hash_aggregate(
                 ));
                 columns.push(Column::Int64(counts));
             }
-            _ => {
-                let mut vals: Vec<Value> = Vec::with_capacity(n_groups);
-                for st in &states {
-                    vals.push(match &st[ai] {
-                        AggState::Sum(s) => Value::Float64(*s),
-                        AggState::Count(c) => Value::Int64(*c),
-                        AggState::Avg { sum, count } => Value::Float64(if *count == 0 {
-                            0.0
-                        } else {
-                            sum / *count as f64
-                        }),
-                        AggState::Min(m) | AggState::Max(m) => {
-                            m.clone().unwrap_or(Value::Float64(f64::NAN))
-                        }
-                    });
-                }
+            (Acc::Avg { sums, counts }, true) => {
+                let avgs: Vec<f64> = sums
+                    .iter()
+                    .zip(&counts)
+                    .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+                    .collect();
+                fields.push(Field::new(&agg.name, skyrise_data::DataType::Float64));
+                columns.push(Column::Float64(avgs));
+            }
+            (Acc::Sum(s), _) => {
+                fields.push(Field::new(&agg.name, skyrise_data::DataType::Float64));
+                columns.push(Column::Float64(s));
+            }
+            (Acc::Count(c), _) => {
+                // The legacy emission funnels through `column_from_values`,
+                // whose zero-row case types as Float64 — replicate.
+                let col = if c.is_empty() {
+                    Column::Float64(Vec::new())
+                } else {
+                    Column::Int64(c)
+                };
+                fields.push(Field::new(&agg.name, col.data_type()));
+                columns.push(col);
+            }
+            (Acc::Min(m), _) | (Acc::Max(m), _) => {
+                let vals: Vec<Value> = m
+                    .into_iter()
+                    .map(|v| v.unwrap_or(Value::Float64(f64::NAN)))
+                    .collect();
                 let col = column_from_values(&vals);
                 fields.push(Field::new(&agg.name, col.data_type()));
                 columns.push(col);
@@ -819,16 +1060,20 @@ fn hash_aggregate(
         }
     }
 
+    let Grouping { keys, group_of, .. } = grouping;
+    ctx.arena.recycle_u64(keys.into_words());
+    ctx.arena.recycle_u32(group_of);
     Ok(Batch::new(Schema::new(fields), columns))
 }
 
 fn hash_join(
-    probe: &[Batch],
+    probe: &[SelBatch],
     build: &[Batch],
     build_key: usize,
     probe_key: usize,
     build_cols: &[usize],
-) -> Result<Vec<Batch>, EngineError> {
+    ctx: &Ctx,
+) -> Result<Vec<SelBatch>, EngineError> {
     if build.is_empty() || probe.is_empty() {
         return Err(EngineError::Plan(
             "hash join requires materialised build and probe inputs".into(),
@@ -839,50 +1084,73 @@ fn hash_join(
     // build-row order, matching the legacy table's insertion order.
     let kb = KeyBuffer::encode(&[&build_all], &[build_key]);
     let order = kb.sort_indices();
-    let sorted: Vec<u64> = order.iter().map(|&r| kb.word(r as usize, 0)).collect();
+    let mut sorted = ctx.arena.u64s(order.len());
+    sorted.extend(order.iter().map(|&r| kb.word(r as usize, 0)));
     let build_col_refs: Vec<(&Field, &Column)> = build_cols
         .iter()
         .map(|&i| (&build_all.schema.fields[i], &build_all.columns[i]))
         .collect();
 
     let mut out = Vec::new();
-    for pb in probe {
-        // Probe without allocation: encode the probe column against the
-        // build dictionary, then binary-search the sorted key run.
-        let enc = kb.encode_probe(0, &pb.columns[probe_key]);
-        let mut probe_idx = Vec::new();
-        let mut build_idx = Vec::new();
-        for (prow, e) in enc.iter().enumerate() {
+    for sb in probe {
+        // Probe directly under the selection: encode only the live rows
+        // against the build dictionary, binary-search the sorted key run,
+        // and gather once at emission.
+        let pb = sb.batch.as_ref();
+        let n = pb.num_rows();
+        let enc = kb.encode_probe_sel(0, &pb.columns[probe_key], sb.spec());
+        let mut probe_idx = ctx.arena.u32s(enc.len());
+        let mut build_idx = ctx.arena.u32s(enc.len());
+        for (prow, e) in sb.spec().iter(n).zip(&enc) {
             let Some(k) = e else { continue };
             let mut j = sorted.partition_point(|&x| x < *k);
             while j < sorted.len() && sorted[j] == *k {
-                probe_idx.push(prow);
-                build_idx.push(order[j] as usize);
+                probe_idx.push(prow as u32);
+                build_idx.push(order[j]);
                 j += 1;
             }
         }
         let mut fields: Vec<Field> = pb.schema.fields.clone();
-        let mut columns: Vec<Column> = pb.take(&probe_idx).columns;
+        let mut columns: Vec<Column> = pb.take_u32(&probe_idx).columns;
         for (f, c) in &build_col_refs {
             fields.push((*f).clone());
-            columns.push(c.take(&build_idx));
+            columns.push(c.take_u32(&build_idx));
         }
-        out.push(Batch::new(Schema::new(fields), columns));
+        ctx.arena.recycle_u32(probe_idx);
+        ctx.arena.recycle_u32(build_idx);
+        out.push(SelBatch::wrap(Batch::new(Schema::new(fields), columns)));
     }
+    ctx.arena.recycle_u64(sorted);
     Ok(out)
 }
 
-fn sort(stream: &[Batch], by: &[(usize, bool)]) -> Result<Batch, EngineError> {
+fn sort(stream: &[SelBatch], by: &[(usize, bool)], ctx: &Ctx) -> Result<Batch, EngineError> {
     if stream.is_empty() {
         return Err(EngineError::Plan("sort over no batches".into()));
     }
-    let all = Batch::concat(stream);
+    for sb in stream {
+        ctx.cache.pin(&sb.batch);
+    }
+    let parts: Vec<(&Batch, SelSpec)> = stream
+        .iter()
+        .map(|sb| (sb.batch.as_ref(), sb.spec()))
+        .collect();
     let cols: Vec<usize> = by.iter().map(|(i, _)| *i).collect();
-    let kb = KeyBuffer::encode(&[&all], &cols);
-    let mut idx: Vec<usize> = (0..all.num_rows()).collect();
+    let total: usize = parts.iter().map(|(b, s)| s.count(b.num_rows())).sum();
+    let words = ctx.arena.u64s(total * cols.len());
+    let kb = KeyBuffer::encode_selected(&parts, &cols, Some(&ctx.cache), words);
+    // Location table in live stream order (== legacy concat order), then
+    // a stable sort of positions, then one gather straight from the
+    // original batches — the concat itself never happens.
+    let mut locs = ctx.arena.locs(total);
+    for (pi, (b, s)) in parts.iter().enumerate() {
+        locs.extend(s.iter(b.num_rows()).map(|r| (pi as u32, r as u32)));
+    }
+    let mut idx = ctx.arena.u32s(total);
+    idx.extend(0..total as u32);
     idx.sort_by(|&a, &b| {
         for (c, (_, asc)) in by.iter().enumerate() {
-            let ord = kb.word(a, c).cmp(&kb.word(b, c));
+            let ord = kb.word(a as usize, c).cmp(&kb.word(b as usize, c));
             let ord = if *asc { ord } else { ord.reverse() };
             if ord != std::cmp::Ordering::Equal {
                 return ord;
@@ -890,15 +1158,24 @@ fn sort(stream: &[Batch], by: &[(usize, bool)]) -> Result<Batch, EngineError> {
         }
         std::cmp::Ordering::Equal
     });
-    Ok(all.take(&idx))
+    let mut out_locs = ctx.arena.locs(total);
+    out_locs.extend(idx.iter().map(|&i| locs[i as usize]));
+    let batches: Vec<&Batch> = stream.iter().map(|sb| sb.batch.as_ref()).collect();
+    let out = Batch::gather(&batches, &out_locs);
+    ctx.arena.recycle_u64(kb.into_words());
+    ctx.arena.recycle_locs(locs);
+    ctx.arena.recycle_locs(out_locs);
+    ctx.arena.recycle_u32(idx);
+    Ok(out)
 }
 
 fn sessionize_q3(
-    clicks: &[Batch],
+    clicks: &[SelBatch],
     items: &[Batch],
     category_col: usize,
     cols: &SessionCols,
     window: usize,
+    ctx: &Ctx,
 ) -> Result<Batch, EngineError> {
     use skyrise_data::DataType;
     // Category membership as a sorted vector + binary search (same
@@ -921,34 +1198,59 @@ fn sessionize_q3(
             vec![Column::Int64(vec![]), Column::Int64(vec![])],
         ));
     }
-    let all = Batch::concat(clicks);
-    let users = all.columns[cols.users].as_i64();
-    let dates = all.columns[cols.dates].as_i64();
-    let times = all.columns[cols.times].as_i64();
-    let item_sk = all.columns[cols.items].as_i64();
-    let sales = all.columns[cols.sales].as_i64();
+    // Gather the five click columns under the selection into arena
+    // scratch — the only per-row copy this operator makes.
+    let total: usize = clicks.iter().map(SelBatch::rows).sum();
+    let mut users = ctx.arena.i64s(total);
+    let mut dates = ctx.arena.i64s(total);
+    let mut times = ctx.arena.i64s(total);
+    let mut item_sk = ctx.arena.i64s(total);
+    let mut sales = ctx.arena.i64s(total);
+    for sb in clicks {
+        let b = sb.batch.as_ref();
+        let n = b.num_rows();
+        let (u, d, t, i, s) = (
+            b.columns[cols.users].as_i64(),
+            b.columns[cols.dates].as_i64(),
+            b.columns[cols.times].as_i64(),
+            b.columns[cols.items].as_i64(),
+            b.columns[cols.sales].as_i64(),
+        );
+        for r in sb.spec().iter(n) {
+            users.push(u[r]);
+            dates.push(d[r]);
+            times.push(t[r]);
+            item_sk.push(i[r]);
+            sales.push(s[r]);
+        }
+    }
 
     // Order clicks per user by (date, time).
-    let mut idx: Vec<usize> = (0..all.num_rows()).collect();
-    idx.sort_by_key(|&i| (users[i], dates[i], times[i]));
+    let mut idx = ctx.arena.u32s(total);
+    idx.extend(0..total as u32);
+    idx.sort_by_key(|&i| {
+        let i = i as usize;
+        (users[i], dates[i], times[i])
+    });
 
     let mut views: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
     let mut start = 0usize;
     while start < idx.len() {
-        let user = users[idx[start]];
+        let user = users[idx[start] as usize];
         let mut end = start;
-        while end < idx.len() && users[idx[end]] == user {
+        while end < idx.len() && users[idx[end] as usize] == user {
             end += 1;
         }
         let session = &idx[start..end];
         for (pos, &click) in session.iter().enumerate() {
+            let click = click as usize;
             let is_purchase = sales[click] != 0 && in_category(item_sk[click]);
             if !is_purchase {
                 continue;
             }
             let from = pos.saturating_sub(window);
             for &prior in &session[from..pos] {
-                let viewed = item_sk[prior];
+                let viewed = item_sk[prior as usize];
                 if in_category(viewed) {
                     *views.entry(viewed).or_insert(0) += 1;
                 }
@@ -957,13 +1259,60 @@ fn sessionize_q3(
         start = end;
     }
 
-    Ok(Batch::new(
+    let out = Batch::new(
         out_schema,
         vec![
             Column::Int64(views.keys().copied().collect()),
             Column::Int64(views.values().copied().collect()),
         ],
-    ))
+    );
+    ctx.arena.recycle_u32(idx);
+    for v in [users, dates, times, item_sk, sales] {
+        ctx.arena.recycle_i64(v);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// shuffle partitioning under selections
+// ---------------------------------------------------------------------------
+
+/// Hash-partition a chain's output stream into `n` buckets without
+/// materialising it first: hashes fold batched over each batch's key
+/// columns, live rows route to per-bucket location tables, and each
+/// bucket gathers straight from the original batches. Row order within a
+/// bucket equals the legacy concat-then-`partition_batch` order.
+pub fn partition_sel(
+    output: Vec<SelBatch>,
+    partition_by: &[String],
+    n: usize,
+) -> Result<Vec<Batch>, EngineError> {
+    assert!(n > 0);
+    let Some(first) = output.first() else {
+        return Err(EngineError::Plan("partition over no batches".into()));
+    };
+    let schema = Rc::clone(&first.batch.schema);
+    if partition_by.is_empty() {
+        // Everything to bucket 0 (single downstream).
+        let batches = materialise_all(output);
+        let merged = Batch::concat(&batches);
+        let mut out = vec![Batch::empty(schema); n];
+        out[0] = merged;
+        return Ok(out);
+    }
+    let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+    for (pi, sb) in output.iter().enumerate() {
+        let hashes = operators::partition_hashes(&sb.batch, partition_by)?;
+        for r in sb.spec().iter(sb.batch.num_rows()) {
+            let b = (hashes[r] % n as u64) as usize;
+            buckets[b].push((pi as u32, r as u32));
+        }
+    }
+    let parts: Vec<&Batch> = output.iter().map(|sb| sb.batch.as_ref()).collect();
+    Ok(buckets
+        .into_iter()
+        .map(|locs| Batch::gather(&parts, &locs))
+        .collect())
 }
 
 #[cfg(test)]
@@ -1108,5 +1457,94 @@ mod tests {
         }];
         let err = execute_chain(&ops, &[lineitems()], &udfs()).unwrap_err();
         assert!(err.to_string().contains("unknown column zzz"));
+    }
+
+    #[test]
+    fn identity_selections_materialise_without_copying() {
+        let b = Rc::new(lineitems().remove(0));
+        let data_ptr = b.columns[0].as_i64().as_ptr();
+        // Full-range Rows selection.
+        let sb = SelBatch {
+            batch: b,
+            sel: Sel::Rows(vec![0, 1, 2]),
+        };
+        let out = sb.materialise();
+        assert_eq!(out.columns[0].as_i64().as_ptr(), data_ptr);
+        // Full prefix.
+        let sb = SelBatch {
+            batch: Rc::new(out),
+            sel: Sel::Prefix(3),
+        };
+        let out = sb.materialise();
+        assert_eq!(out.columns[0].as_i64().as_ptr(), data_ptr);
+        // Non-identity selections still gather.
+        let sb = SelBatch {
+            batch: Rc::new(out),
+            sel: Sel::Rows(vec![2, 0]),
+        };
+        let out = sb.materialise();
+        assert_eq!(out.columns[0].as_i64(), &[3, 1]);
+    }
+
+    #[test]
+    fn limit_keeps_selection_without_slicing() {
+        let stream: Vec<SelBatch> = lineitems().into_iter().map(SelBatch::wrap).collect();
+        let ptr = stream[0].batch.columns[0].as_i64().as_ptr();
+        let out = limit(stream, 2);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].sel, Sel::Prefix(2)));
+        // The batch is shared, not sliced.
+        assert_eq!(out[0].batch.columns[0].as_i64().as_ptr(), ptr);
+        assert_eq!(out[0].clone().materialise().num_rows(), 2);
+    }
+
+    #[test]
+    fn partition_sel_matches_concat_then_partition() {
+        let stream: Vec<SelBatch> = lineitems().into_iter().map(SelBatch::wrap).collect();
+        // Filter to odd keys via an explicit selection.
+        let filtered: Vec<SelBatch> = stream
+            .into_iter()
+            .map(|sb| {
+                let keep: Vec<u32> = (0..sb.batch.num_rows() as u32)
+                    .filter(|&i| sb.batch.columns[0].as_i64()[i as usize] % 2 == 1)
+                    .collect();
+                SelBatch {
+                    batch: sb.batch,
+                    sel: Sel::Rows(keep),
+                }
+            })
+            .collect();
+        let reference = {
+            let batches: Vec<Batch> = filtered.iter().map(|sb| sb.clone().materialise()).collect();
+            let merged = Batch::concat(&batches);
+            operators::partition_batch(&merged, &["flag".to_string()], 4).unwrap()
+        };
+        let got = partition_sel(filtered, &["flag".to_string()], 4).unwrap();
+        assert_eq!(got.len(), reference.len());
+        for (g, r) in got.iter().zip(&reference) {
+            assert_eq!(g.columns, r.columns);
+        }
+    }
+
+    #[test]
+    fn execute_chain_sel_reports_arena_usage() {
+        let ops = vec![
+            Op::Filter {
+                predicate: Expr::col("k").cmp(CmpOp::Ge, Expr::lit_i64(2)),
+            },
+            Op::HashAggregate {
+                group_by: vec!["flag".into()],
+                aggregates: vec![AggExpr::new(AggFunc::Sum, Expr::col("price"), "total")],
+                mode: AggMode::Single,
+            },
+        ];
+        let (out, stats, report) = execute_chain_sel(&ops, &[lineitems()], &udfs()).unwrap();
+        assert_eq!(stats.rows_out, out.iter().map(|b| b.rows() as u64).sum());
+        assert_eq!(report.resets, 1);
+        assert!(report.bytes_allocated > 0);
+        assert_eq!(report.per_op.len(), 2);
+        assert_eq!(report.per_op[0].0, "filter");
+        assert_eq!(report.per_op[1].0, "hash-aggregate");
+        assert!(report.per_op.iter().map(|(_, b)| b).sum::<u64>() <= report.bytes_allocated);
     }
 }

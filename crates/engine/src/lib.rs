@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bind;
 pub mod catalog;
 pub mod coordinator;

@@ -7,7 +7,7 @@
 use crate::error::EngineError;
 use crate::expr::{evaluate, evaluate_mask, UdfRegistry};
 use crate::plan::{AggExpr, AggFunc, AggMode, Op};
-use skyrise_data::keys::{bits_to_f64, total_order_bits};
+use skyrise_data::keys::{self, bits_to_f64, total_order_bits};
 use skyrise_data::{Batch, Column, DataType, Field, Schema, Value};
 use skyrise_sim::{fnv1a64_fold, FNV64_OFFSET};
 use std::collections::BTreeMap;
@@ -67,16 +67,18 @@ impl ScalarKey {
         }
     }
 
-    /// Stable hash for shuffle partitioning (FNV-1a over a tag + bytes) —
-    /// must agree between writer and reader fragments. Uses the shared
-    /// FNV-1a constants from `skyrise-sim`.
+    /// Stable hash for shuffle partitioning — must agree between writer
+    /// and reader fragments. Mirrors the batched `mix64` lane hash in
+    /// `skyrise_data::keys` (one finalizer over the normalized key word,
+    /// type-tagged); strings FNV their bytes first, which is the only
+    /// remaining per-row use of FNV-1a (it stays the sanitizer-digest
+    /// hash).
     pub fn partition_hash(&self) -> u64 {
-        let h = FNV64_OFFSET;
         match self {
-            ScalarKey::I64(x) => fnv1a64_fold(fnv1a64_fold(h, &[1]), &x.to_le_bytes()),
-            ScalarKey::Str(s) => fnv1a64_fold(fnv1a64_fold(h, &[2]), s.as_bytes()),
-            ScalarKey::Bool(b) => fnv1a64_fold(h, &[3, *b as u8]),
-            ScalarKey::F64(bits) => fnv1a64_fold(fnv1a64_fold(h, &[4]), &bits.to_le_bytes()),
+            ScalarKey::I64(x) => keys::hash_key_i64(*x),
+            ScalarKey::Str(s) => keys::hash_key_utf8(fnv1a64_fold(FNV64_OFFSET, s.as_bytes())),
+            ScalarKey::Bool(b) => keys::hash_key_bool(*b),
+            ScalarKey::F64(bits) => keys::hash_key_f64_bits(*bits),
         }
     }
 }
@@ -116,24 +118,40 @@ mod key_tests {
         }
     }
 
-    /// Pin `partition_hash` to the shared FNV-1a implementation: the same
-    /// tag+bytes stream fed through `skyrise_sim::fnv1a64` must match, so
-    /// the engine cannot drift from the workspace constants again.
+    /// Pin `partition_hash` to the batched mix64 lane hash in
+    /// `skyrise_data::keys`: the scalar oracle and the vectorised
+    /// partitioner must agree bit-for-bit, and strings must keep feeding
+    /// the workspace FNV-1a digest through the same finalizer.
     #[test]
-    fn partition_hash_matches_shared_fnv() {
+    fn partition_hash_matches_batched_mix64() {
+        use skyrise_data::keys::{
+            hash_key_bool, hash_key_f64_bits, hash_key_i64, hash_key_utf8, mix64, norm_i64,
+            HASH_TAG_BOOL, HASH_TAG_I64, HASH_TAG_UTF8,
+        };
         use skyrise_sim::fnv1a64;
-        let mut i64_bytes = vec![1u8];
-        i64_bytes.extend_from_slice(&42i64.to_le_bytes());
-        assert_eq!(ScalarKey::I64(42).partition_hash(), fnv1a64(&i64_bytes));
+        assert_eq!(ScalarKey::I64(42).partition_hash(), hash_key_i64(42));
+        assert_eq!(
+            ScalarKey::I64(42).partition_hash(),
+            mix64(norm_i64(42) ^ HASH_TAG_I64)
+        );
         assert_eq!(
             ScalarKey::Str("foobar".into()).partition_hash(),
-            fnv1a64(b"\x02foobar")
+            hash_key_utf8(fnv1a64(b"foobar"))
         );
-        assert_eq!(ScalarKey::Bool(true).partition_hash(), fnv1a64(&[3, 1]));
+        assert_eq!(
+            ScalarKey::Str("foobar".into()).partition_hash(),
+            mix64(fnv1a64(b"foobar") ^ HASH_TAG_UTF8)
+        );
+        assert_eq!(ScalarKey::Bool(true).partition_hash(), hash_key_bool(true));
+        assert_eq!(
+            ScalarKey::Bool(false).partition_hash(),
+            mix64(HASH_TAG_BOOL)
+        );
         let bits = total_order_bits(1.5);
-        let mut f64_bytes = vec![4u8];
-        f64_bytes.extend_from_slice(&bits.to_le_bytes());
-        assert_eq!(ScalarKey::F64(bits).partition_hash(), fnv1a64(&f64_bytes));
+        assert_eq!(
+            ScalarKey::F64(bits).partition_hash(),
+            hash_key_f64_bits(bits)
+        );
     }
 }
 
@@ -702,10 +720,11 @@ fn sessionize_q3(clicks: &[Batch], items: &[Batch], window: usize) -> Result<Bat
 }
 
 /// Per-row shuffle hashes of the named key columns, computed
-/// column-at-a-time over the raw value bytes — no `ScalarKey`
-/// materialisation. Row `r`'s hash folds each key column's
-/// [`ScalarKey::partition_hash`] with `h * 31 + col_hash`, so writer and
-/// reader fragments agree with the scalar oracle bit-for-bit.
+/// column-at-a-time with the batched, four-lane-unrolled `mix64` fold
+/// from `skyrise_data::keys` — no `ScalarKey` materialisation and no
+/// per-byte FNV chain on the numeric types. Row `r`'s hash folds each
+/// key column with `h * 31 + col_hash`, matching
+/// [`ScalarKey::partition_hash`] bit-for-bit.
 pub(crate) fn partition_hashes(
     batch: &Batch,
     partition_by: &[String],
@@ -717,34 +736,25 @@ pub(crate) fn partition_hashes(
             .index_of(name)
             .map(|i| &batch.columns[i])
             .ok_or_else(|| EngineError::Plan(format!("unknown key column {name}")))?;
-        let tag = |tagged: &[u8]| fnv1a64_fold(FNV64_OFFSET, tagged);
         match col {
-            Column::Int64(v) => {
-                let t = tag(&[1]);
-                for (h, x) in hashes.iter_mut().zip(v) {
-                    let kh = fnv1a64_fold(t, &x.to_le_bytes());
-                    *h = h.wrapping_mul(31).wrapping_add(kh);
-                }
-            }
+            Column::Int64(v) => keys::fold_hash_i64(&mut hashes, v),
+            Column::Float64(v) => keys::fold_hash_f64(&mut hashes, v),
+            Column::Bool(v) => keys::fold_hash_bool(&mut hashes, v),
             Column::Utf8(v) => {
-                let t = tag(&[2]);
+                // Strings still hash their bytes (FNV-1a digest through
+                // the mix64 finalizer); runs of equal adjacent strings —
+                // common in sorted/clustered key columns — reuse the
+                // previous hash instead of re-digesting.
+                let mut memo: Option<(&str, u64)> = None;
                 for (h, s) in hashes.iter_mut().zip(v) {
-                    let kh = fnv1a64_fold(t, s.as_bytes());
-                    *h = h.wrapping_mul(31).wrapping_add(kh);
-                }
-            }
-            Column::Bool(v) => {
-                // Only two possible hashes: precompute both.
-                let hf = tag(&[3, 0]);
-                let ht = tag(&[3, 1]);
-                for (h, &b) in hashes.iter_mut().zip(v) {
-                    *h = h.wrapping_mul(31).wrapping_add(if b { ht } else { hf });
-                }
-            }
-            Column::Float64(v) => {
-                let t = tag(&[4]);
-                for (h, &x) in hashes.iter_mut().zip(v) {
-                    let kh = fnv1a64_fold(t, &total_order_bits(x).to_le_bytes());
+                    let kh = match memo {
+                        Some((prev, kh)) if prev == s.as_str() => kh,
+                        _ => {
+                            let kh = keys::hash_key_utf8(fnv1a64_fold(FNV64_OFFSET, s.as_bytes()));
+                            memo = Some((s.as_str(), kh));
+                            kh
+                        }
+                    };
                     *h = h.wrapping_mul(31).wrapping_add(kh);
                 }
             }

@@ -11,7 +11,7 @@
 //! predicate, column chunks are fetched as parallel ranged requests, and
 //! stragglers are retried under a size-based timeout.
 
-use crate::bind::execute_chain;
+use crate::bind::{execute_chain_sel, partition_sel, SelBatch};
 use crate::catalog::PartitionMeta;
 use crate::cpu;
 use crate::error::EngineError;
@@ -304,7 +304,7 @@ pub async fn run_worker(
 
     // Execute the operator chain, charging virtual CPU for logical rows.
     let cpu_started = env.ctx.now();
-    let (output, stats) = execute_chain(&task.pipeline.ops, &inputs, udfs)?;
+    let (output, stats, arena_report) = execute_chain_sel(&task.pipeline.ops, &inputs, udfs)?;
     let logical_rows = stats.rows_in as f64 * stream_scale;
     env.ctx
         .sleep(cpu::chain_cost(&task.pipeline.ops, logical_rows, env.vcpus))
@@ -341,24 +341,22 @@ pub async fn run_worker(
             let n_buckets = task.downstream_fragments.max(1) as usize;
             // Empty output still writes (empty) markers for every bucket
             // so downstream readers never block on missing objects.
-            let merged = match output.first() {
-                Some(b) => {
-                    let schema = Rc::clone(&b.schema);
-                    let m = Batch::concat(&output);
-                    let _ = schema;
-                    m
-                }
+            let schema = match output.first() {
+                Some(sb) => Rc::clone(&sb.batch().schema),
                 None => {
                     return Err(EngineError::Plan(
                         "pipeline produced no output batches (operator bug)".into(),
                     ))
                 }
             };
-            let buckets = partition_batch(&merged, partition_by, n_buckets)?;
+            // Partition straight off the selection vectors — no
+            // concat/materialise of the chain output.
+            let buckets = partition_sel(output, partition_by, n_buckets)?;
             // Logical scaling applies to shuffled *data*, not to the fixed
             // SPF file overhead — otherwise empty buckets would masquerade
             // as hundreds of kilobytes.
-            let overhead = spf::write(std::slice::from_ref(&merged.slice(0, 0)), 8192).len() as f64;
+            let empty = Batch::empty(Rc::clone(&schema));
+            let overhead = spf::write(std::slice::from_ref(&empty), 8192).len() as f64;
             let n_groups = n_buckets.div_ceil(combine);
             let mut puts = Vec::with_capacity(n_groups);
             for (group, chunk) in buckets.chunks(combine).enumerate() {
@@ -393,10 +391,11 @@ pub async fn run_worker(
             sink_span.end();
         }
         Sink::Result => {
-            let part = if output.is_empty() {
+            let batches: Vec<Batch> = output.into_iter().map(SelBatch::materialise).collect();
+            let part = if batches.is_empty() {
                 Batch::empty(skyrise_data::Schema::new(vec![]))
             } else {
-                Batch::concat(&output)
+                Batch::concat(&batches)
             };
             let encoded = spf::write(std::slice::from_ref(&part), 8192);
             let blob = Blob::new(encoded);
@@ -419,7 +418,9 @@ pub async fn run_worker(
     if metrics.enabled() {
         metrics.counter("engine.worker.fragments").inc();
         metrics.counter("engine.worker.rows_in").add(report.rows_in);
-        metrics.counter("engine.worker.rows_out").add(report.rows_out);
+        metrics
+            .counter("engine.worker.rows_out")
+            .add(report.rows_out);
         metrics
             .counter("engine.worker.bytes_read")
             .add(report.logical_bytes_read);
@@ -429,7 +430,9 @@ pub async fn run_worker(
         metrics
             .counter("engine.worker.storage_requests")
             .add(report.storage_requests);
-        metrics.histogram("engine.worker.io_secs").record(report.io_secs);
+        metrics
+            .histogram("engine.worker.io_secs")
+            .record(report.io_secs);
         metrics
             .histogram("engine.worker.cpu_secs")
             .record(report.cpu_secs);
@@ -441,6 +444,17 @@ pub async fn run_worker(
             metrics
                 .counter(&format!("engine.op.{label}.rows"))
                 .add(logical_rows as u64);
+        }
+        metrics
+            .counter("engine.arena.bytes_allocated")
+            .add(arena_report.bytes_allocated);
+        metrics
+            .counter("engine.arena.resets")
+            .add(arena_report.resets);
+        for (label, bytes) in &arena_report.per_op {
+            metrics
+                .counter(&format!("engine.op.{label}.arena_bytes"))
+                .add(*bytes);
         }
     }
 

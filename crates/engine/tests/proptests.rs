@@ -604,3 +604,113 @@ proptest! {
         }
     }
 }
+
+/// `ki < threshold` over `mixed_rows` (ki in -4..4): threshold -4 selects
+/// nothing, threshold 4 selects everything, values between split the
+/// stream — exercising empty, full, and partial selection vectors.
+fn ki_filter(threshold: i64) -> Op {
+    Op::Filter {
+        predicate: Expr::col("ki").cmp(CmpOp::Lt, Expr::lit_i64(threshold)),
+    }
+}
+
+proptest! {
+    /// A selection vector produced by Filter feeds the aggregate's
+    /// accumulators directly (no materialise between operators); every
+    /// mode must still match the filter-then-aggregate oracle bit for bit.
+    #[test]
+    fn filtered_aggregate_matches_scalar_oracle(
+        rows in mixed_rows(),
+        split in 0usize..60,
+        threshold in -4i64..=4,
+    ) {
+        let aggs = vec![
+            AggExpr::new(AggFunc::Sum, Expr::col("v"), "s"),
+            AggExpr::new(AggFunc::Avg, Expr::col("v"), "a"),
+            AggExpr::new(AggFunc::Count, Expr::lit_i64(1), "c"),
+            AggExpr::new(AggFunc::Min, Expr::col("v"), "mn"),
+            AggExpr::new(AggFunc::Max, Expr::col("v"), "mx"),
+        ];
+        let input = vec![mixed_stream(&rows, split)];
+        for mode in [AggMode::Single, AggMode::Partial] {
+            let ops = vec![
+                ki_filter(threshold),
+                Op::HashAggregate {
+                    group_by: vec!["ks".into(), "kf".into()],
+                    aggregates: aggs.clone(),
+                    mode,
+                },
+            ];
+            assert_chain_matches_oracle(&ops, &input)?;
+        }
+    }
+
+    /// Filter on the probe side of a join: the probe is encoded and hashed
+    /// under the selection vector, never gathered.
+    #[test]
+    fn filtered_join_probe_matches_scalar_oracle(
+        probe in mixed_rows(),
+        build in prop::collection::vec((-4i64..4, -100.0f64..100.0), 1..30),
+        split in 0usize..60,
+        threshold in -4i64..=4,
+    ) {
+        let build_schema = Schema::new(vec![
+            Field::new("bi", DataType::Int64),
+            Field::new("bv", DataType::Float64),
+        ]);
+        let build_batch = Batch::new(
+            build_schema,
+            vec![
+                Column::Int64(build.iter().map(|r| r.0).collect()),
+                Column::Float64(build.iter().map(|r| r.1).collect()),
+            ],
+        );
+        let ops = vec![
+            ki_filter(threshold),
+            Op::HashJoin {
+                build_input: 1,
+                build_key: "bi".into(),
+                probe_key: "ki".into(),
+                build_columns: vec!["bv".into()],
+            },
+        ];
+        let inputs = vec![mixed_stream(&probe, split), vec![build_batch]];
+        assert_chain_matches_oracle(&ops, &inputs)?;
+    }
+
+    /// Filter feeding the sort's key encoder under the selection vector:
+    /// the gather happens once, at emission, in sorted order.
+    #[test]
+    fn filtered_sort_matches_scalar_oracle(
+        rows in mixed_rows(),
+        split in 0usize..60,
+        threshold in -4i64..=4,
+        desc_mask in 0usize..4,
+    ) {
+        let ops = vec![
+            ki_filter(threshold),
+            Op::Sort {
+                by: vec![
+                    ("ks".to_string(), desc_mask & 1 == 0),
+                    ("kf".to_string(), desc_mask & 2 == 0),
+                ],
+            },
+        ];
+        assert_chain_matches_oracle(&ops, &[mixed_stream(&rows, split)])?;
+    }
+
+    /// Limit over a Rows selection truncates the vector in place; over a
+    /// full selection it degrades to a Prefix — either way the emitted
+    /// rows match the oracle's slice semantics, including n = 0 and
+    /// n >= survivors.
+    #[test]
+    fn limit_over_selection_matches_scalar_oracle(
+        rows in mixed_rows(),
+        split in 0usize..60,
+        threshold in -4i64..=4,
+        n in 0u64..70,
+    ) {
+        let ops = vec![ki_filter(threshold), Op::Limit { n }];
+        assert_chain_matches_oracle(&ops, &[mixed_stream(&rows, split)])?;
+    }
+}
