@@ -456,7 +456,12 @@ pub fn run_experiment(
 /// summary line.
 pub fn run_cli(name: &str, run: impl FnOnce() -> ExperimentResult) {
     let opts = parse_run_opts(std::env::args().skip(1));
-    run_experiment(name, run, opts.trace_out.as_deref(), opts.metrics_out.as_deref());
+    run_experiment(
+        name,
+        run,
+        opts.trace_out.as_deref(),
+        opts.metrics_out.as_deref(),
+    );
 }
 
 #[cfg(test)]

@@ -292,6 +292,23 @@ impl DictCache {
         dict
     }
 
+    /// Seed the cache with a dictionary decoded straight from storage
+    /// (an SPF `Utf8Dict` chunk whose entries are all referenced covers
+    /// exactly the column's distinct set). Pins the batch, then installs
+    /// the sorted dictionary under the column's identity so the first
+    /// `distinct` call is a hit — no per-invocation re-sort.
+    ///
+    /// Debug builds verify the seed equals the column's sorted distinct
+    /// set; a wrong seed would silently corrupt key normalization.
+    pub fn seed(&self, batch: &Rc<Batch>, col: usize, dict: Rc<Vec<String>>) {
+        let Column::Utf8(v) = &batch.columns[col] else {
+            return;
+        };
+        debug_assert_eq!(*dict, sorted_distinct(v), "seed must be sorted distinct");
+        self.pin(batch);
+        self.entries.borrow_mut().insert(col_key(v), dict);
+    }
+
     /// Cache hits so far (for tests and telemetry).
     pub fn hits(&self) -> u64 {
         self.hits.get()
@@ -731,6 +748,25 @@ mod tests {
         let _ = KeyBuffer::encode_selected(&parts2, &[0], Some(&cache), Vec::new());
         assert_eq!(cache.misses(), 3);
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn dict_cache_seed_makes_first_lookup_a_hit() {
+        let b = Rc::new(batch(vec![(
+            "s",
+            Column::Utf8(vec!["b".into(), "a".into(), "b".into()]),
+        )]));
+        let cache = DictCache::new();
+        cache.seed(&b, 0, Rc::new(vec!["a".into(), "b".into()]));
+        let parts: Vec<(&Batch, SelSpec)> = vec![(&b, SelSpec::All)];
+        let k = KeyBuffer::encode_selected(&parts, &[0], Some(&cache), Vec::new());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 0);
+        // Ranks come from the seeded dictionary: "b" > "a".
+        assert!(k.value(0, 0) == Value::Utf8("b".into()));
+        // Seeding a non-Utf8 column is a no-op, not a panic.
+        let ints = Rc::new(batch(vec![("x", Column::Int64(vec![1, 2]))]));
+        cache.seed(&ints, 0, Rc::new(vec![]));
     }
 
     #[test]

@@ -128,6 +128,46 @@ impl Footer {
     }
 }
 
+/// Marker introducing the bucket-index footer section (`"SBK1"` as a
+/// little-endian u32). [`parse_footer`] stops after the row-group
+/// directory, so pre-index readers skip the section transparently.
+const BUCKET_INDEX_MAGIC: u32 = u32::from_le_bytes(*b"SBK1");
+/// Version byte of the bucket-index section.
+pub const BUCKET_INDEX_VERSION: u8 = 1;
+
+/// One bucket's sub-segment within a bucket-indexed shuffle object: a
+/// contiguous run of row groups plus the byte range their chunks span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketEntry {
+    /// Rows across the bucket's row groups.
+    pub rows: u64,
+    /// Index of the bucket's first row group in the footer directory.
+    pub first_group: u32,
+    /// Number of consecutive row groups belonging to the bucket.
+    pub n_groups: u32,
+    /// First file byte of the bucket's chunk data.
+    pub byte_start: u64,
+    /// One past the last file byte of the bucket's chunk data
+    /// (`byte_start == byte_end` for an empty bucket).
+    pub byte_end: u64,
+}
+
+/// The per-bucket sub-segment directory of a bucket-indexed shuffle
+/// object, carried as a versioned section appended inside the footer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketIndex {
+    /// One entry per bucket, in bucket order.
+    pub buckets: Vec<BucketEntry>,
+}
+
+impl BucketIndex {
+    /// The row-group directory slice belonging to `bucket`.
+    pub fn row_groups<'a>(&self, footer: &'a Footer, bucket: usize) -> &'a [RowGroupMeta] {
+        let e = &self.buckets[bucket];
+        &footer.row_groups[e.first_group as usize..(e.first_group + e.n_groups) as usize]
+    }
+}
+
 // ---------------------------------------------------------------------------
 // primitive encoding helpers
 // ---------------------------------------------------------------------------
@@ -272,11 +312,16 @@ fn encode_column(col: &Column) -> (Vec<u8>, Encoding, Option<ChunkStats>) {
             )
         }
         Column::Utf8(v) => {
-            // Dictionary-encode when it pays off.
+            // Dictionary-encode when it pays off. The dictionary keeps
+            // first-occurrence order (part of the emitted bytes); the map
+            // only accelerates membership/position lookups.
             let mut dict: Vec<&str> = Vec::new();
+            let mut index: std::collections::BTreeMap<&str, u64> =
+                std::collections::BTreeMap::new();
             let mut distinct_small = true;
             for s in v {
-                if !dict.contains(&s.as_str()) {
+                if !index.contains_key(s.as_str()) {
+                    index.insert(s.as_str(), dict.len() as u64);
                     dict.push(s);
                     if dict.len() > 256 || dict.len() * 2 > v.len().max(8) {
                         distinct_small = false;
@@ -310,7 +355,7 @@ fn encode_column(col: &Column) -> (Vec<u8>, Encoding, Option<ChunkStats>) {
                     out.extend_from_slice(s.as_bytes());
                 }
                 for s in v {
-                    let idx = dict.iter().position(|d| d == s).expect("in dict") as u64;
+                    let idx = *index.get(s.as_str()).expect("in dict");
                     put_varint(&mut out, idx);
                 }
                 (out, Encoding::Utf8Dict, stats)
@@ -439,23 +484,22 @@ fn read_stats(cur: &mut Cursor<'_>) -> Result<Option<ChunkStats>, SpfError> {
 // writer / reader
 // ---------------------------------------------------------------------------
 
-/// Encode batches into an SPF file, re-chunking to `rows_per_group`.
-pub fn write(batches: &[Batch], rows_per_group: usize) -> Bytes {
-    assert!(rows_per_group > 0, "rows_per_group must be positive");
-    let schema = batches
-        .first()
-        .map(|b| Rc::clone(&b.schema))
-        .expect("write needs at least one batch");
-    let all = Batch::concat(batches);
-    let mut file = Vec::new();
-    file.extend_from_slice(MAGIC);
-
-    let mut row_groups = Vec::new();
-    let total = all.num_rows();
+/// Append `batch` to `file` as row groups of `rows_per_group`, recording
+/// their directory entries. `force_group` emits one empty row group for an
+/// empty batch (legacy `write` behaviour) instead of none.
+fn encode_row_groups(
+    file: &mut Vec<u8>,
+    batch: &Batch,
+    rows_per_group: usize,
+    force_group: bool,
+    row_groups: &mut Vec<RowGroupMeta>,
+) {
+    let total = batch.num_rows();
     let mut start = 0usize;
-    while start < total || (total == 0 && row_groups.is_empty()) {
+    let mut emitted = false;
+    while start < total || (total == 0 && force_group && !emitted) {
         let end = (start + rows_per_group).min(total);
-        let rg = all.slice(start, end);
+        let rg = batch.slice(start, end);
         let mut chunks = Vec::with_capacity(rg.columns.len());
         for col in &rg.columns {
             let (data, encoding, stats) = encode_column(col);
@@ -472,13 +516,16 @@ pub fn write(batches: &[Batch], rows_per_group: usize) -> Bytes {
             rows: rg.num_rows() as u32,
             chunks,
         });
+        emitted = true;
         if total == 0 {
             break;
         }
         start = end;
     }
+}
 
-    // Footer.
+/// Serialise the footer body: schema plus row-group directory.
+fn encode_footer(schema: &Schema, row_groups: &[RowGroupMeta]) -> Vec<u8> {
     let mut footer = Vec::new();
     put_u32(&mut footer, schema.len() as u32);
     for f in &schema.fields {
@@ -493,7 +540,7 @@ pub fn write(batches: &[Batch], rows_per_group: usize) -> Bytes {
         });
     }
     put_u32(&mut footer, row_groups.len() as u32);
-    for rg in &row_groups {
+    for rg in row_groups {
         put_u32(&mut footer, rg.rows);
         put_u32(&mut footer, rg.chunks.len() as u32);
         for c in &rg.chunks {
@@ -504,12 +551,91 @@ pub fn write(batches: &[Batch], rows_per_group: usize) -> Bytes {
             put_stats(&mut footer, &c.stats);
         }
     }
+    footer
+}
 
+/// Append footer + trailer to a file body.
+fn seal(mut file: Vec<u8>, footer: Vec<u8>) -> Bytes {
     let footer_len = footer.len() as u32;
     file.extend_from_slice(&footer);
     file.extend_from_slice(&footer_len.to_le_bytes());
     file.extend_from_slice(MAGIC);
     Bytes::from(file)
+}
+
+/// Encode batches into an SPF file, re-chunking to `rows_per_group`.
+pub fn write(batches: &[Batch], rows_per_group: usize) -> Bytes {
+    assert!(rows_per_group > 0, "rows_per_group must be positive");
+    let schema = batches
+        .first()
+        .map(|b| Rc::clone(&b.schema))
+        .expect("write needs at least one batch");
+    let all = Batch::concat(batches);
+    let mut file = Vec::new();
+    file.extend_from_slice(MAGIC);
+    let mut row_groups = Vec::new();
+    encode_row_groups(&mut file, &all, rows_per_group, true, &mut row_groups);
+    let footer = encode_footer(&schema, &row_groups);
+    seal(file, footer)
+}
+
+/// Encode a bucket-indexed shuffle segment: one SPF object multiplexing
+/// several buckets, each laid out as its own contiguous run of row groups,
+/// with a versioned per-bucket directory appended inside the footer.
+///
+/// A consumer that parses the footer via [`parse_footer_indexed`] can
+/// fetch exactly its bucket's byte range; a consumer on the plain
+/// [`read_all`] path decodes every bucket's row groups in file order
+/// (the index section is ignored as trailing footer bytes). Empty buckets
+/// occupy zero row groups and zero data bytes.
+pub fn write_bucketed(buckets: &[Batch], rows_per_group: usize) -> Bytes {
+    write_bucketed_rotated(buckets, rows_per_group, 0)
+}
+
+/// [`write_bucketed`] with the file order of the buckets rotated left by
+/// `rotation` positions (bucket `rotation` is written first). The bucket
+/// directory is still indexed by bucket id, so readers are oblivious to
+/// the layout — but a writer fleet that rotates by its own fragment id
+/// spreads each consumer's bucket across file positions, so no consumer
+/// sits at the front of *every* segment and suffix reads stay balanced.
+pub fn write_bucketed_rotated(buckets: &[Batch], rows_per_group: usize, rotation: usize) -> Bytes {
+    assert!(rows_per_group > 0, "rows_per_group must be positive");
+    let schema = buckets
+        .first()
+        .map(|b| Rc::clone(&b.schema))
+        .expect("write_bucketed needs at least one bucket");
+    let n = buckets.len();
+    let mut file = Vec::new();
+    file.extend_from_slice(MAGIC);
+    let mut row_groups = Vec::new();
+    let mut entries: Vec<Option<BucketEntry>> = vec![None; n];
+    for position in 0..n {
+        let id = (position + rotation) % n;
+        let bucket = &buckets[id];
+        let first_group = row_groups.len() as u32;
+        let byte_start = file.len() as u64;
+        encode_row_groups(&mut file, bucket, rows_per_group, false, &mut row_groups);
+        entries[id] = Some(BucketEntry {
+            rows: bucket.num_rows() as u64,
+            first_group,
+            n_groups: row_groups.len() as u32 - first_group,
+            byte_start,
+            byte_end: file.len() as u64,
+        });
+    }
+    let entries: Vec<BucketEntry> = entries.into_iter().map(|e| e.expect("filled")).collect();
+    let mut footer = encode_footer(&schema, &row_groups);
+    put_u32(&mut footer, BUCKET_INDEX_MAGIC);
+    footer.push(BUCKET_INDEX_VERSION);
+    put_u32(&mut footer, entries.len() as u32);
+    for e in &entries {
+        put_u64(&mut footer, e.rows);
+        put_u32(&mut footer, e.first_group);
+        put_u32(&mut footer, e.n_groups);
+        put_u64(&mut footer, e.byte_start);
+        put_u64(&mut footer, e.byte_end);
+    }
+    seal(file, footer)
 }
 
 /// Parse the footer given the full file (local path).
@@ -542,9 +668,50 @@ pub fn footer_range(trailer: &[u8], file_len: u64) -> Result<(u64, u64), SpfErro
     Ok((start, footer_len))
 }
 
-/// Parse footer bytes (as fetched via [`footer_range`]).
+/// Parse footer bytes (as fetched via [`footer_range`]). Stops after the
+/// row-group directory; trailing section bytes (e.g. a bucket index) are
+/// ignored.
 pub fn parse_footer(buf: &[u8]) -> Result<Footer, SpfError> {
     let mut cur = Cursor::new(buf);
+    parse_footer_body(&mut cur)
+}
+
+/// Parse footer bytes together with the bucket-index section, when one is
+/// present ([`write_bucketed`] objects carry it; plain [`write`] objects
+/// return `None`).
+pub fn parse_footer_indexed(buf: &[u8]) -> Result<(Footer, Option<BucketIndex>), SpfError> {
+    let mut cur = Cursor::new(buf);
+    let footer = parse_footer_body(&mut cur)?;
+    // Anything other than a well-formed, version-compatible index section
+    // degrades to "no index": older/foreign writers may append sections
+    // this reader does not know.
+    let index = (|| {
+        let mut cur = cur;
+        if cur.u32().ok()? != BUCKET_INDEX_MAGIC || cur.u8().ok()? != BUCKET_INDEX_VERSION {
+            return None;
+        }
+        let n = cur.u32().ok()? as usize;
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let e = BucketEntry {
+                rows: cur.u64().ok()?,
+                first_group: cur.u32().ok()?,
+                n_groups: cur.u32().ok()?,
+                byte_start: cur.u64().ok()?,
+                byte_end: cur.u64().ok()?,
+            };
+            let end = e.first_group.checked_add(e.n_groups)? as usize;
+            if end > footer.row_groups.len() || e.byte_start > e.byte_end {
+                return None;
+            }
+            buckets.push(e);
+        }
+        Some(BucketIndex { buckets })
+    })();
+    Ok((footer, index))
+}
+
+fn parse_footer_body(cur: &mut Cursor<'_>) -> Result<Footer, SpfError> {
     let n_fields = cur.u32()? as usize;
     let mut fields = Vec::with_capacity(n_fields);
     for _ in 0..n_fields {
@@ -577,7 +744,7 @@ pub fn parse_footer(buf: &[u8]) -> Result<Footer, SpfError> {
                 len: cur.u64()?,
                 encoding: Encoding::from_u8(cur.u8()?)?,
                 rows: cur.u32()?,
-                stats: read_stats(&mut cur)?,
+                stats: read_stats(cur)?,
             });
         }
         row_groups.push(RowGroupMeta { rows, chunks });
@@ -594,6 +761,105 @@ pub fn decode_chunk(meta: &ChunkMeta, data: &[u8]) -> Result<Column, SpfError> {
         return Err(SpfError::Corrupt("chunk length mismatch"));
     }
     decode_column(data, meta.encoding, meta.rows as usize)
+}
+
+/// Decode one column chunk like [`decode_chunk`], additionally surfacing
+/// the chunk's string dictionary, sorted and deduplicated, when the chunk
+/// is dictionary-encoded **and** every dictionary entry is referenced by
+/// at least one row. Under that condition the returned dictionary equals
+/// the sorted distinct values of the decoded column, so a consumer can
+/// hand it straight to an engine-side dictionary cache without re-sorting
+/// the rows. (Our writer only emits referenced entries; the reference
+/// check guards against foreign files.)
+pub fn decode_chunk_with_dict(
+    meta: &ChunkMeta,
+    data: &[u8],
+) -> Result<(Column, Option<Vec<String>>), SpfError> {
+    if data.len() as u64 != meta.len {
+        return Err(SpfError::Corrupt("chunk length mismatch"));
+    }
+    if meta.encoding != Encoding::Utf8Dict {
+        return Ok((
+            decode_column(data, meta.encoding, meta.rows as usize)?,
+            None,
+        ));
+    }
+    let rows = meta.rows as usize;
+    let mut cur = Cursor::new(data);
+    let n = cur.u32()? as usize;
+    let mut dict = Vec::with_capacity(n);
+    for _ in 0..n {
+        dict.push(cur.string()?);
+    }
+    let mut referenced = vec![false; n];
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let idx = cur.varint()? as usize;
+        let s = dict
+            .get(idx)
+            .ok_or(SpfError::Corrupt("dict index out of range"))?;
+        referenced[idx] = true;
+        out.push(s.clone());
+    }
+    let sorted = referenced.iter().all(|&r| r).then(|| {
+        let mut d = dict;
+        d.sort_unstable();
+        d.dedup();
+        d
+    });
+    Ok((Column::Utf8(out), sorted))
+}
+
+/// Decode one bucket of a bucket-indexed segment from its byte range.
+/// `data` must hold exactly the file bytes
+/// `[entry.byte_start, entry.byte_end)` of `bucket`'s entry — what a
+/// remote consumer fetches with a single ranged GET. Returns one batch
+/// per row group (none for an empty bucket), restricted to `projection`.
+pub fn read_bucket(
+    footer: &Footer,
+    index: &BucketIndex,
+    bucket: usize,
+    data: &[u8],
+    projection: Option<&[String]>,
+) -> Result<Vec<Batch>, SpfError> {
+    let entry = index
+        .buckets
+        .get(bucket)
+        .ok_or(SpfError::Corrupt("bucket index out of range"))?;
+    if data.len() as u64 != entry.byte_end - entry.byte_start {
+        return Err(SpfError::Corrupt("bucket range length mismatch"));
+    }
+    let indices: Vec<usize> = match projection {
+        None => (0..footer.schema.len()).collect(),
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                footer
+                    .schema
+                    .index_of(n)
+                    .ok_or_else(|| SpfError::UnknownColumn(n.clone()))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let mut batches = Vec::with_capacity(entry.n_groups as usize);
+    for rg in index.row_groups(footer, bucket) {
+        let mut columns = Vec::with_capacity(indices.len());
+        for &i in &indices {
+            let c = &rg.chunks[i];
+            let start = c
+                .offset
+                .checked_sub(entry.byte_start)
+                .ok_or(SpfError::Corrupt("chunk outside bucket range"))?
+                as usize;
+            let end = start + c.len as usize;
+            if end > data.len() {
+                return Err(SpfError::Corrupt("chunk outside bucket range"));
+            }
+            columns.push(decode_chunk(c, &data[start..end])?);
+        }
+        batches.push(Batch::new(footer.schema.project(&indices), columns));
+    }
+    Ok(batches)
 }
 
 /// Read one row group from a local file, restricted to `projection`
@@ -775,6 +1041,229 @@ mod tests {
         assert!(read_footer(&broken).is_err());
     }
 
+    /// Reference linear-scan dictionary build (the pre-optimisation code):
+    /// the map-based build must emit byte-identical chunks.
+    fn encode_utf8_reference(v: &[String]) -> Vec<u8> {
+        let mut dict: Vec<&str> = Vec::new();
+        let mut distinct_small = true;
+        for s in v {
+            if !dict.contains(&s.as_str()) {
+                dict.push(s);
+                if dict.len() > 256 || dict.len() * 2 > v.len().max(8) {
+                    distinct_small = false;
+                    break;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        if distinct_small && !v.is_empty() {
+            put_u32(&mut out, dict.len() as u32);
+            for s in &dict {
+                put_u32(&mut out, s.len() as u32);
+                out.extend_from_slice(s.as_bytes());
+            }
+            for s in v {
+                let idx = dict.iter().position(|d| d == s).expect("in dict") as u64;
+                put_varint(&mut out, idx);
+            }
+        } else {
+            for s in v {
+                put_u32(&mut out, s.len() as u32);
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn dict_build_bytes_match_linear_reference() {
+        let cases: Vec<Vec<String>> = vec![
+            vec![],
+            vec!["a".into()],
+            (0..1000).map(|i| format!("M{}", i % 4)).collect(),
+            (0..1000).map(|i| format!("unique-{i}")).collect(),
+            // Right at the cardinality threshold.
+            (0..600).map(|i| format!("t{}", i % 256)).collect(),
+            (0..600).map(|i| format!("t{}", i % 257)).collect(),
+            // First occurrences out of sorted order.
+            vec!["z".into(), "a".into(), "m".into(), "a".into(), "z".into()],
+        ];
+        for v in cases {
+            let (got, _, _) = encode_column(&Column::Utf8(v.clone()));
+            assert_eq!(got, encode_utf8_reference(&v), "bytes diverge for {v:?}");
+        }
+    }
+
+    fn buckets_fixture() -> Vec<Batch> {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("tag", DataType::Utf8),
+            Field::new("ok", DataType::Bool),
+        ]);
+        let mk = |rows: std::ops::Range<i64>| {
+            Batch::new(
+                Rc::clone(&schema),
+                vec![
+                    Column::Int64(rows.clone().collect()),
+                    Column::Utf8(rows.clone().map(|i| format!("t{}", i % 3)).collect()),
+                    Column::Bool(rows.map(|i| i % 2 == 0).collect()),
+                ],
+            )
+        };
+        vec![mk(0..40), mk(40..40), mk(40..41), mk(41..120)]
+    }
+
+    #[test]
+    fn bucketed_segment_round_trips_per_bucket() {
+        let buckets = buckets_fixture();
+        let file = write_bucketed(&buckets, 16);
+        let (fstart, flen) = footer_range(
+            &file[file.len() - TRAILER_LEN as usize..],
+            file.len() as u64,
+        )
+        .unwrap();
+        let (footer, index) =
+            parse_footer_indexed(&file[fstart as usize..(fstart + flen) as usize]).unwrap();
+        let index = index.expect("bucketed writer emits an index");
+        assert_eq!(index.buckets.len(), 4);
+        assert_eq!(index.buckets[1].rows, 0);
+        assert_eq!(index.buckets[1].n_groups, 0);
+        assert_eq!(index.buckets[1].byte_start, index.buckets[1].byte_end);
+        for (b, bucket) in buckets.iter().enumerate() {
+            let e = &index.buckets[b];
+            assert_eq!(e.rows, bucket.num_rows() as u64);
+            let range = &file[e.byte_start as usize..e.byte_end as usize];
+            let got = read_bucket(&footer, &index, b, range, None).unwrap();
+            let merged = if got.is_empty() {
+                Batch::empty(Rc::clone(&footer.schema))
+            } else {
+                Batch::concat(&got)
+            };
+            assert_eq!(merged.columns, bucket.columns, "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn rotated_segment_round_trips_per_bucket() {
+        let buckets = buckets_fixture();
+        for rotation in 0..buckets.len() {
+            let file = write_bucketed_rotated(&buckets, 16, rotation);
+            let (fstart, flen) = footer_range(
+                &file[file.len() - TRAILER_LEN as usize..],
+                file.len() as u64,
+            )
+            .unwrap();
+            let (footer, index) =
+                parse_footer_indexed(&file[fstart as usize..(fstart + flen) as usize]).unwrap();
+            let index = index.expect("bucketed writer emits an index");
+            // The directory stays indexed by bucket id regardless of the
+            // file order, so readers are oblivious to the rotation.
+            for (b, bucket) in buckets.iter().enumerate() {
+                let e = &index.buckets[b];
+                assert_eq!(e.rows, bucket.num_rows() as u64);
+                let range = &file[e.byte_start as usize..e.byte_end as usize];
+                let got = read_bucket(&footer, &index, b, range, None).unwrap();
+                let merged = if got.is_empty() {
+                    Batch::empty(Rc::clone(&footer.schema))
+                } else {
+                    Batch::concat(&got)
+                };
+                assert_eq!(merged.columns, bucket.columns, "bucket {b} rot {rotation}");
+            }
+            // Bucket `rotation` is written first.
+            let first_data_byte = MAGIC.len() as u64;
+            assert_eq!(index.buckets[rotation].byte_start, first_data_byte);
+        }
+    }
+
+    #[test]
+    fn bucketed_segment_readable_by_plain_reader() {
+        // A pre-index reader must decode every bucket, in bucket order:
+        // the index is trailing footer bytes it never parses.
+        let buckets = buckets_fixture();
+        let file = write_bucketed(&buckets, 16);
+        let all = read_all(&file, None).unwrap();
+        let merged = Batch::concat(&all);
+        let expected = Batch::concat(&buckets);
+        assert_eq!(merged.columns, expected.columns);
+        // And the indexed parse agrees with the plain parse on the
+        // row-group directory.
+        let footer = read_footer(&file).unwrap();
+        assert_eq!(
+            footer.total_rows(),
+            buckets.iter().map(|b| b.num_rows() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn plain_files_parse_with_no_index() {
+        let file = write(&[sample_batch(50)], 20);
+        let (fstart, flen) = footer_range(
+            &file[file.len() - TRAILER_LEN as usize..],
+            file.len() as u64,
+        )
+        .unwrap();
+        let (footer, index) =
+            parse_footer_indexed(&file[fstart as usize..(fstart + flen) as usize]).unwrap();
+        assert!(index.is_none());
+        assert_eq!(footer.total_rows(), 50);
+    }
+
+    #[test]
+    fn bucket_projection_restricts_columns() {
+        let buckets = buckets_fixture();
+        let file = write_bucketed(&buckets, 16);
+        let footer = read_footer(&file).unwrap();
+        let (_, index) = parse_footer_indexed(
+            &footer_range(&file[file.len() - 8..], file.len() as u64)
+                .map(|(s, l)| &file[s as usize..(s + l) as usize])
+                .unwrap(),
+        )
+        .unwrap();
+        let index = index.unwrap();
+        let e = &index.buckets[3];
+        let range = &file[e.byte_start as usize..e.byte_end as usize];
+        let got = read_bucket(&footer, &index, 3, range, Some(&["tag".to_string()])).unwrap();
+        assert_eq!(got[0].schema.fields.len(), 1);
+        assert_eq!(
+            Batch::concat(&got).column("tag").as_str(),
+            buckets[3].column("tag").as_str()
+        );
+    }
+
+    #[test]
+    fn decode_chunk_with_dict_surfaces_sorted_distinct() {
+        let schema = Schema::new(vec![Field::new("m", DataType::Utf8)]);
+        let vals: Vec<String> = ["z", "b", "z", "a", "b", "z"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let batch = Batch::new(schema, vec![Column::Utf8(vals.clone())]);
+        let file = write(&[batch], 100);
+        let footer = read_footer(&file).unwrap();
+        let c = &footer.row_groups[0].chunks[0];
+        assert_eq!(c.encoding, Encoding::Utf8Dict);
+        let data = &file[c.offset as usize..(c.offset + c.len) as usize];
+        let (col, dict) = decode_chunk_with_dict(c, data).unwrap();
+        assert_eq!(col.as_str(), &vals[..]);
+        assert_eq!(
+            dict.unwrap(),
+            vec!["a".to_string(), "b".to_string(), "z".to_string()]
+        );
+        // Non-dictionary chunks surface no dictionary.
+        let ints = Batch::new(
+            Schema::new(vec![Field::new("x", DataType::Int64)]),
+            vec![Column::Int64(vec![1, 2, 3])],
+        );
+        let f2 = write(&[ints], 10);
+        let foot2 = read_footer(&f2).unwrap();
+        let c2 = &foot2.row_groups[0].chunks[0];
+        let (_, none) =
+            decode_chunk_with_dict(c2, &f2[c2.offset as usize..(c2.offset + c2.len) as usize])
+                .unwrap();
+        assert!(none.is_none());
+    }
+
     #[test]
     fn empty_batch_roundtrips() {
         let schema = Schema::new(vec![Field::new("x", DataType::Int64)]);
@@ -812,6 +1301,71 @@ mod tests {
             prop_assert_eq!(got.len(), values.len());
             for (a, b) in got.iter().zip(&values) {
                 prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        /// Satellite: bucket-indexed round-trip. Per-bucket range reads
+        /// (footer parse → byte-range slice → `read_bucket`) must equal
+        /// the whole-object `read_all` decode regrouped per bucket,
+        /// bitwise, across empty buckets, single-row buckets, and the
+        /// dictionary / delta / bitmap encodings.
+        #[test]
+        fn prop_bucketed_range_reads_equal_whole_object(
+            sizes in prop::collection::vec(0usize..25, 1..6),
+            group in 1usize..40,
+            cardinality in 1u64..40,
+        ) {
+            let schema = Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("tag", DataType::Utf8),
+                Field::new("ok", DataType::Bool),
+            ]);
+            let mut next = 0i64;
+            let buckets: Vec<Batch> = sizes
+                .iter()
+                .map(|&n| {
+                    let start = next;
+                    next += n as i64;
+                    Batch::new(
+                        Rc::clone(&schema),
+                        vec![
+                            Column::Int64((start..start + n as i64).collect()),
+                            Column::Utf8(
+                                (start..start + n as i64)
+                                    .map(|i| format!("t{}", i as u64 % cardinality))
+                                    .collect(),
+                            ),
+                            Column::Bool((start..start + n as i64).map(|i| i % 2 == 0).collect()),
+                        ],
+                    )
+                })
+                .collect();
+            let file = write_bucketed(&buckets, group);
+            let trailer = &file[file.len() - TRAILER_LEN as usize..];
+            let (fstart, flen) = footer_range(trailer, file.len() as u64).unwrap();
+            let (footer, index) =
+                parse_footer_indexed(&file[fstart as usize..(fstart + flen) as usize]).unwrap();
+            let index = index.expect("bucketed file carries an index");
+            prop_assert_eq!(index.buckets.len(), sizes.len());
+            // Whole-object decode, regrouped by the index's row-group spans.
+            let all = read_all(&file, None).unwrap();
+            for (b, bucket) in buckets.iter().enumerate() {
+                let e = &index.buckets[b];
+                prop_assert_eq!(e.rows, bucket.num_rows() as u64);
+                let range = &file[e.byte_start as usize..e.byte_end as usize];
+                let ranged = read_bucket(&footer, &index, b, range, None).unwrap();
+                let whole =
+                    &all[e.first_group as usize..(e.first_group + e.n_groups) as usize];
+                prop_assert_eq!(ranged.len(), whole.len());
+                for (r, w) in ranged.iter().zip(whole) {
+                    prop_assert_eq!(&r.columns, &w.columns);
+                }
+                let merged = if ranged.is_empty() {
+                    Batch::empty(Rc::clone(&footer.schema))
+                } else {
+                    Batch::concat(&ranged)
+                };
+                prop_assert_eq!(&merged.columns, &bucket.columns);
             }
         }
 

@@ -611,15 +611,82 @@ pub fn execute_chain_sel(
         let stream = out.into_iter().map(SelBatch::wrap).collect();
         return Ok((stream, stats, ArenaReport::default()));
     }
+    execute_bound(ops, inputs[0].to_vec(), inputs, &[], udfs)
+}
+
+/// A string dictionary decoded straight from an SPF shuffle segment,
+/// addressed by (stream batch index, column index). Seeding it into the
+/// executor's [`DictCache`] makes the first key-normalization touch of
+/// that column a cache hit — no per-invocation re-sort.
+#[derive(Debug, Clone)]
+pub struct DictSeed {
+    /// Index of the batch within the stream (input 0).
+    pub batch: usize,
+    /// Column index within that batch.
+    pub col: usize,
+    /// Sorted distinct values of the column.
+    pub dict: Rc<Vec<String>>,
+}
+
+/// True when `op` materialises pipeline input 0 as a build side — the
+/// stream cannot also be consumed by index in that case.
+fn references_input_zero(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::HashJoin { build_input: 0, .. }
+            | Op::SessionizeQ3 {
+                category_input: 0,
+                ..
+            }
+    )
+}
+
+/// [`execute_chain_sel`] taking ownership of the inputs: the stream
+/// (input 0) enters the fused pipeline without the defensive deep-clone,
+/// and `seeds` pre-populates the dictionary cache with dictionaries the
+/// shuffle reader decoded from storage (late materialization: the batch
+/// `Rc`s wrap exactly the decoded columns, so pointer-identity caching
+/// holds from the moment of decode).
+pub fn execute_chain_sel_seeded(
+    ops: &[Op],
+    mut inputs: Vec<Vec<Batch>>,
+    seeds: &[DictSeed],
+    udfs: &UdfRegistry,
+) -> Result<(Vec<SelBatch>, OpChainStats, ArenaReport), EngineError> {
+    if legacy_kernels()
+        || inputs.is_empty()
+        || inputs.iter().any(Vec::is_empty)
+        || ops.iter().any(references_input_zero)
+    {
+        let (out, stats) = operators::execute_ops(ops, &inputs, udfs)?;
+        let stream = out.into_iter().map(SelBatch::wrap).collect();
+        return Ok((stream, stats, ArenaReport::default()));
+    }
+    let stream = std::mem::take(&mut inputs[0]);
+    execute_bound(ops, stream, &inputs, seeds, udfs)
+}
+
+/// Shared driver: bind against the input schemas, seed the dictionary
+/// cache, then run the chain under selection vectors. `inputs[0]` is only
+/// used for its schema (the stream arrives owned); build sides index
+/// `inputs[1..]`.
+fn execute_bound(
+    ops: &[Op],
+    stream: Vec<Batch>,
+    inputs: &[Vec<Batch>],
+    seeds: &[DictSeed],
+    udfs: &UdfRegistry,
+) -> Result<(Vec<SelBatch>, OpChainStats, ArenaReport), EngineError> {
     let input_names: Vec<Vec<String>> = inputs
         .iter()
-        .map(|batches| {
-            batches[0]
-                .schema
-                .fields
-                .iter()
-                .map(|f| f.name.clone())
-                .collect()
+        .enumerate()
+        .map(|(i, batches)| {
+            let schema = if i == 0 {
+                &stream[0].schema
+            } else {
+                &batches[0].schema
+            };
+            schema.fields.iter().map(|f| f.name.clone()).collect()
         })
         .collect();
     let bound = bind_ops(ops, &input_names, udfs)?;
@@ -628,7 +695,12 @@ pub fn execute_chain_sel(
         cache: DictCache::new(),
     };
     ctx.arena.reset();
-    let mut stream: Vec<SelBatch> = inputs[0].iter().cloned().map(SelBatch::wrap).collect();
+    let mut stream: Vec<SelBatch> = stream.into_iter().map(SelBatch::wrap).collect();
+    for s in seeds {
+        if let Some(sb) = stream.get(s.batch) {
+            ctx.cache.seed(&sb.batch, s.col, Rc::clone(&s.dict));
+        }
+    }
     let rows_in = stream.iter().map(|b| b.rows() as u64).sum();
     let mut per_op: Vec<(&'static str, u64)> = Vec::with_capacity(bound.len());
     for op in &bound {

@@ -78,6 +78,11 @@ pub struct TaskPolicy {
     pub backoff_cap_ms: u64,
     /// Apply full jitter to backoff sleeps.
     pub jitter: bool,
+    /// Concurrent in-flight shuffle-segment reads per worker. Two mirrors
+    /// real workers, which interleave shuffle reads with decode and join
+    /// work; wider fan-ins trade NIC contention for overlap.
+    #[serde(default = "crate::worker::default_shuffle_read_fanin")]
+    pub shuffle_read_fanin: u32,
 }
 
 impl Default for TaskPolicy {
@@ -93,6 +98,7 @@ impl Default for TaskPolicy {
             backoff_base_ms: 200,
             backoff_cap_ms: 10_000,
             jitter: true,
+            shuffle_read_fanin: crate::worker::default_shuffle_read_fanin(),
         }
     }
 }
@@ -376,6 +382,7 @@ pub async fn run_coordinator(
                 downstream_fragments: downstream,
                 inputs: assignments,
                 expected_input_bytes: expected_input,
+                shuffle_read_fanin: request.config.task_policy.shuffle_read_fanin.max(1),
             });
         }
 

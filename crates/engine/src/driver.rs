@@ -260,7 +260,10 @@ impl Skyrise {
                     if !transient || attempt >= max_attempts {
                         return Err(EngineError::Worker(err.to_string()));
                     }
-                    self.ctx.metrics().counter("engine.coordinator.retries").inc();
+                    self.ctx
+                        .metrics()
+                        .counter("engine.coordinator.retries")
+                        .inc();
                     self.ctx.sleep(backoff.backoff(&self.ctx, attempt)).await;
                 }
             }

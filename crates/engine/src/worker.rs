@@ -10,20 +10,28 @@
 //! fetched first, zone maps prune row groups against the pushed-down
 //! predicate, column chunks are fetched as parallel ranged requests, and
 //! stragglers are retried under a size-based timeout.
+//!
+//! Shuffle reads use the same playbook since the bucket-indexed segment
+//! layout: a consumer fetches the object suffix (trailer + footer + bucket
+//! directory, often the whole object for small segments), then one ranged
+//! GET covering just its own bucket's pages — projected to the columns the
+//! consumer chain binds and zone-pruned against its leading predicates —
+//! instead of downloading and decoding every co-located bucket.
 
-use crate::bind::{execute_chain_sel, partition_sel, SelBatch};
+use crate::bind::{execute_chain_sel_seeded, partition_sel, DictSeed, SelBatch};
 use crate::catalog::PartitionMeta;
 use crate::cpu;
 use crate::error::EngineError;
-use crate::expr::{evaluate_mask, UdfRegistry};
+use crate::expr::{evaluate_mask, Expr, UdfRegistry};
 use crate::operators::partition_batch;
 use crate::plan::{InputSpec, Op, Pipeline, Sink};
 use serde::{Deserialize, Serialize};
 use skyrise_compute::ExecEnv;
-use skyrise_data::columnar::Batch;
+use skyrise_data::columnar::{Batch, Schema};
 use skyrise_data::spf;
 use skyrise_data::Value;
 use skyrise_storage::{Blob, RequestOpts, RetryPolicy, RetryingClient, Storage};
+use std::cell::Cell;
 use std::rc::Rc;
 
 /// Input assignment for one worker fragment, parallel to the pipeline's
@@ -72,6 +80,17 @@ pub struct WorkerTask {
     /// estimate; sizes the straggler re-trigger timeout).
     #[serde(default)]
     pub expected_input_bytes: u64,
+    /// Concurrent in-flight shuffle-segment reads per worker (from
+    /// [`crate::coordinator::TaskPolicy::shuffle_read_fanin`]).
+    #[serde(default = "default_shuffle_read_fanin")]
+    pub shuffle_read_fanin: u32,
+}
+
+/// Default shuffle read fan-in: two in flight mirrors real workers, which
+/// interleave shuffle reads with decoding and joining rather than issuing
+/// them all up front.
+pub fn default_shuffle_read_fanin() -> u32 {
+    2
 }
 
 /// What a worker reports back to the coordinator.
@@ -114,8 +133,69 @@ fn default_attempts() -> u32 {
 /// Concurrent ranged chunk requests per worker.
 pub const CHUNK_CONCURRENCY: usize = 8;
 
+/// Speculative suffix length for the layout probe of a shuffle read: one
+/// GET that lands the trailer, footer, and bucket directory — and for
+/// marker-sized segments the whole object — without a prior HEAD. Paid
+/// once per (consumer, shuffle input), not per segment: sibling segments
+/// are then fetched with a suffix sized from the probed layout. Payload
+/// bytes (logical scaling does not change the wire layout); shuffle
+/// segments carry the producing stream's logical scale, so the probe's
+/// speculative bytes are billed at that multiplier — 4 KiB covers typical
+/// multi-bucket footers in one request while staying a sliver of any
+/// segment worth ranging into.
+pub const SHUFFLE_TAIL_HINT: u64 = 4096;
+
 fn default_combine() -> u32 {
     1
+}
+
+thread_local! {
+    /// Bench toggle: force whole-object shuffle reads (the pre-index
+    /// baseline) even when the bucket directory would allow ranged reads.
+    static LEGACY_SHUFFLE_READ: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Force (or stop forcing) whole-object demultiplexing shuffle reads on
+/// this thread. Benchmark baseline arm; production readers never set it.
+pub fn set_legacy_shuffle_read(v: bool) {
+    LEGACY_SHUFFLE_READ.with(|c| c.set(v));
+}
+
+/// Whether whole-object shuffle reads are being forced on this thread.
+pub fn legacy_shuffle_read() -> bool {
+    LEGACY_SHUFFLE_READ.with(|c| c.get())
+}
+
+/// Byte accounting for one pipeline's shuffle reads, folded into the
+/// `engine.shuffle.*` counters (DESIGN.md §10).
+#[derive(Debug, Clone, Default)]
+pub struct ShuffleReadStats {
+    /// Logical bytes actually transferred (suffix + footer + bucket ranges,
+    /// or whole objects on the baseline/fallback paths).
+    pub bytes_read: u64,
+    /// Logical bytes a whole-object read of the same segments would have
+    /// transferred — the demultiplexing baseline.
+    pub bytes_whole_object: u64,
+    /// Logical bytes of this consumer's own bucket pages skipped by column
+    /// projection and zone-map pruning (never decoded).
+    pub bytes_pruned: u64,
+    /// Rows decoded and then discarded by hash demultiplexing (zero on the
+    /// bucket-indexed path: the range GET is exact).
+    pub rows_demuxed: u64,
+    /// Logical bytes actually decoded: the whole segment on the
+    /// demultiplexing path, only this bucket's kept projected pages on the
+    /// bucket-indexed path. Drives the worker's decode CPU charge.
+    pub bytes_decoded: u64,
+}
+
+impl ShuffleReadStats {
+    fn merge(&mut self, other: &ShuffleReadStats) {
+        self.bytes_read += other.bytes_read;
+        self.bytes_whole_object += other.bytes_whole_object;
+        self.bytes_pruned += other.bytes_pruned;
+        self.rows_demuxed += other.rows_demuxed;
+        self.bytes_decoded += other.bytes_decoded;
+    }
 }
 
 /// Stable trace label for an operator.
@@ -154,6 +234,11 @@ struct ReadOutcome {
     requests: u64,
     /// logical/payload ratio of what was read (1.0 for unscaled data).
     scale: f64,
+    /// Shuffle byte accounting (`None` for scans).
+    shuffle: Option<ShuffleReadStats>,
+    /// Storage-decoded dictionaries handed to the fused pipeline's
+    /// `DictCache` (late materialization; stream input only).
+    seeds: Vec<DictSeed>,
 }
 
 /// Run one worker fragment to completion. Base tables and results live on
@@ -219,6 +304,8 @@ pub async fn run_worker(
         ..WorkerReport::default()
     };
     let mut stream_scale = 1.0f64;
+    let mut shuffle_stats: Option<ShuffleReadStats> = None;
+    let mut seeds: Vec<DictSeed> = Vec::new();
     for (idx, assignment) in task.inputs.iter().enumerate() {
         let spec = task
             .pipeline
@@ -231,7 +318,7 @@ pub async fn run_worker(
         };
         let read_span = tracer.span(&env.ctx, "worker", lane, read_name);
         read_span.attr("query", task.query_id.as_str());
-        let outcome = match assignment {
+        let mut outcome = match assignment {
             InputAssignment::Scan { partitions } => {
                 let (projection, predicate) = match spec {
                     InputSpec::Scan {
@@ -262,6 +349,18 @@ pub async fn run_worker(
                 partition_by,
                 combine,
             } => {
+                // Push the consumer chain's bound column set into the read;
+                // leading filters prune row groups on the stream input only
+                // (build sides are consumed unfiltered).
+                let projection = crate::pushdown::shuffle_projection(&task.pipeline.ops, idx);
+                let predicates: Vec<Expr> = if idx == 0 {
+                    crate::pushdown::leading_predicates(&task.pipeline.ops)
+                        .into_iter()
+                        .cloned()
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 read_shuffle(
                     &shuffle_client,
                     &opts,
@@ -272,14 +371,25 @@ pub async fn run_worker(
                     task.n_fragments,
                     partition_by,
                     (*combine).max(1),
+                    projection.as_deref(),
+                    &predicates,
+                    task.shuffle_read_fanin,
+                    env.vcpus,
                 )
                 .await?
             }
         };
         report.logical_bytes_read += outcome.logical_bytes;
         report.storage_requests += outcome.requests;
+        if let Some(s) = &outcome.shuffle {
+            match &mut shuffle_stats {
+                Some(total) => total.merge(s),
+                None => shuffle_stats = Some(s.clone()),
+            }
+        }
         if idx == 0 {
             stream_scale = outcome.scale;
+            seeds = std::mem::take(&mut outcome.seeds);
         }
         read_span
             .attr("bytes", outcome.logical_bytes)
@@ -303,8 +413,11 @@ pub async fn run_worker(
     report.io_secs = (env.ctx.now() - io_started).as_secs_f64();
 
     // Execute the operator chain, charging virtual CPU for logical rows.
+    // Dictionaries decoded off storage seed the fused pipeline's DictCache,
+    // so dictionary-encoded shuffle columns skip the first re-encode.
     let cpu_started = env.ctx.now();
-    let (output, stats, arena_report) = execute_chain_sel(&task.pipeline.ops, &inputs, udfs)?;
+    let (output, stats, arena_report) =
+        execute_chain_sel_seeded(&task.pipeline.ops, inputs, &seeds, udfs)?;
     let logical_rows = stats.rows_in as f64 * stream_scale;
     env.ctx
         .sleep(cpu::chain_cost(&task.pipeline.ops, logical_rows, env.vcpus))
@@ -356,14 +469,21 @@ pub async fn run_worker(
             // SPF file overhead — otherwise empty buckets would masquerade
             // as hundreds of kilobytes.
             let empty = Batch::empty(Rc::clone(&schema));
-            let overhead = spf::write(std::slice::from_ref(&empty), 8192).len() as f64;
             let n_groups = n_buckets.div_ceil(combine);
             let mut puts = Vec::with_capacity(n_groups);
             for (group, chunk) in buckets.chunks(combine).enumerate() {
                 // Write combining: `combine` consecutive buckets share one
-                // (larger) object; readers demultiplex by re-partitioning.
-                let combined = Batch::concat(chunk);
-                let encoded = spf::write(std::slice::from_ref(&combined), 8192);
+                // (larger) multiplexed object. The per-bucket directory in
+                // the footer lets each reader range-GET only its own pages.
+                // The file order rotates with the writer's fragment id so
+                // every consumer's bucket takes each file position equally
+                // often across the source fleet: suffix readers then pull
+                // ~the same byte volume instead of the front bucket's
+                // reader re-reading nearly whole segments.
+                let rotation = task.fragment as usize % chunk.len().max(1);
+                let empties = vec![Batch::empty(Rc::clone(&empty.schema)); chunk.len()];
+                let overhead = spf::write_bucketed(&empties, 8192).len() as f64;
+                let encoded = spf::write_bucketed_rotated(chunk, 8192, rotation);
                 let len = encoded.len() as f64;
                 let logical = overhead + stream_scale.max(1.0) * (len - overhead).max(0.0);
                 let blob = Blob::scaled(encoded, (logical / len).max(1e-9));
@@ -430,6 +550,23 @@ pub async fn run_worker(
         metrics
             .counter("engine.worker.storage_requests")
             .add(report.storage_requests);
+        if let Some(s) = &shuffle_stats {
+            metrics
+                .counter("engine.shuffle.bytes_read")
+                .add(s.bytes_read);
+            metrics
+                .counter("engine.shuffle.bytes_whole_object")
+                .add(s.bytes_whole_object);
+            metrics
+                .counter("engine.shuffle.bytes_pruned")
+                .add(s.bytes_pruned);
+            metrics
+                .counter("engine.shuffle.rows_demuxed")
+                .add(s.rows_demuxed);
+            metrics
+                .counter("engine.shuffle.bytes_decoded")
+                .add(s.bytes_decoded);
+        }
         metrics
             .histogram("engine.worker.io_secs")
             .record(report.io_secs);
@@ -482,6 +619,8 @@ async fn read_scan(
         logical_bytes: 0,
         requests: 0,
         scale: 1.0,
+        shuffle: None,
+        seeds: Vec::new(),
     };
     let mut payload_bytes = 0u64;
 
@@ -644,6 +783,137 @@ async fn read_partition(
     Ok((batches, logical, requests, payload))
 }
 
+/// What reading one shuffle segment produced.
+struct ShuffleObject {
+    batches: Vec<Batch>,
+    /// `(local batch index, column index, sorted dict)` for dictionary
+    /// chunks whose storage dictionary covers the decoded column exactly.
+    seeds: Vec<(usize, usize, Rc<Vec<String>>)>,
+    /// Projected schema of this segment (kept even when every row group is
+    /// empty or pruned, so the caller can emit a typed marker batch).
+    schema: Option<Rc<Schema>>,
+    requests: u64,
+    logical: u64,
+    payload: u64,
+    stats: ShuffleReadStats,
+}
+
+impl ShuffleObject {
+    fn new() -> Self {
+        ShuffleObject {
+            batches: Vec::new(),
+            seeds: Vec::new(),
+            schema: None,
+            requests: 0,
+            logical: 0,
+            payload: 0,
+            stats: ShuffleReadStats::default(),
+        }
+    }
+}
+
+/// Tail, footer, and bucket directory of one shuffle segment — everything
+/// a reader needs before it can fetch data pages.
+struct SegmentMeta {
+    tail_bytes: bytes::Bytes,
+    /// File offset of the first tail byte.
+    tail_start: u64,
+    object_len: u64,
+    /// Logical-to-payload multiplier of the segment's blob.
+    scale: f64,
+    footer: spf::Footer,
+    index: Option<spf::BucketIndex>,
+}
+
+impl SegmentMeta {
+    /// Byte layout by *file position* for a segment written by source
+    /// fragment `src` (writers rotate bucket ids across positions, so
+    /// positions — not bucket ids — transfer between sibling segments).
+    fn layout(&self, src: u32) -> Option<ShuffleLayout> {
+        let index = self.index.as_ref()?;
+        let n = index.buckets.len();
+        if n == 0 {
+            return None;
+        }
+        let rotation = src as usize % n;
+        Some(ShuffleLayout {
+            object_len: self.object_len,
+            starts: (0..n)
+                .map(|position| index.buckets[(position + rotation) % n].byte_start)
+                .collect(),
+        })
+    }
+}
+
+/// Byte layout of one shuffle segment by file position, learned from a
+/// sibling's bucket directory.
+struct ShuffleLayout {
+    object_len: u64,
+    /// First data byte of the bucket at each file position.
+    starts: Vec<u64>,
+}
+
+impl ShuffleLayout {
+    /// Suffix length expected to cover `my_bucket`'s pages plus the footer
+    /// in the segment written by source fragment `src`, with headroom for
+    /// size jitter between segments.
+    fn suffix_hint(&self, my_bucket: usize, src: u32) -> u64 {
+        let n = self.starts.len().max(1);
+        let position = (my_bucket + n - src as usize % n) % n;
+        (self.object_len - self.starts[position.min(n - 1)]) + self.object_len / 16 + 128
+    }
+}
+
+/// Fetch a segment's tail and footer: one suffix GET of `suffix_len`
+/// bytes, plus one ranged footer GET only when the tail stopped short of
+/// the footer. Transfer accounting accrues on `obj`.
+async fn read_segment_meta(
+    client: &RetryingClient,
+    opts: &RequestOpts,
+    key: &str,
+    suffix_len: u64,
+    obj: &mut ShuffleObject,
+) -> Result<SegmentMeta, EngineError> {
+    let (tail, s1) = client.get_suffix(key, suffix_len, 0, opts).await?;
+    obj.requests += s1.attempts as u64;
+    obj.logical += tail.transferred;
+    obj.payload += tail.blob.len() as u64;
+    obj.stats.bytes_read += tail.transferred;
+    let scale = tail.blob.logical_scale;
+    obj.stats.bytes_whole_object += scaled(tail.object_len, scale);
+    let object_len = tail.object_len;
+    let tail_bytes = tail.blob.bytes.clone();
+    let tail_start = object_len - tail_bytes.len() as u64;
+    if tail_bytes.len() < spf::TRAILER_LEN as usize {
+        return Err(spf::SpfError::Corrupt("shuffle object shorter than trailer").into());
+    }
+    let trailer = &tail_bytes[tail_bytes.len() - spf::TRAILER_LEN as usize..];
+    let (fstart, flen) = spf::footer_range(trailer, object_len)?;
+    let (footer, index) = if fstart >= tail_start {
+        let a = (fstart - tail_start) as usize;
+        spf::parse_footer_indexed(&tail_bytes[a..a + flen as usize])?
+    } else {
+        let (fb, s2) = client.get_range_metered(key, fstart, flen, 0, opts).await?;
+        obj.requests += s2.attempts as u64;
+        obj.logical += fb.transferred;
+        obj.payload += fb.blob.len() as u64;
+        obj.stats.bytes_read += fb.transferred;
+        spf::parse_footer_indexed(&fb.blob.bytes)?
+    };
+    Ok(SegmentMeta {
+        tail_bytes,
+        tail_start,
+        object_len,
+        scale,
+        footer,
+        index,
+    })
+}
+
+fn scaled(payload: u64, scale: f64) -> u64 {
+    (payload as f64 * scale).round() as u64
+}
+
 #[allow(clippy::too_many_arguments)]
 async fn read_shuffle(
     client: &RetryingClient,
@@ -655,59 +925,370 @@ async fn read_shuffle(
     n_fragments: u32,
     partition_by: &[String],
     combine: u32,
+    projection: Option<&[String]>,
+    predicates: &[Expr],
+    fanin: u32,
+    vcpus: f64,
 ) -> Result<ReadOutcome, EngineError> {
     let my_group = my_fragment / combine;
+    let my_bucket = (my_fragment - my_group * combine) as usize;
     let mut outcome = ReadOutcome {
         batches: Vec::new(),
         logical_bytes: 0,
         requests: 0,
         scale: 1.0,
+        shuffle: None,
+        seeds: Vec::new(),
     };
     let mut payload = 0u64;
+    let mut stats = ShuffleReadStats::default();
+    // Whole-object reads when nothing narrows the fetch: this group's
+    // segments hold a single bucket (combine == 1, or the trailing group
+    // of an uneven fan-out), so every data page is this consumer's anyway
+    // and one GET beats a suffix probe + ranged read — projection still
+    // applies post-decode. Zone-map pruning does narrow single-bucket
+    // segments, so pushed predicates keep the ranged path. Ranged reads
+    // also need native byte-range support — DynamoDB and EFS bill a full
+    // get per range, so splitting the fetch there would multiply cost,
+    // not cut it.
+    let group_buckets = combine
+        .min(n_fragments.saturating_sub(my_group * combine))
+        .max(1);
+    let whole_object = legacy_shuffle_read()
+        || !matches!(client.storage, Storage::S3(_))
+        || (group_buckets == 1 && predicates.is_empty());
+    // The first segment's tail and footer are probed inline — one small
+    // suffix GET, no data pages — because its bucket directory reveals the
+    // layout every sibling segment shares (the upstream fleet writes
+    // similarly-shaped objects). All segment reads, including finishing
+    // the first, then fan out below with ONE suffix GET sized to cover
+    // this consumer's bucket and the footer. Steady state is a single
+    // request per segment, the same count as a whole-object read, so
+    // shuffles that are rate-limit-bound (paper Sec. 4.5.2) see fewer
+    // bytes, not more requests.
+    let mut first: Option<(SegmentMeta, ShuffleObject)> = None;
+    let mut layout: Option<ShuffleLayout> = None;
+    if !whole_object && upstream_fragments > 0 {
+        let key = shuffle_key(query_id, from_pipeline, 0, my_group);
+        let mut probe = ShuffleObject::new();
+        let meta = read_segment_meta(client, opts, &key, SHUFFLE_TAIL_HINT, &mut probe).await?;
+        layout = meta.layout(0);
+        first = Some((meta, probe));
+    }
     // Bounded fan-in: a worker pulls its buckets a few at a time rather
     // than hammering the storage service with one request per upstream
     // fragment simultaneously.
-    // Two in flight mirrors real workers, which interleave shuffle reads
-    // with decoding and joining rather than issuing them all up front.
-    let gate = Rc::new(skyrise_sim::sync::Semaphore::new(2));
+    let gate = Rc::new(skyrise_sim::sync::Semaphore::new(fanin.max(1) as usize));
     let mut handles = Vec::with_capacity(upstream_fragments as usize);
     for src in 0..upstream_fragments {
         let key = shuffle_key(query_id, from_pipeline, src, my_group);
         let client = client.clone();
         let opts = opts.clone();
         let gate = Rc::clone(&gate);
+        let projection: Option<Vec<String>> = projection.map(<[String]>::to_vec);
+        let predicates = predicates.to_vec();
+        let partition_by = partition_by.to_vec();
+        let suffix_hint = layout.as_ref().map(|l| l.suffix_hint(my_bucket, src));
+        let premeta = if src == 0 { first.take() } else { None };
         handles.push(client.ctx.clone().spawn(async move {
             let _slot = gate.acquire().await;
-            client.get(&key, 0, &opts).await
+            read_shuffle_object(
+                &client,
+                &opts,
+                &key,
+                whole_object,
+                my_bucket,
+                combine,
+                my_fragment,
+                n_fragments,
+                &partition_by,
+                projection.as_deref(),
+                &predicates,
+                suffix_hint,
+                premeta,
+            )
+            .await
         }));
     }
+    let mut collected: Vec<ShuffleObject> = Vec::with_capacity(upstream_fragments as usize);
     for h in skyrise_sim::join_all(handles).await {
-        let (blob, stats) = h?;
-        outcome.requests += stats.attempts as u64;
-        outcome.logical_bytes += blob.logical_len();
-        payload += blob.len() as u64;
-        let decoded = spf::read_all(&blob.bytes, None)?;
-        for batch in decoded {
-            if batch.num_rows() == 0 && batch.schema.is_empty() {
-                continue;
-            }
-            if combine > 1 && batch.num_rows() > 0 {
-                // Demultiplex: keep only the rows hashing to this fragment.
-                let mine = partition_batch(&batch, partition_by, n_fragments.max(1) as usize)?
-                    .into_iter()
-                    .nth(my_fragment as usize)
-                    .expect("bucket exists");
-                outcome.batches.push(mine);
-            } else {
-                outcome.batches.push(batch);
-            }
+        collected.push(h?);
+    }
+    let mut schema: Option<Rc<Schema>> = None;
+    for obj in collected {
+        outcome.requests += obj.requests;
+        outcome.logical_bytes += obj.logical;
+        payload += obj.payload;
+        stats.merge(&obj.stats);
+        let base = outcome.batches.len();
+        for (b, c, dict) in obj.seeds {
+            outcome.seeds.push(DictSeed {
+                batch: base + b,
+                col: c,
+                dict,
+            });
+        }
+        outcome.batches.extend(obj.batches);
+        if schema.is_none() {
+            schema = obj.schema;
         }
     }
-    // Drop truly empty marker batches unless everything is empty.
+    // Bucket-indexed segments carry no marker row group for empty buckets;
+    // keep the schema alive so the chain sees consistent shapes (and the
+    // fused pipeline is not forced onto its legacy fallback).
+    if outcome.batches.is_empty() {
+        if let Some(s) = schema {
+            outcome.batches.push(Batch::empty(s));
+        }
+    }
     if payload > 0 {
         outcome.scale = outcome.logical_bytes as f64 / payload as f64;
     }
+    // Decompression + deserialisation CPU for what was actually decoded:
+    // the whole segment on the demultiplexing path, only this bucket's kept
+    // projected pages on the indexed path. Charged once against the
+    // worker's vCPU share — the late-materialisation win is CPU as much as
+    // bytes (decode-and-discard work the indexed layout never does).
+    client
+        .ctx
+        .sleep(cpu::decode_cost(stats.bytes_decoded as f64, vcpus))
+        .await;
+    outcome.shuffle = Some(stats);
     Ok(outcome)
+}
+
+/// Decode a whole segment and keep this fragment's rows: the baseline path
+/// for unindexed objects, non-S3 shuffle stores, and the bench toggle.
+#[allow(clippy::too_many_arguments)]
+fn demux_segment(
+    obj: &mut ShuffleObject,
+    file: &[u8],
+    combine: u32,
+    my_fragment: u32,
+    n_fragments: u32,
+    partition_by: &[String],
+    projection: Option<&[String]>,
+) -> Result<(), EngineError> {
+    let footer = spf::read_footer(file)?;
+    // Projection still applies (post-decode) so both read paths hand the
+    // chain identically-shaped batches; the transfer savings are lost.
+    let proj = projection_indices(&footer.schema, projection)?;
+    let out_schema = footer.schema.project(&proj);
+    if obj.schema.is_none() {
+        obj.schema = Some(Rc::clone(&out_schema));
+    }
+    for batch in spf::read_all(file, None)? {
+        if batch.num_rows() == 0 && batch.schema.is_empty() {
+            continue;
+        }
+        let batch = if combine > 1 && batch.num_rows() > 0 {
+            // Demultiplex: keep only the rows hashing to this fragment.
+            let rows = batch.num_rows() as u64;
+            let mine = partition_batch(&batch, partition_by, n_fragments.max(1) as usize)?
+                .into_iter()
+                .nth(my_fragment as usize)
+                .expect("bucket exists");
+            obj.stats.rows_demuxed += rows - mine.num_rows() as u64;
+            mine
+        } else {
+            batch
+        };
+        obj.batches.push(batch.project(&proj));
+    }
+    Ok(())
+}
+
+fn projection_indices(
+    schema: &Schema,
+    projection: Option<&[String]>,
+) -> Result<Vec<usize>, EngineError> {
+    match projection {
+        None => Ok((0..schema.len()).collect()),
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                schema
+                    .index_of(n)
+                    .ok_or_else(|| EngineError::Plan(format!("unknown shuffle column {n}")))
+            })
+            .collect(),
+    }
+}
+
+/// Read one shuffle segment. On the ranged path the reader issues one
+/// suffix GET — sized by `suffix_hint` when a sibling segment has already
+/// revealed where this consumer's bucket starts, `SHUFFLE_TAIL_HINT`
+/// otherwise — and tops up with at most one footer GET and one corrective
+/// byte-range GET when the guess fell short. With a good hint this is a
+/// single request per segment, the same count as a whole-object read, so
+/// rate-limit-bound shuffles pay fewer bytes without paying more requests.
+/// Never a whole-object GET while the segment carries a bucket directory.
+///
+/// `premeta` carries a tail + footer that the caller already probed (the
+/// layout-learning read of the first segment) together with its transfer
+/// accounting; the data pages are still fetched here, under the fan-in
+/// gate like every other segment.
+#[allow(clippy::too_many_arguments)]
+async fn read_shuffle_object(
+    client: &RetryingClient,
+    opts: &RequestOpts,
+    key: &str,
+    whole_object: bool,
+    my_bucket: usize,
+    combine: u32,
+    my_fragment: u32,
+    n_fragments: u32,
+    partition_by: &[String],
+    projection: Option<&[String]>,
+    predicates: &[Expr],
+    suffix_hint: Option<u64>,
+    premeta: Option<(SegmentMeta, ShuffleObject)>,
+) -> Result<ShuffleObject, EngineError> {
+    if whole_object {
+        let mut obj = ShuffleObject::new();
+        let (blob, s) = client.get(key, 0, opts).await?;
+        obj.requests += s.attempts as u64;
+        obj.logical += blob.logical_len();
+        obj.payload += blob.len() as u64;
+        obj.stats.bytes_read += blob.logical_len();
+        obj.stats.bytes_whole_object += blob.logical_len();
+        obj.stats.bytes_decoded += blob.logical_len();
+        demux_segment(
+            &mut obj,
+            &blob.bytes,
+            combine,
+            my_fragment,
+            n_fragments,
+            partition_by,
+            projection,
+        )?;
+        return Ok(obj);
+    }
+
+    // 1.+2. Tail, footer, bucket directory — pre-probed or fetched now.
+    let (meta, mut obj) = match premeta {
+        Some(x) => x,
+        None => {
+            let mut obj = ShuffleObject::new();
+            let meta = read_segment_meta(
+                client,
+                opts,
+                key,
+                suffix_hint.unwrap_or(SHUFFLE_TAIL_HINT),
+                &mut obj,
+            )
+            .await?;
+            (meta, obj)
+        }
+    };
+    let SegmentMeta {
+        tail_bytes,
+        tail_start,
+        scale,
+        footer,
+        index,
+        ..
+    } = meta;
+
+    let proj = projection_indices(&footer.schema, projection)?;
+    let out_schema = footer.schema.project(&proj);
+    obj.schema = Some(Rc::clone(&out_schema));
+
+    let Some(index) = index else {
+        // Pre-index writer: fall back to the whole object and demultiplex.
+        let (blob, s) = client.get(key, 0, opts).await?;
+        obj.requests += s.attempts as u64;
+        obj.logical += blob.logical_len();
+        obj.payload += blob.len() as u64;
+        obj.stats.bytes_read += blob.logical_len();
+        obj.stats.bytes_decoded += blob.logical_len();
+        return demux_segment(
+            &mut obj,
+            &blob.bytes,
+            combine,
+            my_fragment,
+            n_fragments,
+            partition_by,
+            projection,
+        )
+        .map(|()| obj);
+    };
+
+    if index.buckets.len() <= my_bucket {
+        return Err(spf::SpfError::Corrupt("bucket missing from segment directory").into());
+    }
+
+    // 3. Select this bucket's row groups, zone-pruned against the pushed
+    //    predicates (pruning only — the chain's filters still run).
+    let mut kept: Vec<&spf::RowGroupMeta> = Vec::new();
+    for rg in index.row_groups(&footer, my_bucket) {
+        if predicates
+            .iter()
+            .any(|p| crate::pushdown::prune_row_group(p, &footer.schema, rg))
+        {
+            for c in &rg.chunks {
+                obj.stats.bytes_pruned += scaled(c.len, scale);
+            }
+            continue;
+        }
+        for (ci, c) in rg.chunks.iter().enumerate() {
+            if !proj.contains(&ci) {
+                obj.stats.bytes_pruned += scaled(c.len, scale);
+            }
+        }
+        kept.push(rg);
+    }
+
+    // 4. First wanted byte of this bucket's projected, unpruned pages.
+    let mut first_wanted: Option<u64> = None;
+    for rg in &kept {
+        for &ci in &proj {
+            let c = &rg.chunks[ci];
+            first_wanted = Some(first_wanted.map_or(c.offset, |lo| lo.min(c.offset)));
+        }
+    }
+    let Some(lo) = first_wanted else {
+        return Ok(obj); // empty or fully pruned bucket
+    };
+
+    // 5. Corrective prefix GET only when the suffix fell short of the
+    //    bucket start; otherwise every wanted page is already local.
+    let fetched: Vec<u8>;
+    let (base, data): (u64, &[u8]) = if lo >= tail_start {
+        (tail_start, &tail_bytes)
+    } else {
+        let (rb, s3) = client
+            .get_range_metered(key, lo, tail_start - lo, 0, opts)
+            .await?;
+        obj.requests += s3.attempts as u64;
+        obj.logical += rb.transferred;
+        obj.payload += rb.blob.len() as u64;
+        obj.stats.bytes_read += rb.transferred;
+        let mut d = rb.blob.bytes.to_vec();
+        d.extend_from_slice(&tail_bytes);
+        fetched = d;
+        (lo, &fetched)
+    };
+
+    // 6. Late-materialized decode: dictionary chunks surface their storage
+    //    dictionary so the fused pipeline's DictCache starts warm.
+    for rg in kept {
+        let mut columns = Vec::with_capacity(proj.len());
+        for (out_col, &ci) in proj.iter().enumerate() {
+            let c = &rg.chunks[ci];
+            let a = (c.offset - base) as usize;
+            let b = a + c.len as usize;
+            obj.stats.bytes_decoded += scaled(c.len, scale);
+            let (col, dict) = spf::decode_chunk_with_dict(c, &data[a..b])?;
+            if let Some(d) = dict {
+                obj.seeds.push((obj.batches.len(), out_col, Rc::new(d)));
+            }
+            columns.push(col);
+        }
+        obj.batches
+            .push(Batch::new(Rc::clone(&out_schema), columns));
+    }
+    Ok(obj)
 }
 
 async fn wait_barrier(
@@ -770,10 +1351,12 @@ mod tests {
                 combine: 1,
             }],
             expected_input_bytes: 64 << 20,
+            shuffle_read_fanin: 4,
         };
         let json = serde_json::to_string(&task).unwrap();
         let back: WorkerTask = serde_json::from_str(&json).unwrap();
         assert_eq!(back.fragment, 1);
+        assert_eq!(back.shuffle_read_fanin, 4);
         assert!(matches!(
             back.inputs[0],
             InputAssignment::Shuffle {
@@ -781,5 +1364,9 @@ mod tests {
                 ..
             }
         ));
+        // Tasks serialised by a pre-fan-in coordinator keep the old width.
+        let stripped = json.replace(",\"shuffle_read_fanin\":4", "");
+        let old: WorkerTask = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.shuffle_read_fanin, 2);
     }
 }

@@ -358,9 +358,13 @@ impl Sim {
         metrics
             .counter("sim.executor.tasks_completed")
             .set(s.completed.get());
-        metrics.counter("sim.timer.inserts").set(s.timer_inserts.get());
+        metrics
+            .counter("sim.timer.inserts")
+            .set(s.timer_inserts.get());
         metrics.counter("sim.timer.fires").set(s.timer_fires.get());
-        metrics.counter("sim.timer.cancels").set(s.timer_cancels.get());
+        metrics
+            .counter("sim.timer.cancels")
+            .set(s.timer_cancels.get());
         metrics
             .gauge("sim.executor.peak_live_tasks")
             .set(s.peak_live.get() as f64);

@@ -260,21 +260,20 @@ impl MetricRegistry {
 
     /// Resolve (interning on first use) the counter named `name`.
     pub fn counter(&self, name: &str) -> Counter {
-        Counter(self.state.as_ref().map(|s| {
-            Rc::clone(
-                s.counters
-                    .borrow_mut()
-                    .entry(name.to_string())
-                    .or_default(),
-            )
-        }))
+        Counter(
+            self.state
+                .as_ref()
+                .map(|s| Rc::clone(s.counters.borrow_mut().entry(name.to_string()).or_default())),
+        )
     }
 
     /// Resolve (interning on first use) the gauge named `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        Gauge(self.state.as_ref().map(|s| {
-            Rc::clone(s.gauges.borrow_mut().entry(name.to_string()).or_default())
-        }))
+        Gauge(
+            self.state
+                .as_ref()
+                .map(|s| Rc::clone(s.gauges.borrow_mut().entry(name.to_string()).or_default())),
+        )
     }
 
     /// Resolve (interning on first use) the histogram named `name`.
@@ -490,9 +489,7 @@ impl MetricsSnapshot {
         use serde_json::json;
         let mut out = String::new();
         for (name, v) in &self.counters {
-            out.push_str(
-                &json!({"type": "counter", "name": name, "value": v}).to_string(),
-            );
+            out.push_str(&json!({"type": "counter", "name": name, "value": v}).to_string());
             out.push('\n');
         }
         for (name, v) in &self.gauges {
@@ -696,7 +693,11 @@ mod tests {
         let snap = reg.snapshot();
         let tl = &snap.timelines["x"];
         assert!(tl.points.len() <= MAX_TIMELINE_POINTS);
-        assert!((tl.interval_secs - 0.04).abs() < 1e-12, "{}", tl.interval_secs);
+        assert!(
+            (tl.interval_secs - 0.04).abs() < 1e-12,
+            "{}",
+            tl.interval_secs
+        );
         assert!((tl.points.iter().sum::<f64>() - 2000.0).abs() < 1e-9);
     }
 

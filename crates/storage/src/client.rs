@@ -12,7 +12,7 @@ use crate::core::{RequestOpts, REJECT_LATENCY};
 use crate::dynamodb::DynamoTable;
 use crate::efs::EfsFilesystem;
 use crate::error::{Result, StorageError};
-use crate::object::{Blob, ObjectMeta};
+use crate::object::{Blob, ObjectMeta, RangedBlob, SuffixRead};
 use crate::s3::S3Bucket;
 use skyrise_sim::faults::StorageFault;
 use skyrise_sim::telemetry::Counter;
@@ -42,8 +42,15 @@ impl Storage {
         }
     }
 
-    /// GET a byte range. Only object storage supports ranged reads; the
-    /// other services return the full object (their values are small).
+    /// GET a byte range.
+    ///
+    /// Only S3 supports native ranged reads. DynamoDB and EFS fall back
+    /// to a **full** `get` and slice client-side: the service meters,
+    /// bills, and streams the *whole object's* logical size — the paper's
+    /// reason these backends only suit small exchange objects — and only
+    /// the requested slice is returned. Callers that account transferred
+    /// bytes must use [`Storage::get_range_metered`], which reports the
+    /// full payload on the fallback path rather than the slice length.
     pub async fn get_range(
         &self,
         key: &str,
@@ -51,10 +58,40 @@ impl Storage {
         len: u64,
         opts: &RequestOpts,
     ) -> Result<Blob> {
+        self.get_range_metered(key, offset, len, opts)
+            .await
+            .map(|r| r.blob)
+    }
+
+    /// GET a byte range, reporting the logical bytes the request actually
+    /// moved (see [`Storage::get_range`] for the fallback semantics).
+    pub async fn get_range_metered(
+        &self,
+        key: &str,
+        offset: u64,
+        len: u64,
+        opts: &RequestOpts,
+    ) -> Result<RangedBlob> {
         match self {
-            Storage::S3(b) => b.get_range(key, offset, len, opts).await,
-            Storage::Dynamo(t) => t.get(key, opts).await.and_then(|b| b.slice(offset, len)),
-            Storage::Efs(f) => f.read(key, opts).await.and_then(|b| b.slice(offset, len)),
+            Storage::S3(b) => {
+                let blob = b.get_range(key, offset, len, opts).await?;
+                let transferred = blob.logical_len();
+                Ok(RangedBlob { blob, transferred })
+            }
+            Storage::Dynamo(t) => ranged_from_full(t.get(key, opts).await?, offset, len),
+            Storage::Efs(f) => ranged_from_full(f.read(key, opts).await?, offset, len),
+        }
+    }
+
+    /// GET the last `len` bytes of an object plus its total payload length
+    /// (`Range: bytes=-len`). Same fallback semantics as
+    /// [`Storage::get_range`]: DynamoDB and EFS transfer the whole object
+    /// and slice client-side, and `transferred` reports the full payload.
+    pub async fn get_suffix(&self, key: &str, len: u64, opts: &RequestOpts) -> Result<SuffixRead> {
+        match self {
+            Storage::S3(b) => b.get_suffix(key, len, opts).await,
+            Storage::Dynamo(t) => suffix_from_full(t.get(key, opts).await?, len),
+            Storage::Efs(f) => suffix_from_full(f.read(key, opts).await?, len),
         }
     }
 
@@ -105,6 +142,27 @@ impl Storage {
             Storage::Efs(_) => "EFS",
         }
     }
+}
+
+/// Fallback-path helper: slice a range out of a fully transferred object,
+/// accounting the whole logical payload as moved.
+fn ranged_from_full(full: Blob, offset: u64, len: u64) -> Result<RangedBlob> {
+    let transferred = full.logical_len();
+    let blob = full.slice(offset, len)?;
+    Ok(RangedBlob { blob, transferred })
+}
+
+/// Fallback-path helper: slice the tail out of a fully transferred object.
+fn suffix_from_full(full: Blob, len: u64) -> Result<SuffixRead> {
+    let transferred = full.logical_len();
+    let object_len = full.len() as u64;
+    let start = object_len.saturating_sub(len);
+    let blob = full.slice(start, object_len - start)?;
+    Ok(SuffixRead {
+        blob,
+        object_len,
+        transferred,
+    })
 }
 
 /// Retry policy: timeout, backoff, attempt cap.
@@ -361,6 +419,38 @@ impl RetryingClient {
     ) -> Result<(Blob, RetryStats)> {
         self.with_retries(key, expected_bytes, || {
             self.storage.get_range(key, offset, len, opts)
+        })
+        .await
+    }
+
+    /// GET a range with retries, reporting transferred logical bytes
+    /// (full-object on the Dynamo/EFS fallback — see
+    /// [`Storage::get_range`]).
+    pub async fn get_range_metered(
+        &self,
+        key: &str,
+        offset: u64,
+        len: u64,
+        expected_bytes: u64,
+        opts: &RequestOpts,
+    ) -> Result<(RangedBlob, RetryStats)> {
+        self.with_retries(key, expected_bytes, || {
+            self.storage.get_range_metered(key, offset, len, opts)
+        })
+        .await
+    }
+
+    /// GET an object's trailing bytes with retries (see
+    /// [`Storage::get_suffix`]).
+    pub async fn get_suffix(
+        &self,
+        key: &str,
+        len: u64,
+        expected_bytes: u64,
+        opts: &RequestOpts,
+    ) -> Result<(SuffixRead, RetryStats)> {
+        self.with_retries(key, expected_bytes, || {
+            self.storage.get_suffix(key, len, opts)
         })
         .await
     }
@@ -713,6 +803,98 @@ mod tests {
             "{}",
             big.as_secs_f64()
         );
+    }
+
+    #[test]
+    fn dynamo_range_fallback_reports_full_transfer() {
+        let mut sim = Sim::new(12);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let table = DynamoTable::on_demand(&ctx, &meter);
+            table.backdoor().put("k", Blob::new(vec![7u8; 256]));
+            let storage = Storage::Dynamo(table);
+            let opts = RequestOpts::default();
+            let ranged = storage.get_range_metered("k", 16, 4, &opts).await.unwrap();
+            let suffix = storage.get_suffix("k", 8, &opts).await.unwrap();
+            let billed =
+                meter.borrow().storage[&skyrise_pricing::StorageService::DynamoDb].bytes_read;
+            (ranged, suffix, billed)
+        });
+        sim.run();
+        let (ranged, suffix, billed) = h.try_take().unwrap();
+        // The slice is 4 bytes, but the fallback moved (and billed) all 256.
+        assert_eq!(ranged.blob.len(), 4);
+        assert_eq!(ranged.transferred, 256);
+        assert_eq!(suffix.blob.len(), 8);
+        assert_eq!(suffix.object_len, 256);
+        assert_eq!(suffix.transferred, 256);
+        assert_eq!(billed, 512, "both requests billed the full payload");
+    }
+
+    #[test]
+    fn s3_suffix_reports_sliced_transfer() {
+        let mut sim = Sim::new(13);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let storage = Storage::S3(S3Bucket::standard(&ctx, &meter));
+            let opts = RequestOpts::default();
+            let data: Vec<u8> = (0..=255u8).collect();
+            storage.put("k", Blob::new(data), &opts).await.unwrap();
+            let suffix = storage.get_suffix("k", 8, &opts).await.unwrap();
+            let whole = storage.get_suffix("k", 9999, &opts).await.unwrap();
+            let ranged = storage.get_range_metered("k", 16, 4, &opts).await.unwrap();
+            (suffix, whole, ranged)
+        });
+        sim.run();
+        let (suffix, whole, ranged) = h.try_take().unwrap();
+        assert_eq!(&suffix.blob.bytes[..], &(248..=255u8).collect::<Vec<_>>());
+        assert_eq!(suffix.object_len, 256);
+        assert_eq!(suffix.transferred, 8);
+        // Over-long suffix requests clamp to the whole object.
+        assert_eq!(whole.blob.len(), 256);
+        assert_eq!(whole.transferred, 256);
+        assert_eq!(ranged.blob.len(), 4);
+        assert_eq!(ranged.transferred, 4);
+    }
+
+    #[test]
+    fn client_suffix_and_metered_range_retry_like_get() {
+        let mut sim = Sim::new(14);
+        let ctx = sim.ctx();
+        let meter = shared_meter();
+        let h = sim.spawn(async move {
+            let cfg = DynamoConfig {
+                read_iops: 2.0,
+                burst_seconds: 0.5,
+                ..DynamoConfig::default()
+            };
+            let table = DynamoTable::new(ctx.clone(), meter, cfg, None);
+            table.backdoor().put("k", Blob::new(vec![0u8; 64]));
+            let client = RetryingClient::new(
+                Storage::Dynamo(Rc::clone(&table)),
+                ctx.clone(),
+                RetryPolicy::default(),
+            );
+            let opts = RequestOpts::default();
+            // Drain the tiny burst so the first attempts throttle.
+            let _ = table.get("k", &opts).await;
+            let _ = table.get("k", &opts).await;
+            let (suffix, s1) = client.get_suffix("k", 8, 64, &opts).await.unwrap();
+            let (ranged, _) = client
+                .get_range_metered("k", 0, 32, 64, &opts)
+                .await
+                .unwrap();
+            (suffix, s1, ranged)
+        });
+        sim.run();
+        let (suffix, stats, ranged) = h.try_take().unwrap();
+        assert_eq!(suffix.blob.len(), 8);
+        assert_eq!(suffix.transferred, 64);
+        assert!(stats.attempts >= 2, "attempts {}", stats.attempts);
+        assert_eq!(ranged.blob.len(), 32);
+        assert_eq!(ranged.transferred, 64);
     }
 
     #[test]

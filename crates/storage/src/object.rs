@@ -17,6 +17,33 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+/// Result of a suffix (tail) read: the sliced blob plus the metadata a
+/// footer-driven reader needs to plan follow-up range requests.
+#[derive(Debug, Clone)]
+pub struct SuffixRead {
+    /// The trailing bytes (at most the requested length).
+    pub blob: Blob,
+    /// Real payload length of the whole object — offsets for follow-up
+    /// `get_range` calls are relative to this.
+    pub object_len: u64,
+    /// Logical bytes actually moved over the wire for this request. Equals
+    /// `blob.logical_len()` on services with native ranged reads; equals
+    /// the *full object's* logical length on services that fall back to a
+    /// whole-object read (DynamoDB, EFS).
+    pub transferred: u64,
+}
+
+/// Result of a metered range read: the sliced blob plus the logical bytes
+/// the request actually transferred (which exceed the slice on services
+/// without native ranged reads — see [`SuffixRead::transferred`]).
+#[derive(Debug, Clone)]
+pub struct RangedBlob {
+    /// The requested byte range.
+    pub blob: Blob,
+    /// Logical bytes moved over the wire for this request.
+    pub transferred: u64,
+}
+
 /// An immutable stored value with a logical size multiplier.
 #[derive(Debug, Clone)]
 pub struct Blob {

@@ -22,7 +22,7 @@
 
 use crate::core::{DirectionModel, OpsLimiter, RequestOpts, ServiceCore, REJECT_LATENCY};
 use crate::error::{Result, StorageError};
-use crate::object::{Blob, KeyedStore, ObjectMeta};
+use crate::object::{Blob, KeyedStore, ObjectMeta, SuffixRead};
 use skyrise_pricing::{SharedMeter, StorageService};
 use skyrise_sim::{LatencyDist, SimCtx, SimDuration, SimTime, GIB, MIB};
 use std::cell::RefCell;
@@ -378,6 +378,43 @@ impl S3Bucket {
         self.core.stream(false, logical, opts).await;
         self.core.record_op(now);
         Ok(slice)
+    }
+
+    /// GET the last `len` bytes of an object (an HTTP suffix range,
+    /// `Range: bytes=-len`). Footer-driven readers use this to fetch the
+    /// trailer — and usually the whole footer — in one request without
+    /// knowing the object's size up front. Timing and cost use the
+    /// returned range's logical size, like [`S3Bucket::get_range`].
+    pub async fn get_suffix(&self, key: &str, len: u64, opts: &RequestOpts) -> Result<SuffixRead> {
+        let tracer = self.core.ctx.tracer();
+        let span = tracer.span(
+            &self.core.ctx,
+            self.core.service.name(),
+            tracer.next_lane(),
+            "get_suffix",
+        );
+        span.attr("key", key);
+        let now = self.core.ctx.now();
+        self.advance_scaling(now, true);
+        let blob = self.store.get(key)?;
+        let total = blob.len() as u64;
+        let start = total.saturating_sub(len);
+        let slice = blob.slice(start, total - start)?;
+        let logical = slice.logical_len();
+        span.attr("bytes", logical);
+        if !self.admit(now, false) {
+            return Err(self.reject(false, logical).await);
+        }
+        self.core.meter_request(false, logical, false);
+        let fb = self.core.first_byte(false).await;
+        span.attr("first_byte_s", fb.as_secs_f64());
+        self.core.stream(false, logical, opts).await;
+        self.core.record_op(now);
+        Ok(SuffixRead {
+            blob: slice,
+            object_len: total,
+            transferred: logical,
+        })
     }
 
     /// PUT an object.

@@ -16,7 +16,12 @@ use skyrise_bench::harness::{run_jobs, ExperimentJob};
 
 /// Run the named experiments through the harness with 1 worker and with
 /// `workers` workers, and assert the two runs are indistinguishable.
-fn assert_parallel_matches_serial(names: &[&str], workers: usize) {
+/// Returns the serial results so callers can make further assertions
+/// against the (now provably job-count-independent) telemetry.
+fn assert_parallel_matches_serial(
+    names: &[&str],
+    workers: usize,
+) -> Vec<skyrise_bench::harness::CompletedExperiment> {
     let jobs = || -> Vec<ExperimentJob> {
         e::ALL
             .iter()
@@ -55,6 +60,7 @@ fn assert_parallel_matches_serial(names: &[&str], workers: usize) {
             s.name
         );
     }
+    serial
 }
 
 /// Cheap subset (static pricing tables + the fastest figure): always on.
@@ -74,6 +80,31 @@ fn cheap_experiments_identical_across_jobs() {
 fn full_suite_identical_across_jobs() {
     let all: Vec<&str> = e::ALL.iter().map(|&(name, _)| name).collect();
     assert_parallel_matches_serial(&all, 4);
+}
+
+/// The shuffle-read telemetry joins the determinism contract: the combining
+/// ablation replays Q12 over both the whole-object (`combine = 1`) and
+/// bucket-indexed read paths, and its `engine.shuffle.*` counters must land
+/// in the merged snapshot — byte-identically across job counts (the
+/// snapshot comparison in the shared helper) and with real traffic behind
+/// them. Release-mode CI only: the ablation runs four query sweeps.
+#[test]
+#[cfg_attr(debug_assertions, ignore)]
+fn shuffle_counters_identical_across_jobs() {
+    let results = assert_parallel_matches_serial(&["ablation_combining"], 4);
+    let snapshot = results[0].metrics.canonical_json();
+    for counter in [
+        "engine.shuffle.bytes_read",
+        "engine.shuffle.bytes_whole_object",
+        "engine.shuffle.bytes_pruned",
+        "engine.shuffle.rows_demuxed",
+        "engine.shuffle.bytes_decoded",
+    ] {
+        assert!(
+            snapshot.contains(counter),
+            "{counter} missing from the merged telemetry snapshot"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------

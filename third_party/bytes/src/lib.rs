@@ -81,7 +81,11 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let data: Arc<[u8]> = v.into();
         let end = data.len();
-        Self { data, start: 0, end }
+        Self {
+            data,
+            start: 0,
+            end,
+        }
     }
 }
 

@@ -576,7 +576,9 @@ pub mod prelude {
     pub use super::prop;
     pub use super::strategy::{BoxedStrategy, Just, Strategy};
     pub use super::test_runner::{ProptestConfig, TestCaseError};
-    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Define property tests: each `fn name(arg in strategy, ...) { body }`

@@ -42,11 +42,20 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Vec<Field> },
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
     /// Tuple struct; arity 1 (newtype) serializes transparently as the inner
     /// value, higher arities as an array — matching upstream serde.
-    TupleStruct { name: String, arity: usize },
-    Enum { name: String, variants: Vec<Variant> },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derive `serde::Serialize`.
@@ -58,7 +67,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::TupleStruct { name, arity } => gen_tuple_struct_ser(name, *arity),
         Item::Enum { name, variants } => gen_enum_ser(name, variants),
     };
-    body.parse().expect("serde_derive: generated Serialize impl must parse")
+    body.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
 }
 
 /// Derive `serde::Deserialize`.
@@ -70,7 +80,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Item::TupleStruct { name, arity } => gen_tuple_struct_de(name, *arity),
         Item::Enum { name, variants } => gen_enum_de(name, variants),
     };
-    body.parse().expect("serde_derive: generated Deserialize impl must parse")
+    body.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
 }
 
 // --- parsing ---------------------------------------------------------------
@@ -169,7 +180,8 @@ fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
         };
         *i += 2;
         let inner: Vec<TokenTree> = group.into_iter().collect();
-        let is_serde = matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
         if !is_serde {
             continue;
         }
@@ -188,8 +200,7 @@ fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
                                 Some(TokenTree::Literal(l)) => l.to_string(),
                                 _ => panic!("serde_derive: default = expects a string literal"),
                             };
-                            attrs.default_path =
-                                Some(lit.trim_matches('"').to_string());
+                            attrs.default_path = Some(lit.trim_matches('"').to_string());
                             j += 3;
                             continue;
                         }
@@ -342,9 +353,7 @@ fn gen_tuple_struct_ser(name: &str, arity: usize) -> String {
 
 fn gen_tuple_struct_de(name: &str, arity: usize) -> String {
     let body = if arity == 1 {
-        format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(v)?))"
-        )
+        format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(v)?))")
     } else {
         let elems: Vec<String> = (0..arity)
             .map(|k| format!("::serde::Deserialize::from_json_value(&arr[{k}])?"))
@@ -461,7 +470,10 @@ fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
          match self {{\n{arms}}}\n}}\n}}\n"
     );
     // Unit-only enums additionally work as JSON map keys.
-    if variants.iter().all(|v| matches!(v.shape, VariantShape::Unit)) {
+    if variants
+        .iter()
+        .all(|v| matches!(v.shape, VariantShape::Unit))
+    {
         let key_arms: String = variants
             .iter()
             .map(|v| format!("{name}::{0} => \"{0}\".to_string(),\n", v.name))
@@ -494,9 +506,7 @@ fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
                     ));
                 } else {
                     let elems: Vec<String> = (0..*arity)
-                        .map(|k| {
-                            format!("::serde::Deserialize::from_json_value(&arr[{k}])?")
-                        })
+                        .map(|k| format!("::serde::Deserialize::from_json_value(&arr[{k}])?"))
                         .collect();
                     obj_arms.push_str(&format!(
                         "\"{vn}\" => {{\n\
@@ -541,7 +551,10 @@ fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
          \"unknown variant for {name}\")),\n}}\n}}\n}}\n"
     );
     // Unit-only enums additionally parse back as JSON map keys.
-    if variants.iter().all(|v| matches!(v.shape, VariantShape::Unit)) {
+    if variants
+        .iter()
+        .all(|v| matches!(v.shape, VariantShape::Unit))
+    {
         let key_arms: String = variants
             .iter()
             .map(|v| {
